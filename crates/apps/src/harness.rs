@@ -1,0 +1,161 @@
+//! Load-sweep harness shared by the figure benches (§5.2–§5.3).
+//!
+//! For each offered rate: build a fresh machine, install the open-loop
+//! arrival process, warm up, reset measurements, measure, and collect a
+//! [`LoadPoint`]. The same harness drives every system (Skyloft,
+//! Shinjuku, ghOSt, Shenango, Linux) so comparisons differ only in the
+//! machine builder passed in.
+
+use skyloft::machine::{Event, Machine};
+use skyloft_metrics::{LoadPoint, Series};
+use skyloft_net::loadgen::OpenLoop;
+use skyloft_sim::{Distribution, EventQueue, Nanos};
+
+use crate::synthetic::{install_open_loop, Placement};
+
+/// Sweep parameters.
+#[derive(Clone)]
+pub struct SweepSpec {
+    /// Series name (system under test).
+    pub name: String,
+    /// Offered rates in requests per second.
+    pub rates: Vec<f64>,
+    /// Service-time distribution.
+    pub service: Distribution,
+    /// Class threshold (see [`OpenLoop`]).
+    pub class_threshold: Nanos,
+    /// Request placement.
+    pub placement: Placement,
+    /// Target application id.
+    pub app: usize,
+    /// Warmup time before measurement.
+    pub warmup: Nanos,
+    /// Measurement window.
+    pub measure: Nanos,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A reasonable default window: 50 ms warmup, 300 ms measurement.
+    pub fn new(name: impl Into<String>, rates: Vec<f64>, service: Distribution) -> Self {
+        SweepSpec {
+            name: name.into(),
+            rates,
+            service,
+            class_threshold: Nanos::from_us(100),
+            placement: Placement::Queue,
+            app: 0,
+            warmup: Nanos::from_ms(50),
+            measure: Nanos::from_ms(300),
+            seed: SKY_SEED,
+        }
+    }
+}
+
+const SKY_SEED: u64 = 0x5359_4c4f_4654; // "SYLOFT"
+
+/// Runs one load point on a freshly built machine and returns its
+/// measurements.
+pub fn run_point(
+    spec: &SweepSpec,
+    rate: f64,
+    build: &dyn Fn() -> (Machine, EventQueue<Event>),
+) -> LoadPoint {
+    let (mut m, mut q) = build();
+    let gen = OpenLoop::new(
+        rate,
+        spec.service.clone(),
+        spec.class_threshold,
+        spec.seed ^ (rate as u64),
+    );
+    let end = spec.warmup + spec.measure;
+    install_open_loop(&mut q, gen, spec.app, spec.placement.clone(), end);
+    m.run(&mut q, spec.warmup);
+    m.reset_stats(q.now());
+    // Arrivals stop exactly at `end`; requests still in flight then are
+    // counted against throughput, as an open-loop client would observe.
+    m.run(&mut q, end);
+    let now = q.now();
+    let mut p = LoadPoint::from_hist(rate, m.stats.achieved_rps(now), &m.stats.resp_hist);
+    if m.stats.slowdown_hist.count() > 0 {
+        p.slowdown_p999 = Some(m.stats.slowdown_hist.percentile(99.9) as f64 / 1000.0);
+    }
+    let be = m.apps.iter().position(|a| a.kind == skyloft::AppKind::Be);
+    if let Some(be) = be {
+        p.be_share = Some(m.app_share(be, now));
+    }
+    p
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(spec: &SweepSpec, build: &dyn Fn() -> (Machine, EventQueue<Event>)) -> Series {
+    let mut series = Series::new(spec.name.clone());
+    for &rate in &spec.rates {
+        series.push(run_point(spec, rate, build));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::builtin::CentralizedFcfs;
+    use skyloft::machine::{AppKind, MachineConfig};
+    use skyloft::Platform;
+    use skyloft_hw::Topology;
+
+    fn builder() -> (Machine, EventQueue<Event>) {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_centralized(Topology::single(5)),
+            n_workers: 4,
+            seed: 77,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(
+            cfg,
+            Box::new(CentralizedFcfs::new(Some(Nanos::from_us(30)))),
+        );
+        m.add_app("lc", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        (m, q)
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let spec = SweepSpec {
+            warmup: Nanos::from_ms(10),
+            measure: Nanos::from_ms(80),
+            ..SweepSpec::new(
+                "fcfs",
+                vec![50_000.0, 350_000.0],
+                Distribution::Constant(Nanos::from_us(10)),
+            )
+        };
+        let s = run_sweep(&spec, &builder);
+        assert_eq!(s.points.len(), 2);
+        // 4 workers x 10us = 400k rps capacity; at 50k the system idles,
+        // at 350k it queues.
+        assert!(s.points[0].p99_us < s.points[1].p99_us);
+        assert!(s.points[0].achieved_rps > 40_000.0);
+        assert!(s.points[1].achieved_rps > 250_000.0);
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let spec = SweepSpec {
+            warmup: Nanos::from_ms(5),
+            measure: Nanos::from_ms(20),
+            ..SweepSpec::new(
+                "det",
+                vec![100_000.0],
+                Distribution::Constant(Nanos::from_us(5)),
+            )
+        };
+        let a = run_point(&spec, 100_000.0, &builder);
+        let b = run_point(&spec, 100_000.0, &builder);
+        assert_eq!(a, b);
+    }
+}

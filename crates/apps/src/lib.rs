@@ -1,0 +1,21 @@
+//! Workload applications for the evaluation (§5).
+//!
+//! * [`schbench`] — the scheduler benchmark of §5.1 (Figures 5–6): message
+//!   threads waking worker threads, measuring wakeup latency.
+//! * [`synthetic`] — the open-loop dispersive workload of §5.2 (Figure 7):
+//!   99.5% × 4 μs + 0.5% × 10 ms requests.
+//! * [`memcached`] — the USR workload of §5.3 (Figure 8a): 99.8% GET /
+//!   0.2% SET against an in-memory KV store.
+//! * [`rocksdb`] — the bimodal workload of §5.3 (Figure 8b): 50% GET
+//!   (0.95 μs) / 50% SCAN (591 μs).
+//! * [`batch`] — the best-effort batch application co-located in §5.2.
+//! * [`harness`] — load-sweep machinery shared by the figure benches.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod harness;
+pub mod memcached;
+pub mod rocksdb;
+pub mod schbench;
+pub mod synthetic;

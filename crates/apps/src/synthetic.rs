@@ -1,0 +1,184 @@
+//! Open-loop synthetic workloads (§5.2, Figure 7).
+//!
+//! The dispersive workload follows the ghOSt paper's setup, reused by
+//! Skyloft: 99.5% short requests of 4 μs and 0.5% long requests of 10 ms,
+//! arriving as a Poisson process. Requests run as one-shot tasks on the
+//! machine; this module turns an [`OpenLoop`] generator into a
+//! self-rescheduling chain of simulation events.
+
+use skyloft::machine::{Call, Event, Machine};
+use skyloft::task::{OneShot, RequestMeta};
+use skyloft::SpawnOpts;
+use skyloft_net::loadgen::OpenLoop;
+use skyloft_net::rss::RssHasher;
+use skyloft_sim::{Distribution, EventQueue, Nanos};
+
+/// The §5.2 dispersive service-time distribution.
+pub fn dispersive() -> Distribution {
+    Distribution::Bimodal {
+        p_long: 0.005,
+        short: Nanos::from_us(4),
+        long: Nanos::from_ms(10),
+    }
+}
+
+/// Class threshold separating short from long requests for dispersive
+/// workloads.
+pub fn dispersive_threshold() -> Nanos {
+    Nanos::from_us(100)
+}
+
+/// How arriving requests are placed onto cores.
+#[derive(Clone)]
+pub enum Placement {
+    /// No placement hint: the policy decides (centralized queues).
+    Queue,
+    /// RSS-hash each request's flow onto one of `n` worker cores
+    /// (kernel-bypass NIC path, §3.5). The per-request network overhead is
+    /// added to the executed segment (but not to the recorded service time
+    /// used for slowdown).
+    Rss {
+        /// Worker (ring) count.
+        n: usize,
+    },
+}
+
+/// Installs an open-loop arrival process into the machine: each generated
+/// request spawns a one-shot task of its service time for application
+/// `app`; generation stops at `until` (virtual time).
+pub fn install_open_loop(
+    q: &mut EventQueue<Event>,
+    gen: OpenLoop,
+    app: usize,
+    placement: Placement,
+    until: Nanos,
+) {
+    let base = q.now();
+    let rss = match &placement {
+        Placement::Rss { n } => Some(RssHasher::new(*n)),
+        Placement::Queue => None,
+    };
+    schedule_next(q, gen, app, rss, base, until, 0);
+}
+
+fn schedule_next(
+    q: &mut EventQueue<Event>,
+    mut gen: OpenLoop,
+    app: usize,
+    rss: Option<RssHasher>,
+    base: Nanos,
+    until: Nanos,
+    seq: u64,
+) {
+    let Some(req) = gen.next() else { return };
+    let at = base + req.at;
+    if at >= until {
+        return;
+    }
+    q.schedule(
+        at,
+        Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+            let (pin, overhead) = match &rss {
+                Some(h) => {
+                    // Model a distinct client flow per request (varying
+                    // source port), hashed by the NIC onto a worker ring.
+                    let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
+                    let core = h.ring_for_flow(0x0a00_0001, 0x0a00_0002, src_port, 11_211);
+                    (Some(core), skyloft_net::nic::per_request_overhead())
+                }
+                None => (None, Nanos::ZERO),
+            };
+            let meta = RequestMeta {
+                arrival: q.now(),
+                service: req.service,
+                class: req.class,
+            };
+            m.spawn(
+                q,
+                Box::new(OneShot::new(req.service + overhead)),
+                SpawnOpts {
+                    app,
+                    pin,
+                    req: Some(meta),
+                    weight: 1024,
+                    record_wakeup: false,
+                },
+            );
+            schedule_next(q, gen, app, rss, base, until, seq + 1);
+        }))),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::builtin::{CentralizedFcfs, GlobalFifo};
+    use skyloft::machine::{AppKind, MachineConfig};
+    use skyloft::Platform;
+    use skyloft_hw::Topology;
+
+    #[test]
+    fn dispersive_mean_matches_paper() {
+        // 0.995 * 4us + 0.005 * 10ms = 53.98 us.
+        assert!((dispersive().mean() - 53_980.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn open_loop_drives_centralized_machine() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_centralized(Topology::single(5)),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(
+            cfg,
+            Box::new(CentralizedFcfs::new(Some(Nanos::from_us(30)))),
+        );
+        m.add_app("lc", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        let gen = OpenLoop::new(
+            50_000.0,
+            Distribution::Constant(Nanos::from_us(10)),
+            Nanos::from_us(100),
+            9,
+        );
+        install_open_loop(&mut q, gen, 0, Placement::Queue, Nanos::from_ms(20));
+        m.run(&mut q, Nanos::from_ms(40));
+        // ~50k rps for 20 ms = ~1000 requests.
+        assert!(
+            (800..1200).contains(&(m.stats.completed as usize)),
+            "completed {}",
+            m.stats.completed
+        );
+    }
+
+    #[test]
+    fn rss_placement_spreads_work() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+        m.add_app("kv", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        let gen = OpenLoop::new(
+            200_000.0,
+            Distribution::Constant(Nanos::from_us(2)),
+            Nanos::from_us(100),
+            10,
+        );
+        install_open_loop(&mut q, gen, 0, Placement::Rss { n: 4 }, Nanos::from_ms(10));
+        m.run(&mut q, Nanos::from_ms(20));
+        assert!(m.stats.completed > 1500, "completed {}", m.stats.completed);
+        // Response includes the modeled network overhead.
+        let p50 = m.stats.resp_hist.percentile(50.0);
+        assert!(p50 >= 2_530, "p50 {p50}");
+    }
+}

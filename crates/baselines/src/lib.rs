@@ -1,0 +1,85 @@
+//! Mechanistic models of the comparator systems the paper evaluates
+//! against: native Linux schedulers, ghOSt, the original Shinjuku, and
+//! Shenango.
+//!
+//! Each comparator is expressed as a [`skyloft::Platform`] — the mechanism
+//! costs and structural properties that distinguish it — plus a policy from
+//! `skyloft-policies` (all systems implement the same scheduling
+//! *algorithms*; what differs is the machinery those algorithms run on).
+//! This mirrors how the paper frames its comparisons:
+//!
+//! * Linux pays kernel-thread switch costs and is preemption-limited to
+//!   the kernel tick (at most 1000 Hz, Table 5).
+//! * ghOSt routes every placement through kernel→agent messages and
+//!   transaction commits, and preempts via kernel IPIs plus a kernel-thread
+//!   context switch (Figure 1 ①).
+//! * Shinjuku preempts via VT-x posted interrupts from a dedicated
+//!   dispatcher but cannot share cores with other applications.
+//! * Shenango reallocates cores every 5 μs but has no in-application
+//!   preemption, so heavy-tailed workloads head-of-line block (Figure 8b).
+//!
+//! Constants not measured by the Skyloft paper are marked `ESTIMATE` with
+//! their provenance.
+
+#![warn(missing_docs)]
+
+pub mod ghost;
+pub mod linux;
+pub mod shenango;
+pub mod shinjuku;
+
+#[cfg(test)]
+mod tests {
+    use skyloft::PreemptMechanism;
+    use skyloft_hw::Topology;
+
+    #[test]
+    fn platform_mechanisms_match_systems() {
+        let topo = Topology::PAPER_SERVER;
+        assert!(matches!(
+            crate::linux::platform(topo, 250).mech,
+            PreemptMechanism::KernelTick { hz: 250 }
+        ));
+        assert!(matches!(
+            crate::ghost::platform(topo).mech,
+            PreemptMechanism::KernelIpi
+        ));
+        assert!(matches!(
+            crate::shinjuku::platform(topo).mech,
+            PreemptMechanism::PostedIpi
+        ));
+        assert!(matches!(
+            crate::shenango::platform(topo).mech,
+            PreemptMechanism::None
+        ));
+    }
+
+    #[test]
+    fn structural_properties() {
+        let topo = Topology::PAPER_SERVER;
+        // Dedicated dispatcher cores: ghOSt agent and Shinjuku dispatcher.
+        assert!(crate::ghost::platform(topo).dedicated_dispatcher);
+        assert!(crate::shinjuku::platform(topo).dedicated_dispatcher);
+        assert!(!crate::linux::platform(topo, 1000).dedicated_dispatcher);
+        assert!(!crate::shenango::platform(topo).dedicated_dispatcher);
+    }
+
+    #[test]
+    fn cost_ordering_linux_vs_skyloft() {
+        let topo = Topology::PAPER_SERVER;
+        let linux = crate::linux::platform(topo, 1000);
+        let sky = skyloft::Platform::skyloft_percpu(topo, 100_000);
+        // Kernel-thread switches are ~30x the uthread fast path (Table 7).
+        assert!(linux.same_app_switch.0 > 20 * sky.same_app_switch.0);
+        // Kernel wake paths are far slower than a spinning poller.
+        assert!(linux.wake_latency > sky.wake_latency);
+    }
+
+    #[test]
+    fn ghost_dispatch_is_expensive() {
+        let topo = Topology::PAPER_SERVER;
+        let ghost = crate::ghost::platform(topo);
+        let sky = skyloft::Platform::skyloft_centralized(topo);
+        assert!(ghost.dispatch_cost.0 > 5 * sky.dispatch_cost.0);
+    }
+}

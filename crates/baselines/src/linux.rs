@@ -1,0 +1,90 @@
+//! Native Linux scheduling model (SCHED_RR / CFS / EEVDF, §5.1).
+//!
+//! The algorithms are the same `skyloft-policies` implementations; what
+//! makes Linux slow at μs scale is the machinery (§2.2): kernel-thread
+//! context switches (§5.4: 1124 ns runnable / 2471 ns wakeup), kernel wake
+//! paths, and a scheduler tick capped at `CONFIG_HZ = 1000` (Table 5 note),
+//! versus Skyloft's 100 kHz user-space timer.
+
+use skyloft::{Platform, PreemptMechanism, SchedParams};
+use skyloft_hw::costs::SwitchCost;
+use skyloft_hw::Topology;
+use skyloft_policies::{Cfs, Eevdf, RoundRobin};
+use skyloft_sim::Nanos;
+
+/// The Linux platform at the given `CONFIG_HZ`.
+///
+/// The measured 2471 ns wake-another-thread switch (§5.4) is split into the
+/// waker's syscall-side cost and the wakee-side latency; the split is an
+/// ESTIMATE (the paper measures only the sum).
+pub fn platform(topo: Topology, hz: u64) -> Platform {
+    assert!(hz <= 1_000, "Linux timer frequency is capped at 1000 Hz");
+    Platform {
+        name: "Linux",
+        topo,
+        mech: PreemptMechanism::KernelTick { hz },
+        same_app_switch: SwitchCost::LINUX_SWITCH_RUNNABLE,
+        // The kernel switches mm either way; same cost.
+        cross_app_switch: SwitchCost::LINUX_SWITCH_RUNNABLE,
+        wake_cost: Nanos(1_000),
+        wake_latency: SwitchCost::LINUX_SWITCH_WAKEUP - Nanos(1_000),
+        dispatch_cost: Nanos::ZERO,
+        dispatch_latency: Nanos::ZERO,
+        dedicated_dispatcher: false,
+    }
+}
+
+/// `chrt -r` SCHED_RR with Table 5's default 100 ms slice at 250 Hz.
+pub fn rr_default() -> RoundRobin {
+    RoundRobin::new(Some(SchedParams::LINUX_RR_DEFAULT.time_slice))
+}
+
+/// CFS with Table 5 default parameters (3 ms granularity, 24 ms latency).
+pub fn cfs_default() -> Cfs {
+    Cfs::new(SchedParams::LINUX_CFS_DEFAULT)
+}
+
+/// CFS tuned for wakeup latency (Table 5: 12.5 μs granularity, 50 μs
+/// latency at 1000 Hz) — still tick-limited.
+pub fn cfs_tuned() -> Cfs {
+    Cfs::new(SchedParams::LINUX_CFS_TUNED)
+}
+
+/// EEVDF with Table 5 default parameters (Linux v6.8).
+pub fn eevdf_default() -> Eevdf {
+    Eevdf::new(SchedParams::LINUX_EEVDF_DEFAULT)
+}
+
+/// EEVDF tuned (Table 5: 12.5 μs base slice).
+pub fn eevdf_tuned() -> Eevdf {
+    Eevdf::new(SchedParams::LINUX_EEVDF_TUNED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_period_at_least_1ms() {
+        let p = platform(Topology::single(4), 1_000);
+        match p.mech {
+            PreemptMechanism::KernelTick { hz } => assert_eq!(hz, 1_000),
+            other => panic!("unexpected mechanism {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 1000 Hz")]
+    fn rejects_untunable_hz() {
+        platform(Topology::single(4), 100_000);
+    }
+
+    #[test]
+    fn wake_path_sums_to_measured_cost() {
+        let p = platform(Topology::single(4), 250);
+        assert_eq!(
+            p.wake_cost + p.wake_latency,
+            SwitchCost::LINUX_SWITCH_WAKEUP
+        );
+    }
+}

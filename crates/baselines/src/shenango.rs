@@ -1,0 +1,67 @@
+//! Shenango model (NSDI'19): fast core reallocation, no μs-scale
+//! preemption.
+//!
+//! Shenango's IOKernel re-evaluates core allocations every 5 μs and parks
+//! idle kthreads; waking a parked core goes through the kernel, which is
+//! why Skyloft's spin-polling workers show slightly lower tails at low
+//! load (Figure 8a). Within an application Shenango work-steals but cannot
+//! preempt a running request — under the bimodal RocksDB workload, GETs
+//! stuck behind a 591 μs SCAN blow through the slowdown SLO early
+//! (Figure 8b).
+
+use skyloft::{Platform, PreemptMechanism};
+use skyloft_hw::Topology;
+use skyloft_policies::WorkStealing;
+use skyloft_sim::Nanos;
+
+/// The Shenango platform.
+pub fn platform(topo: Topology) -> Platform {
+    Platform {
+        name: "Shenango",
+        topo,
+        // No in-application preemption mechanism at all.
+        mech: PreemptMechanism::None,
+        // Shenango's green threads: light, slightly heavier than
+        // Skyloft's measured 37 ns. ESTIMATE from the Shenango paper.
+        same_app_switch: Nanos(60),
+        cross_app_switch: Nanos(2_500),
+        wake_cost: Nanos(300),
+        // Parked kthreads are woken by the IOKernel through the kernel
+        // (~the §5.4 Linux wakeup path), amortized by its 5 μs cadence.
+        // ESTIMATE consistent with Shenango's reported wakeup overheads.
+        wake_latency: Nanos(2_400),
+        dispatch_cost: Nanos::ZERO,
+        dispatch_latency: Nanos::ZERO,
+        dedicated_dispatcher: false,
+    }
+}
+
+/// Shenango's scheduler: cooperative work stealing.
+pub fn work_stealing() -> WorkStealing {
+    WorkStealing::new(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::Policy;
+
+    #[test]
+    fn no_preemption_mechanism() {
+        let p = platform(Topology::PAPER_SERVER);
+        assert!(matches!(p.mech, PreemptMechanism::None));
+        let mut ws = work_stealing();
+        ws.sched_init(&skyloft::SchedEnv {
+            worker_cores: vec![0, 1],
+            dispatcher: None,
+        });
+        assert_eq!(ws.name(), "skyloft-ws");
+    }
+
+    #[test]
+    fn wake_latency_slower_than_skyloft() {
+        let shen = platform(Topology::PAPER_SERVER);
+        let sky = skyloft::Platform::skyloft_percpu(Topology::PAPER_SERVER, 100_000);
+        assert!(shen.wake_latency.0 > 10 * sky.wake_latency.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Original Shinjuku model (NSDI'19): centralized preemptive scheduling on
+//! Dune, preemption via VT-x posted interrupts.
+//!
+//! Shinjuku's mechanism costs are close to Skyloft's (the paper finds the
+//! two "show similar performance", §5.2); its structural limitation is
+//! exclusivity — cores are dedicated to the one application, so a
+//! co-located batch application gets **zero** CPU share (Figure 7c ❶).
+//! Harnesses express that by never attaching a BE application to this
+//! platform.
+
+use skyloft::{Platform, PreemptMechanism};
+use skyloft_hw::Topology;
+use skyloft_policies::Shinjuku;
+use skyloft_sim::Nanos;
+
+/// The Shinjuku platform.
+pub fn platform(topo: Topology) -> Platform {
+    Platform {
+        name: "Shinjuku",
+        topo,
+        mech: PreemptMechanism::PostedIpi,
+        // Shinjuku's lightweight contexts are in the same class as
+        // Skyloft's uthreads; Dune adds minor overhead. ESTIMATE from the
+        // Shinjuku paper's context-switch figures.
+        same_app_switch: Nanos(80),
+        // No multi-application support; unreachable in valid harnesses.
+        cross_app_switch: Nanos(80),
+        wake_cost: Nanos(100),
+        wake_latency: Nanos(150),
+        // Dispatcher queue pop + worker slot write, per the Shinjuku paper.
+        dispatch_cost: Nanos(150),
+        dispatch_latency: Nanos(120),
+        dedicated_dispatcher: true,
+    }
+}
+
+/// The original Shinjuku policy (identical algorithm to
+/// `skyloft_policies::Shinjuku`).
+pub fn policy(quantum: Option<Nanos>) -> Shinjuku {
+    Shinjuku::new(quantum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_to_skyloft_costs() {
+        let shinjuku = platform(Topology::PAPER_SERVER);
+        let sky = skyloft::Platform::skyloft_centralized(Topology::PAPER_SERVER);
+        // Same order of magnitude on the dispatch path (within ~3x).
+        assert!(shinjuku.dispatch_cost.0 < 3 * sky.dispatch_cost.0 + 200);
+        assert!(shinjuku.dedicated_dispatcher);
+    }
+}

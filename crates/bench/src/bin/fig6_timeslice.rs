@@ -1,0 +1,74 @@
+//! Figure 6: schbench wakeup latency as a function of the RR time slice.
+//!
+//! Skyloft RR at 100 kHz with slices from 5 μs to 500 μs, plus
+//! Skyloft-FIFO (an infinite slice — no preemption). Expected shape:
+//! wakeup latency is roughly proportional to the slice once workers
+//! oversubscribe the cores, with FIFO worst (a woken worker waits for
+//! whole 2.3 ms requests).
+
+use skyloft_apps::schbench::DEFAULT_WORK;
+use skyloft_bench::setup::FIG5_CORES;
+use skyloft_bench::{build, out, schbench_util};
+use skyloft_metrics::Table;
+use skyloft_policies::RoundRobin;
+use skyloft_sim::Nanos;
+
+const WORKER_COUNTS: &[usize] = &[8, 16, 24, 32, 48, 64];
+const SLICES_US: &[u64] = &[5, 10, 25, 50, 100, 500];
+
+fn main() {
+    let mut header = vec!["workers".to_string()];
+    header.extend(SLICES_US.iter().map(|s| format!("{s}us p99")));
+    header.push("FIFO p99".to_string());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    let mut at64: Vec<(u64, f64)> = Vec::new();
+    let mut fifo64 = 0.0;
+    for &workers in WORKER_COUNTS {
+        let mut row = vec![workers.to_string()];
+        for &slice_us in SLICES_US {
+            let slice = Nanos::from_us(slice_us);
+            // The timer must tick at least as often as the slice.
+            let hz = 1_000_000_000 / slice.0.min(Nanos::from_us(10).0);
+            let stats = schbench_util::run(
+                &|| build::skyloft_percpu(FIG5_CORES, hz, Box::new(RoundRobin::new(Some(slice)))),
+                workers,
+                DEFAULT_WORK,
+            );
+            if workers == 64 {
+                at64.push((slice_us, stats.p99_us));
+            }
+            row.push(format!("{:.0}", stats.p99_us));
+        }
+        let fifo = schbench_util::run(
+            &|| build::skyloft_percpu(FIG5_CORES, 100_000, Box::new(RoundRobin::new(None))),
+            workers,
+            DEFAULT_WORK,
+        );
+        if workers == 64 {
+            fifo64 = fifo.p99_us;
+        }
+        row.push(format!("{:.0}", fifo.p99_us));
+        t.row_owned(row);
+        eprintln!("  workers={workers} done");
+    }
+    out::emit(
+        "fig6_timeslice",
+        "Figure 6: schbench p99 wakeup latency (us) vs RR time slice",
+        &t,
+    );
+
+    // Shape: at 64 workers, latency grows with the slice and FIFO is worst.
+    let small = at64.iter().find(|(s, _)| *s == 5).unwrap().1;
+    let large = at64.iter().find(|(s, _)| *s == 500).unwrap().1;
+    assert!(
+        large > 2.0 * small,
+        "p99 must grow with the slice: 5us -> {small:.0}, 500us -> {large:.0}"
+    );
+    assert!(
+        fifo64 >= large,
+        "FIFO ({fifo64:.0}us) must be at least the largest slice ({large:.0}us)"
+    );
+    println!("Shape checks passed: wakeup latency ∝ time slice; FIFO worst.");
+}

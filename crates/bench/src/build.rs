@@ -1,0 +1,261 @@
+//! Machine builders for every system under test.
+//!
+//! Every builder returns a started machine plus its event queue; harnesses
+//! only differ in which builder they pass to the sweep.
+
+use skyloft::builtin::GlobalFifo;
+use skyloft::machine::{AppKind, Event, Machine, MachineConfig};
+use skyloft::{CoreAllocConfig, Platform, Policy, SchedParams};
+use skyloft_baselines::{ghost, linux, shenango, shinjuku as shinjuku_orig};
+use skyloft_hw::Topology;
+use skyloft_policies::{Cfs, Eevdf, RoundRobin, Shinjuku, ShinjukuShenango, WorkStealing};
+use skyloft_sim::{EventQueue, Nanos};
+
+use crate::setup::SEED;
+
+fn topo_for(workers: usize, extra: bool) -> Topology {
+    let need = workers + usize::from(extra);
+    if need <= Topology::PAPER_SERVER.n_cores() {
+        Topology::PAPER_SERVER
+    } else {
+        Topology::single(need)
+    }
+}
+
+fn start(mut m: Machine) -> (Machine, EventQueue<Event>) {
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    (m, q)
+}
+
+/// Skyloft with a per-CPU policy and user-space timer interrupts at `hz`.
+pub fn skyloft_percpu(
+    workers: usize,
+    hz: u64,
+    policy: Box<dyn Policy>,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(topo_for(workers, false), hz),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, policy);
+    m.add_app("app", AppKind::Lc);
+    start(m)
+}
+
+/// Native Linux with a per-CPU policy at `CONFIG_HZ = hz`.
+pub fn linux_percpu(
+    workers: usize,
+    hz: u64,
+    policy: Box<dyn Policy>,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: linux::platform(topo_for(workers, false), hz),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, policy);
+    m.add_app("app", AppKind::Lc);
+    start(m)
+}
+
+/// Skyloft-Shinjuku: centralized dispatcher + user-IPI preemption (§5.2).
+/// With `be`, a best-effort app plus the Shenango-style core allocator is
+/// attached (Figures 7b/7c).
+pub fn skyloft_shinjuku(
+    workers: usize,
+    quantum: Option<Nanos>,
+    be: bool,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_centralized(topo_for(workers, true)),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: be.then(CoreAllocConfig::default),
+        utimer_period: None,
+    };
+    let policy: Box<dyn Policy> = if be {
+        Box::new(ShinjukuShenango::new(quantum))
+    } else {
+        Box::new(Shinjuku::new(quantum))
+    };
+    let mut m = Machine::new(cfg, policy);
+    m.add_app("lc", AppKind::Lc);
+    if be {
+        m.add_app("batch", AppKind::Be);
+    }
+    start(m)
+}
+
+/// The original Shinjuku (posted interrupts, dedicated cores; never a BE
+/// app — its zero batch share in Figure 7c is structural).
+pub fn shinjuku(workers: usize, quantum: Option<Nanos>) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: shinjuku_orig::platform(topo_for(workers, true)),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(shinjuku_orig::policy(quantum)));
+    m.add_app("lc", AppKind::Lc);
+    start(m)
+}
+
+/// ghOSt running the Shinjuku global agent (§5.2).
+pub fn ghost_shinjuku(
+    workers: usize,
+    quantum: Option<Nanos>,
+    be: bool,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: ghost::platform(topo_for(workers, true)),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: be.then(CoreAllocConfig::default),
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(ghost::shinjuku_agent(quantum)));
+    m.add_app("lc", AppKind::Lc);
+    if be {
+        m.add_app("batch", AppKind::Be);
+    }
+    start(m)
+}
+
+/// Linux CFS for Figure 7: per-CPU fair scheduling, optionally with a
+/// low-priority batch application time-shared by weight.
+pub fn linux_cfs_fig7(workers: usize, batch: bool) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: linux::platform(topo_for(workers, false), 1_000),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(linux::cfs_default()));
+    m.add_app("lc", AppKind::Lc);
+    let mut q = EventQueue::new();
+    if batch {
+        let be = m.add_app("batch", AppKind::Be);
+        m.start(&mut q);
+        skyloft_apps::batch::spawn_percpu_batch(
+            &mut m,
+            &mut q,
+            be,
+            Nanos::from_us(50),
+            skyloft_apps::batch::NICE19_WEIGHT,
+        );
+    } else {
+        m.start(&mut q);
+    }
+    (m, q)
+}
+
+/// Skyloft work stealing (§5.3): `quantum = None` is the cooperative
+/// Memcached configuration; a quantum enables timer preemption for the
+/// RocksDB server (`hz` derived from the quantum).
+pub fn skyloft_ws(workers: usize, quantum: Option<Nanos>) -> (Machine, EventQueue<Event>) {
+    let hz = quantum.map_or(100_000, |q| 1_000_000_000 / q.0);
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(topo_for(workers, false), hz),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(WorkStealing::new(quantum)));
+    m.add_app("kv", AppKind::Lc);
+    start(m)
+}
+
+/// The §5.3 "utimer" variant: a dedicated core emulates per-CPU timers by
+/// sending user IPIs every `period` to the (one fewer) workers.
+pub fn skyloft_ws_utimer(workers: usize, period: Nanos) -> (Machine, EventQueue<Event>) {
+    let mut plat = Platform::skyloft_centralized(topo_for(workers, true));
+    plat.name = "Skyloft-utimer";
+    plat.dedicated_dispatcher = true;
+    let cfg = MachineConfig {
+        plat,
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: Some(period),
+    };
+    let mut m = Machine::new(cfg, Box::new(WorkStealing::new(Some(period))));
+    m.add_app("kv", AppKind::Lc);
+    start(m)
+}
+
+/// Shenango (§5.3): cooperative work stealing, kernel wake paths.
+pub fn shenango_ws(workers: usize) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: shenango::platform(topo_for(workers, false)),
+        n_workers: workers,
+        seed: SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(shenango::work_stealing()));
+    m.add_app("kv", AppKind::Lc);
+    start(m)
+}
+
+/// A boxed machine builder keyed by worker-core count.
+pub type MachineBuilder = Box<dyn Fn(usize) -> (Machine, EventQueue<Event>)>;
+
+/// The schbench scheduler configurations of Figure 5 (name, builder).
+pub fn fig5_configs() -> Vec<(&'static str, MachineBuilder)> {
+    vec![
+        (
+            "Skyloft RR",
+            Box::new(|n| {
+                skyloft_percpu(
+                    n,
+                    100_000,
+                    Box::new(RoundRobin::new(Some(SchedParams::SKYLOFT_RR.time_slice))),
+                )
+            }),
+        ),
+        (
+            "Skyloft CFS",
+            Box::new(|n| skyloft_percpu(n, 100_000, Box::new(Cfs::new(SchedParams::SKYLOFT_CFS)))),
+        ),
+        (
+            "Skyloft EEVDF",
+            Box::new(|n| {
+                skyloft_percpu(n, 100_000, Box::new(Eevdf::new(SchedParams::SKYLOFT_EEVDF)))
+            }),
+        ),
+        (
+            "Linux RR (default)",
+            Box::new(|n| linux_percpu(n, 250, Box::new(linux::rr_default()))),
+        ),
+        (
+            "Linux CFS (default)",
+            Box::new(|n| linux_percpu(n, 250, Box::new(linux::cfs_default()))),
+        ),
+        (
+            "Linux CFS (tuned)",
+            Box::new(|n| linux_percpu(n, 1_000, Box::new(linux::cfs_tuned()))),
+        ),
+        (
+            "Linux EEVDF (default)",
+            Box::new(|n| linux_percpu(n, 1_000, Box::new(linux::eevdf_default()))),
+        ),
+        (
+            "Linux EEVDF (tuned)",
+            Box::new(|n| linux_percpu(n, 1_000, Box::new(linux::eevdf_tuned()))),
+        ),
+    ]
+}
+
+/// A builder closure for `GlobalFifo` (used by small self-checks).
+pub fn tiny_fifo(workers: usize) -> (Machine, EventQueue<Event>) {
+    skyloft_percpu(workers, 100_000, Box::new(GlobalFifo::new()))
+}

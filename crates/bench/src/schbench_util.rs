@@ -1,0 +1,44 @@
+//! schbench sweep driver shared by the Figure 5 and Figure 6 binaries.
+
+use skyloft::machine::{Event, Machine};
+use skyloft_apps::schbench;
+use skyloft_sim::{EventQueue, Nanos};
+
+use crate::scaled;
+
+/// Wakeup-latency percentiles (in μs) from one schbench run.
+#[derive(Clone, Copy, Debug)]
+pub struct WakeupStats {
+    /// Median wakeup latency.
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Samples collected.
+    pub samples: u64,
+    /// Preemptions during the measurement window.
+    pub preemptions: u64,
+    /// Timer interrupts delivered.
+    pub ticks: u64,
+}
+
+/// Runs schbench with `workers` worker threads on a freshly built machine.
+pub fn run(
+    build: &dyn Fn() -> (Machine, EventQueue<Event>),
+    workers: usize,
+    work: Nanos,
+) -> WakeupStats {
+    let (mut m, mut q) = build();
+    schbench::spawn(&mut m, &mut q, 0, workers, work);
+    let warmup = scaled(Nanos::from_ms(100));
+    let measure = scaled(Nanos::from_ms(400));
+    m.run(&mut q, warmup);
+    m.reset_stats(q.now());
+    m.run(&mut q, warmup + measure);
+    WakeupStats {
+        p50_us: m.stats.wakeup_hist.percentile(50.0) as f64 / 1000.0,
+        p99_us: m.stats.wakeup_hist.percentile(99.0) as f64 / 1000.0,
+        samples: m.stats.wakeup_hist.count(),
+        preemptions: m.stats.preemptions,
+        ticks: m.stats.timer_delivered,
+    }
+}

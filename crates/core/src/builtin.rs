@@ -1,0 +1,237 @@
+//! Minimal built-in policies.
+//!
+//! These two policies exercise both scheduling models with the least
+//! possible policy logic; they are used by the framework's own tests, the
+//! quickstart example, and as building blocks for baselines (a centralized
+//! FCFS queue is Shinjuku minus preemption). The paper's evaluated policies
+//! live in `skyloft-policies`.
+
+use std::collections::VecDeque;
+
+use skyloft_sim::Nanos;
+
+use crate::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use crate::task::{TaskId, TaskTable};
+
+/// A single global FIFO runqueue shared by all cores, run-to-completion
+/// (no preemption): the classic dataplane-OS policy (IX/ZygOS row of
+/// Table 1).
+#[derive(Default)]
+pub struct GlobalFifo {
+    queue: VecDeque<TaskId>,
+}
+
+impl GlobalFifo {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queued task count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl Policy for GlobalFifo {
+    fn name(&self) -> &'static str {
+        "global-fifo"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, _env: &SchedEnv) {}
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        _cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        self.queue.push_back(t);
+    }
+
+    fn task_dequeue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.queue.len())
+    }
+}
+
+/// Centralized FCFS with an optional preemption quantum: with a quantum
+/// this is the skeleton of the Shinjuku policy (§5.2); without one it is a
+/// plain dispatcher-based FCFS.
+pub struct CentralizedFcfs {
+    queue: VecDeque<(TaskId, Nanos)>,
+    quantum: Option<Nanos>,
+}
+
+impl CentralizedFcfs {
+    /// Creates the policy; `quantum` enables dispatcher preemption.
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        CentralizedFcfs {
+            queue: VecDeque::new(),
+            quantum,
+        }
+    }
+}
+
+impl Policy for CentralizedFcfs {
+    fn name(&self) -> &'static str {
+        "centralized-fcfs"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Centralized
+    }
+
+    fn sched_init(&mut self, _env: &SchedEnv) {}
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        _cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        now: Nanos,
+    ) {
+        self.queue.push_back((t, now));
+    }
+
+    fn task_dequeue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        self.queue.pop_front().map(|(t, _)| t)
+    }
+
+    fn sched_poll(
+        &mut self,
+        _tasks: &mut TaskTable,
+        idle_workers: &[CoreId],
+        _now: Nanos,
+    ) -> Vec<(CoreId, TaskId)> {
+        let mut out = Vec::new();
+        for &core in idle_workers {
+            match self.queue.pop_front() {
+                Some((t, _)) => out.push((core, t)),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt once over quantum, but only if someone is waiting:
+        // preempting onto an empty queue only pays switch costs.
+        match self.quantum {
+            Some(q) => ran >= q && !self.queue.is_empty(),
+            None => false,
+        }
+    }
+
+    fn quantum(&self) -> Option<Nanos> {
+        self.quantum
+    }
+
+    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_orders() {
+        let mut p = GlobalFifo::new();
+        let mut tasks = TaskTable::new();
+        let ids: Vec<TaskId> = (0..3)
+            .map(|_| tasks.insert(|id| crate::task::Task::bare(id, 0)))
+            .collect();
+        for &t in &ids {
+            p.task_enqueue(&mut tasks, t, None, EnqueueFlags::New, Nanos::ZERO);
+        }
+        assert_eq!(p.queue_len(), Some(3));
+        for &t in &ids {
+            assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(t));
+        }
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fcfs_tick_needs_waiting_tasks() {
+        let mut p = CentralizedFcfs::new(Some(Nanos::from_us(30)));
+        let mut tasks = TaskTable::new();
+        let t = tasks.insert(|id| crate::task::Task::bare(id, 0));
+        // Over quantum but empty queue: no preemption.
+        assert!(!p.sched_timer_tick(&mut tasks, 0, t, Nanos::from_us(40), Nanos::from_us(40)));
+        let w = tasks.insert(|id| crate::task::Task::bare(id, 0));
+        p.task_enqueue(&mut tasks, w, None, EnqueueFlags::New, Nanos::from_us(41));
+        assert!(p.sched_timer_tick(&mut tasks, 0, t, Nanos::from_us(41), Nanos::from_us(41)));
+        // Under quantum: no preemption.
+        assert!(!p.sched_timer_tick(&mut tasks, 0, t, Nanos::from_us(10), Nanos::from_us(41)));
+    }
+
+    #[test]
+    fn fcfs_queue_delay_tracks_head() {
+        let mut p = CentralizedFcfs::new(None);
+        let mut tasks = TaskTable::new();
+        assert_eq!(p.queue_delay(&tasks, Nanos(100)), None);
+        let t = tasks.insert(|id| crate::task::Task::bare(id, 0));
+        p.task_enqueue(&mut tasks, t, None, EnqueueFlags::New, Nanos(100));
+        assert_eq!(p.queue_delay(&tasks, Nanos(250)), Some(Nanos(150)));
+    }
+
+    #[test]
+    fn fcfs_poll_places_in_order() {
+        let mut p = CentralizedFcfs::new(None);
+        let mut tasks = TaskTable::new();
+        let mk = |tasks: &mut TaskTable| tasks.insert(|id| crate::task::Task::bare(id, 0));
+        let a = mk(&mut tasks);
+        let b = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, b, None, EnqueueFlags::New, Nanos::ZERO);
+        let placed = p.sched_poll(&mut tasks, &[3, 7, 9], Nanos(1));
+        assert_eq!(placed, vec![(3, a), (7, b)]);
+        assert_eq!(p.queue_len(), Some(0));
+    }
+}

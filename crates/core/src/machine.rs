@@ -1,0 +1,1278 @@
+//! The simulated machine: per-core main loops, preemption plumbing, and
+//! multi-application switching.
+//!
+//! This module is the framework half of Skyloft (§3.1's Library OS): it owns
+//! the cores, drives the [`Policy`] through the Table 2 operations, delivers
+//! preemption through the mechanistic UINTR/APIC models, and enforces the
+//! Single Binding Rule through the kernel-module model on every
+//! inter-application switch.
+//!
+//! Execution model: the machine is the event handler of a
+//! `skyloft_sim::EventQueue<Event>`. Tasks execute as *segments* of compute
+//! time; a segment is preemptible at any nanosecond because preemption
+//! events (timer ticks, user IPIs) simply cancel the segment-completion
+//! event and recompute the remaining work. Scheduling-path overheads
+//! (context switches, interrupt handlers, wakeup costs) are charged by
+//! delaying the next segment's start, exactly as they would steal time on
+//! real hardware.
+
+use skyloft_hw::apic::TIMER_VECTOR;
+use skyloft_hw::costs::{self, CostModel};
+use skyloft_hw::uintr::{Recognition, UittEntry};
+use skyloft_hw::{Apic, CoreId, UintrFabric, UpidId};
+use skyloft_kmod::{Kmod, Tid};
+use skyloft_sim::{EventQueue, Nanos, Rng, Token};
+
+use crate::conf::{CoreAllocConfig, Platform, PreemptMechanism};
+use crate::ops::{EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use crate::stats::Stats;
+use crate::task::{AppId, Behavior, RequestMeta, Step, Task, TaskId, TaskState, TaskTable};
+
+/// ESTIMATE — cost of a Linux kernel timer interrupt + scheduler tick path
+/// (IRQ entry/exit, `update_curr`, possible resched). Not measured by the
+/// paper; consistent with the kernel-IPI receive cost of Table 6.
+pub const KERNEL_TICK_COST: Nanos = Nanos(791); // KERNEL_IPI.receive cycles @ 2 GHz
+
+/// User vector used for preemption IPIs.
+const PREEMPT_VECTOR: u8 = 1;
+
+/// Signature of a [`Call`] event body.
+pub type CallFn = Box<dyn FnOnce(&mut Machine, &mut EventQueue<Event>)>;
+
+/// A boxed callback event: how workloads (load generators, measurement
+/// phases) hook into the machine without the machine knowing about them.
+pub struct Call(pub CallFn);
+
+impl std::fmt::Debug for Call {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Call(..)")
+    }
+}
+
+/// Why a preemption IPI was sent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IpiPurpose {
+    /// Preempt the current task and reschedule (dispatcher quantum, wakeup
+    /// preemption).
+    Preempt,
+    /// Reclaim a core granted to the best-effort application (§5.2).
+    Revoke,
+}
+
+/// Simulation events.
+#[derive(Debug)]
+pub enum Event {
+    /// Periodic LAPIC timer (or kernel tick) fired on a core.
+    TimerFire {
+        /// Receiving core.
+        core: CoreId,
+    },
+    /// A preemption notification arrived at a core.
+    IpiArrive {
+        /// Receiving core.
+        core: CoreId,
+        /// What the sender wants.
+        purpose: IpiPurpose,
+        /// Preempt only if this task is still current (None = always).
+        expect: Option<TaskId>,
+    },
+    /// The current compute segment of a core finished.
+    SegmentDone {
+        /// The core.
+        core: CoreId,
+    },
+    /// Dispatcher-side quantum check for a centralized policy.
+    QuantumCheck {
+        /// Worker core being checked.
+        core: CoreId,
+        /// Task that was running when the check was armed.
+        task: TaskId,
+    },
+    /// An idle core looks for work (delayed by the platform wake latency).
+    StartCore {
+        /// The core.
+        core: CoreId,
+    },
+    /// The dispatcher's placement reaches a worker (centralized policies).
+    PlaceTask {
+        /// Target worker.
+        core: CoreId,
+        /// Task to run.
+        task: TaskId,
+    },
+    /// Periodic core-allocator decision (§5.2 multi-application runs).
+    CoreAllocTick,
+    /// External callback.
+    Call(Call),
+}
+
+/// Role of a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreRole {
+    /// Runs application tasks.
+    Worker,
+    /// Dedicated dispatcher (centralized policies) or emulated-timer core;
+    /// never runs tasks.
+    Dispatcher,
+}
+
+/// Application priority class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppKind {
+    /// Latency-critical.
+    Lc,
+    /// Best-effort (batch).
+    Be,
+}
+
+/// One registered application.
+#[derive(Debug)]
+pub struct AppDesc {
+    /// Display name.
+    pub name: String,
+    /// Priority class.
+    pub kind: AppKind,
+    /// Live task count.
+    pub live_tasks: usize,
+}
+
+/// Per-core scheduler state.
+pub struct CoreState {
+    /// Role of this core.
+    pub role: CoreRole,
+    /// Currently running task.
+    pub current: Option<TaskId>,
+    /// Application whose kernel thread is active on this core.
+    pub cur_app: Option<AppId>,
+    /// Scheduled completion time of the current segment.
+    pub seg_end: Nanos,
+    /// When the current task started running on this core.
+    pub run_start: Nanos,
+    /// Cancellation token of the pending `SegmentDone`.
+    pub done_token: Option<Token>,
+    /// Kernel threads bound to this core, indexed by `AppId`.
+    pub kthreads: Vec<Tid>,
+    /// Whether the core-allocator granted this core to the BE application.
+    pub granted_to_be: bool,
+    /// A revoke IPI is in flight.
+    pub revoking: bool,
+    /// A `StartCore`/`PlaceTask` is in flight; don't double-kick.
+    pub incoming: bool,
+    /// Busy-accounting anchor: since when, and for which app.
+    pub busy_since: Option<(Nanos, AppId)>,
+    /// Machine-managed best-effort spin task pinned to this core
+    /// (centralized multi-application runs).
+    pub be_task: Option<TaskId>,
+    /// Consecutive core-allocator observations of this core being idle.
+    pub idle_checks: u32,
+    /// Receiver UPID for user interrupts on this core.
+    pub upid: Option<UpidId>,
+    /// UITT entry used for the SN-self-post arming trick (§3.2).
+    pub arm_entry: Option<UittEntry>,
+}
+
+impl CoreState {
+    fn new(role: CoreRole) -> Self {
+        CoreState {
+            role,
+            current: None,
+            cur_app: None,
+            seg_end: Nanos::ZERO,
+            run_start: Nanos::ZERO,
+            done_token: None,
+            kthreads: Vec::new(),
+            granted_to_be: false,
+            revoking: false,
+            incoming: false,
+            busy_since: None,
+            be_task: None,
+            idle_checks: 0,
+            upid: None,
+            arm_entry: None,
+        }
+    }
+
+    /// Whether the core is idle and not already being kicked.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && !self.incoming
+    }
+}
+
+/// Machine construction parameters.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Platform (mechanisms + costs).
+    pub plat: Platform,
+    /// Number of worker cores (the dispatcher, if any, is an extra core).
+    pub n_workers: usize,
+    /// RNG seed for everything in this machine.
+    pub seed: u64,
+    /// Enable the §5.2 core allocator (centralized multi-app runs).
+    pub core_alloc: Option<CoreAllocConfig>,
+    /// Emulate per-CPU timers with a dedicated core sending user IPIs every
+    /// given period (§5.3's "utimer"); requires `UserIpi` mechanism with a
+    /// per-CPU policy.
+    pub utimer_period: Option<Nanos>,
+}
+
+/// Options for [`Machine::spawn`].
+pub struct SpawnOpts {
+    /// Owning application.
+    pub app: AppId,
+    /// Preferred/pinned core.
+    pub pin: Option<CoreId>,
+    /// Request accounting (RPC-style tasks).
+    pub req: Option<RequestMeta>,
+    /// Scheduling weight (1024 = nice 0).
+    pub weight: u32,
+    /// Whether wakeup latencies of this task are recorded.
+    pub record_wakeup: bool,
+}
+
+impl SpawnOpts {
+    /// Default options for an application.
+    pub fn app(app: AppId) -> Self {
+        SpawnOpts {
+            app,
+            pin: None,
+            req: None,
+            weight: 1024,
+            record_wakeup: true,
+        }
+    }
+}
+
+/// A best-effort spin task: computes forever in fixed chunks.
+pub struct Spin {
+    chunk: Nanos,
+}
+
+impl Spin {
+    /// Creates a spinner with the given chunk size.
+    pub fn new(chunk: Nanos) -> Self {
+        Spin { chunk }
+    }
+}
+
+impl Behavior for Spin {
+    fn step(&mut self, _now: Nanos, _id: TaskId) -> Step {
+        Step::Compute(self.chunk)
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Platform description.
+    pub plat: Platform,
+    /// The scheduling policy under test.
+    pub policy: Box<dyn Policy>,
+    /// Shared task table.
+    pub tasks: TaskTable,
+    /// Per-core state.
+    pub cores: Vec<CoreState>,
+    /// Indices of worker cores.
+    pub worker_cores: Vec<CoreId>,
+    /// The dispatcher core, if the platform dedicates one.
+    pub dispatcher: Option<CoreId>,
+    /// Registered applications.
+    pub apps: Vec<AppDesc>,
+    /// UINTR architectural state.
+    pub uintr: UintrFabric,
+    /// Local APICs.
+    pub apic: Apic,
+    /// Kernel-module model.
+    pub kmod: Kmod,
+    /// NUMA-aware cost model.
+    pub costs: CostModel,
+    /// Machine RNG (forked for workloads).
+    pub rng: Rng,
+    /// Measurements.
+    pub stats: Stats,
+    /// Core-allocator configuration, when enabled.
+    pub core_alloc: Option<CoreAllocConfig>,
+    /// The registered best-effort application.
+    pub be_app: Option<AppId>,
+    /// utimer emulation period.
+    utimer_period: Option<Nanos>,
+    /// Round-robin cursor for queue placement.
+    rr_cursor: usize,
+    /// The dispatcher/agent core is a serialized resource: it is busy with
+    /// earlier placements until this time (ghOSt's transaction commits make
+    /// this the throughput bottleneck, §5.2).
+    dispatcher_free_at: Nanos,
+    started: bool,
+}
+
+impl Machine {
+    /// Builds a machine. Call [`Machine::add_app`] for each application and
+    /// then [`Machine::start`] before running events.
+    pub fn new(cfg: MachineConfig, policy: Box<dyn Policy>) -> Machine {
+        let n_workers = cfg.n_workers;
+        assert!(n_workers > 0, "machine needs at least one worker core");
+        let needs_extra = cfg.plat.dedicated_dispatcher || cfg.utimer_period.is_some();
+        let total = n_workers + usize::from(needs_extra);
+        assert!(
+            cfg.plat.topo.n_cores() >= total,
+            "topology too small: {} cores for {} needed",
+            cfg.plat.topo.n_cores(),
+            total
+        );
+        let mut cores: Vec<CoreState> = (0..n_workers)
+            .map(|_| CoreState::new(CoreRole::Worker))
+            .collect();
+        let dispatcher = if needs_extra {
+            cores.push(CoreState::new(CoreRole::Dispatcher));
+            Some(n_workers)
+        } else {
+            None
+        };
+        let worker_cores: Vec<CoreId> = (0..n_workers).collect();
+        let kmod = Kmod::new(cfg.plat.topo.n_cores(), &(0..total).collect::<Vec<_>>());
+        Machine {
+            uintr: UintrFabric::new(cfg.plat.topo.n_cores()),
+            apic: Apic::new(cfg.plat.topo.n_cores()),
+            kmod,
+            costs: CostModel::new(cfg.plat.topo),
+            rng: Rng::seed_from_u64(cfg.seed),
+            policy,
+            tasks: TaskTable::new(),
+            cores,
+            worker_cores,
+            dispatcher,
+            apps: Vec::new(),
+            stats: Stats::new(),
+            core_alloc: cfg.core_alloc,
+            be_app: None,
+            utimer_period: cfg.utimer_period,
+            rr_cursor: 0,
+            dispatcher_free_at: Nanos::ZERO,
+            plat: cfg.plat,
+            started: false,
+        }
+    }
+
+    /// Registers an application. The first application binds an active
+    /// kernel thread per worker core; later ones park theirs (§3.3, §4.1).
+    ///
+    /// For a [`AppKind::Be`] application under a centralized policy, a
+    /// machine-managed spin task is attached to every worker core; the core
+    /// allocator grants and revokes cores for it.
+    pub fn add_app(&mut self, name: &str, kind: AppKind) -> AppId {
+        assert!(!self.started, "add apps before start");
+        let app = self.apps.len();
+        self.apps.push(AppDesc {
+            name: name.to_string(),
+            kind,
+            live_tasks: 0,
+        });
+        self.stats.busy_by_app.push(0);
+        for &core in &self.worker_cores.clone() {
+            let tid = self.kmod.create_kthread(app);
+            if app == 0 {
+                self.kmod
+                    .bind_active(tid, core)
+                    .expect("first app binds active");
+                self.cores[core].cur_app = Some(0);
+            } else {
+                self.kmod.park_on_cpu(tid, core).expect("park new app");
+            }
+            self.cores[core].kthreads.push(tid);
+        }
+        if kind == AppKind::Be && self.policy.kind() == PolicyKind::Centralized {
+            assert!(self.be_app.is_none(), "one BE app supported");
+            self.be_app = Some(app);
+            for &core in &self.worker_cores.clone() {
+                let id = self.insert_task(
+                    app,
+                    Box::new(Spin::new(Nanos::from_us(50))),
+                    None,
+                    1024,
+                    false,
+                );
+                self.cores[core].be_task = Some(id);
+            }
+        }
+        app
+    }
+
+    /// Finalizes configuration: initializes the policy, arms user-space
+    /// timers (the §3.2 delegation sequence), and schedules the periodic
+    /// machinery. Must be called exactly once, before the first event runs.
+    pub fn start(&mut self, q: &mut EventQueue<Event>) {
+        assert!(!self.started, "start called twice");
+        assert!(!self.apps.is_empty(), "add at least one application");
+        self.started = true;
+        let env = SchedEnv {
+            worker_cores: self.worker_cores.clone(),
+            dispatcher: self.dispatcher,
+        };
+        self.policy.sched_init(&env);
+
+        match self.plat.mech {
+            PreemptMechanism::UserTimer { hz } => {
+                for &core in &self.worker_cores.clone() {
+                    // §3.2 configuration: (1) UPID with SN set, UINV = timer
+                    // vector; (2) self-SENDUIPI to populate the PIR.
+                    let upid = self.uintr.alloc_upid(TIMER_VECTOR, core);
+                    self.uintr.bind_receiver(core, upid, TIMER_VECTOR);
+                    self.uintr.set_sn(upid, true);
+                    self.uintr.set_user_mode(core, true);
+                    let arm = UittEntry { upid, user_vec: 0 };
+                    self.uintr.senduipi(arm);
+                    self.cores[core].upid = Some(upid);
+                    self.cores[core].arm_entry = Some(arm);
+                    // Kernel-module timer configuration (Table 3).
+                    self.kmod
+                        .timer_set_hz(&mut self.apic, core, hz)
+                        .expect("timer hz");
+                    self.kmod
+                        .timer_enable(&mut self.apic, core)
+                        .expect("timer enable");
+                    let period = self.apic.timer(core).period();
+                    // Stagger first expiries to avoid artificial lockstep.
+                    let first = period + Nanos(core as u64 * 101 % period.0.max(1));
+                    q.schedule(first, Event::TimerFire { core });
+                }
+            }
+            PreemptMechanism::KernelTick { hz } => {
+                for &core in &self.worker_cores.clone() {
+                    self.apic.set_hz(core, hz);
+                    self.apic.set_enabled(core, true);
+                    let period = self.apic.timer(core).period();
+                    let first = period + Nanos(core as u64 * 307 % period.0.max(1));
+                    q.schedule(first, Event::TimerFire { core });
+                }
+            }
+            PreemptMechanism::UserIpi => {
+                // Receiver setup for preemption IPIs from the dispatcher or
+                // utimer core.
+                for &core in &self.worker_cores.clone() {
+                    let upid = self.uintr.alloc_upid(PREEMPT_VECTOR, core);
+                    self.uintr.bind_receiver(core, upid, PREEMPT_VECTOR);
+                    self.uintr.set_user_mode(core, true);
+                    self.cores[core].upid = Some(upid);
+                    self.cores[core].arm_entry = Some(UittEntry { upid, user_vec: 1 });
+                }
+                if let Some(period) = self.utimer_period {
+                    // §5.3 utimer: a dedicated core broadcasts user IPIs.
+                    for &core in &self.worker_cores.clone() {
+                        let first = period + Nanos(core as u64 * 101 % period.0.max(1));
+                        q.schedule(first, Event::TimerFire { core });
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        if let (Some(alloc), Some(_)) = (&self.core_alloc, self.be_app) {
+            q.schedule(alloc.interval, Event::CoreAllocTick);
+        }
+    }
+
+    /// Runs the machine until `deadline`. Returns events processed.
+    pub fn run(&mut self, q: &mut EventQueue<Event>, deadline: Nanos) -> u64 {
+        assert!(self.started, "call start() first");
+        skyloft_sim::run_until(self, q, deadline, |m, ev, q| m.handle(ev, q))
+    }
+
+    /// Busy nanoseconds of an application since the last stats reset,
+    /// including the still-open run intervals of currently executing tasks
+    /// (a BE spin task may run for the whole window without ever stopping).
+    pub fn busy_ns(&self, app: AppId, now: Nanos) -> u64 {
+        let mut total = self.stats.busy_by_app[app];
+        for c in &self.cores {
+            if let Some((since, a)) = c.busy_since {
+                if a == app {
+                    total += now.saturating_sub(since).0;
+                }
+            }
+        }
+        total
+    }
+
+    /// CPU share of an application over the worker cores since the last
+    /// stats reset (Figure 7c's metric).
+    pub fn app_share(&self, app: AppId, now: Nanos) -> f64 {
+        let capacity =
+            now.saturating_sub(self.stats.since).0 as f64 * self.worker_cores.len() as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.busy_ns(app, now) as f64 / capacity
+    }
+
+    /// Resets measurement state at a warmup boundary.
+    pub fn reset_stats(&mut self, now: Nanos) {
+        self.stats.reset(now);
+        for c in &mut self.cores {
+            if let Some((_, app)) = c.busy_since {
+                c.busy_since = Some((now, app));
+            }
+        }
+    }
+
+    /// Creates a task without enqueueing it (internal + BE tasks).
+    fn insert_task(
+        &mut self,
+        app: AppId,
+        behavior: Box<dyn Behavior>,
+        req: Option<RequestMeta>,
+        weight: u32,
+        record_wakeup: bool,
+    ) -> TaskId {
+        self.apps[app].live_tasks += 1;
+        self.tasks.insert(|id| Task {
+            id,
+            app,
+            state: TaskState::Runnable,
+            pd: crate::task::PolicyData {
+                weight,
+                ..Default::default()
+            },
+            behavior: Some(behavior),
+            remaining: Nanos::ZERO,
+            req,
+            runnable_since: Nanos::ZERO,
+            measure_wakeup: false,
+            record_wakeup,
+            last_cpu: None,
+            preempt_count: 0,
+            total_ran: Nanos::ZERO,
+        })
+    }
+
+    /// Spawns a task and enqueues it (the `uthread_create` path; the 191 ns
+    /// creation cost of Table 7 is charged to the spawning side by the
+    /// workload model where relevant).
+    pub fn spawn(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        behavior: Box<dyn Behavior>,
+        opts: SpawnOpts,
+    ) -> TaskId {
+        assert!(opts.app < self.apps.len(), "spawn into unknown app");
+        let id = self.insert_task(
+            opts.app,
+            behavior,
+            opts.req,
+            opts.weight,
+            opts.record_wakeup,
+        );
+        let now = q.now();
+        self.tasks.get_mut(id).runnable_since = now;
+        self.policy.task_init(&mut self.tasks, id, now);
+        self.enqueue_task(q, id, EnqueueFlags::New, opts.pin);
+        id
+    }
+
+    /// Spawns a one-shot request of the given service time and class.
+    pub fn spawn_request(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        app: AppId,
+        service: Nanos,
+        class: u8,
+        pin: Option<CoreId>,
+    ) -> TaskId {
+        let req = RequestMeta {
+            arrival: q.now(),
+            service,
+            class,
+        };
+        self.spawn(
+            q,
+            Box::new(crate::task::OneShot::new(service)),
+            SpawnOpts {
+                app,
+                pin,
+                req: Some(req),
+                weight: 1024,
+                record_wakeup: true,
+            },
+        )
+    }
+
+    /// Wakes a blocked task (the `task_wakeup` entry point). `hint` is the
+    /// waker's core. Spurious wakes of non-blocked tasks are ignored.
+    pub fn wake(&mut self, q: &mut EventQueue<Event>, target: TaskId, hint: Option<CoreId>) {
+        if !self.tasks.contains(target) {
+            return;
+        }
+        let now = q.now();
+        {
+            let t = self.tasks.get_mut(target);
+            if t.state != TaskState::Blocked {
+                return;
+            }
+            t.state = TaskState::Runnable;
+            t.runnable_since = now;
+            t.measure_wakeup = t.record_wakeup;
+        }
+        self.enqueue_task(q, target, EnqueueFlags::Wakeup, hint);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Processes one event.
+    pub fn handle(&mut self, ev: Event, q: &mut EventQueue<Event>) {
+        match ev {
+            Event::TimerFire { core } => self.on_timer_fire(q, core),
+            Event::IpiArrive {
+                core,
+                purpose,
+                expect,
+            } => self.on_ipi(q, core, purpose, expect),
+            Event::SegmentDone { core } => self.on_segment_done(q, core),
+            Event::QuantumCheck { core, task } => self.on_quantum_check(q, core, task),
+            Event::StartCore { core } => {
+                self.cores[core].incoming = false;
+                if self.cores[core].current.is_none() {
+                    self.schedule_loop(q, core, Nanos::ZERO);
+                }
+            }
+            Event::PlaceTask { core, task } => {
+                self.cores[core].incoming = false;
+                if !self.tasks.contains(task) {
+                    return;
+                }
+                debug_assert!(self.cores[core].current.is_none());
+                self.run_task(q, core, task, Nanos::ZERO);
+            }
+            Event::CoreAllocTick => self.on_core_alloc(q),
+            Event::Call(call) => (call.0)(self, q),
+        }
+    }
+
+    fn on_timer_fire(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
+        // Re-arm the periodic source.
+        match self.plat.mech {
+            PreemptMechanism::UserTimer { .. } | PreemptMechanism::KernelTick { .. } => {
+                if !self.apic.timer_active(core) {
+                    return;
+                }
+                let period = self.apic.timer(core).period();
+                q.schedule_after(period, Event::TimerFire { core });
+            }
+            PreemptMechanism::UserIpi => {
+                let Some(period) = self.utimer_period else {
+                    return;
+                };
+                q.schedule_after(period, Event::TimerFire { core });
+            }
+            _ => return,
+        }
+
+        match self.plat.mech {
+            PreemptMechanism::UserTimer { .. } => {
+                // Mechanistic §3.2 path: the LAPIC raises TIMER_VECTOR; the
+                // core recognizes it as a user interrupt only if the PIR was
+                // armed.
+                match self.uintr.on_interrupt_arrival(core, TIMER_VECTOR) {
+                    Recognition::Pending => {
+                        if self.uintr.deliverable(core) {
+                            self.uintr.begin_delivery(core);
+                            // Handler body (Listing 1): re-arm the PIR with
+                            // a SN self-post, then run sched_timer_tick.
+                            let arm = self.cores[core].arm_entry.expect("armed core");
+                            self.uintr.senduipi(arm);
+                            self.uintr.uiret(core);
+                            self.stats.timer_delivered += 1;
+                            let cost = costs::USER_TIMER_RECEIVE.to_nanos()
+                                + costs::SENDUIPI_SN.to_nanos();
+                            self.timer_tick(q, core, cost);
+                        }
+                    }
+                    Recognition::Lost => {
+                        self.stats.timer_lost += 1;
+                    }
+                    Recognition::Legacy => {}
+                }
+            }
+            PreemptMechanism::KernelTick { .. } => {
+                self.stats.timer_delivered += 1;
+                self.timer_tick(q, core, KERNEL_TICK_COST);
+            }
+            PreemptMechanism::UserIpi => {
+                // utimer: the dedicated core sends a user IPI; model the
+                // delivery latency before the tick takes effect.
+                let from = self.dispatcher.unwrap_or(core);
+                let mech = self.costs.user_ipi(from, core);
+                q.schedule_after(
+                    mech.send_ns() + mech.delivery_ns(),
+                    Event::IpiArrive {
+                        core,
+                        purpose: IpiPurpose::Preempt,
+                        expect: None,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Shared tick logic: consult the policy, preempt or just charge the
+    /// handler cost.
+    fn timer_tick(&mut self, q: &mut EventQueue<Event>, core: CoreId, handler_cost: Nanos) {
+        let Some(t) = self.cores[core].current else {
+            return;
+        };
+        let now = q.now();
+        let ran = now.saturating_sub(self.cores[core].run_start);
+        let preempt = self
+            .policy
+            .sched_timer_tick(&mut self.tasks, core, t, ran, now);
+        if preempt {
+            self.stats.preemptions += 1;
+            self.preempt_current(q, core, handler_cost);
+        } else {
+            self.delay_current(q, core, handler_cost);
+        }
+    }
+
+    fn on_ipi(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        purpose: IpiPurpose,
+        expect: Option<TaskId>,
+    ) {
+        // Mechanistic recognition for user-IPI platforms.
+        if matches!(self.plat.mech, PreemptMechanism::UserIpi)
+            && self.uintr.on_interrupt_arrival(core, PREEMPT_VECTOR) == Recognition::Pending
+            && self.uintr.deliverable(core)
+        {
+            self.uintr.begin_delivery(core);
+            self.uintr.uiret(core);
+        }
+        if let Some(exp) = expect {
+            if self.cores[core].current != Some(exp) {
+                self.stats.spurious_ipis += 1;
+                if purpose == IpiPurpose::Revoke {
+                    self.cores[core].revoking = false;
+                }
+                return;
+            }
+        }
+        let recv = self.ipi_receive_cost(core);
+        match purpose {
+            IpiPurpose::Preempt => {
+                if self.cores[core].current.is_none() {
+                    // utimer tick on an idle core.
+                    return;
+                }
+                // For utimer ticks (expect == None) ask the policy, like a
+                // timer tick; for dispatcher preemptions the decision was
+                // already made.
+                if expect.is_none() && self.utimer_period.is_some() {
+                    self.timer_tick(q, core, recv);
+                } else {
+                    self.stats.preemptions += 1;
+                    self.preempt_current(q, core, recv);
+                }
+            }
+            IpiPurpose::Revoke => {
+                self.cores[core].revoking = false;
+                self.cores[core].granted_to_be = false;
+                self.stats.be_revokes += 1;
+                if let Some(cur) = self.cores[core].current {
+                    if Some(cur) == self.cores[core].be_task {
+                        self.park_be_task(q, core, recv);
+                        return;
+                    }
+                }
+                self.schedule_loop(q, core, recv);
+            }
+        }
+    }
+
+    fn ipi_receive_cost(&self, core: CoreId) -> Nanos {
+        let from = self.dispatcher.unwrap_or(0);
+        match self.plat.mech {
+            PreemptMechanism::UserIpi | PreemptMechanism::UserTimer { .. } => {
+                self.costs.user_ipi(from, core).receive_ns()
+            }
+            PreemptMechanism::PostedIpi => costs::POSTED_IPI.receive_ns(),
+            PreemptMechanism::KernelIpi => {
+                self.costs.kernel_ipi(from, core).receive_ns() + costs::GhostCost::INSTALL_THREAD
+            }
+            PreemptMechanism::Signal => costs::SIGNAL.receive_ns(),
+            PreemptMechanism::KernelTick { .. } => self.costs.kernel_ipi(from, core).receive_ns(),
+            PreemptMechanism::None => Nanos::ZERO,
+        }
+    }
+
+    /// Sends a preemption notification to `core` using the platform's
+    /// mechanism; the effect lands after send + delivery latency.
+    pub fn send_preempt_ipi(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        expect: Option<TaskId>,
+        purpose: IpiPurpose,
+    ) {
+        let from = self.dispatcher.unwrap_or(0);
+        let mech = match self.plat.mech {
+            PreemptMechanism::UserIpi => {
+                // Go through the UINTR fabric so architectural stats stay
+                // faithful (the receiver was bound with PREEMPT_VECTOR).
+                if let Some(upid) = self.cores[core].upid {
+                    let _ = self.uintr.senduipi(UittEntry {
+                        upid,
+                        user_vec: PREEMPT_VECTOR,
+                    });
+                }
+                self.costs.user_ipi(from, core)
+            }
+            // Skyloft per-CPU platforms can still send cross-core user IPIs
+            // (wakeup preemption); the receiver descriptor is the timer
+            // UPID, so only the cost model is applied here.
+            PreemptMechanism::UserTimer { .. } => self.costs.user_ipi(from, core),
+            PreemptMechanism::PostedIpi => costs::POSTED_IPI,
+            PreemptMechanism::KernelIpi | PreemptMechanism::KernelTick { .. } => {
+                self.costs.kernel_ipi(from, core)
+            }
+            PreemptMechanism::Signal => self.costs.signal(from, core),
+            PreemptMechanism::None => return,
+        };
+        q.schedule_after(
+            mech.send_ns() + mech.delivery_ns(),
+            Event::IpiArrive {
+                core,
+                purpose,
+                expect,
+            },
+        );
+    }
+
+    fn on_segment_done(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
+        self.cores[core].done_token = None;
+        let t = self.cores[core]
+            .current
+            .expect("segment completion on idle core");
+        {
+            let task = self.tasks.get_mut(t);
+            task.total_ran += task.remaining;
+            task.remaining = Nanos::ZERO;
+        }
+        self.advance_task(q, core, Nanos::ZERO);
+    }
+
+    fn on_quantum_check(&mut self, q: &mut EventQueue<Event>, core: CoreId, task: TaskId) {
+        if self.cores[core].current != Some(task) {
+            return;
+        }
+        let now = q.now();
+        let ran = now.saturating_sub(self.cores[core].run_start);
+        if self
+            .policy
+            .sched_timer_tick(&mut self.tasks, core, task, ran, now)
+        {
+            self.stats.preemptions += 1;
+            self.send_preempt_ipi(q, core, Some(task), IpiPurpose::Preempt);
+        } else if let Some(quantum) = self.policy.quantum() {
+            q.schedule_after(quantum, Event::QuantumCheck { core, task });
+        }
+    }
+
+    fn on_core_alloc(&mut self, q: &mut EventQueue<Event>) {
+        let Some(cfg) = self.core_alloc else { return };
+        q.schedule_after(cfg.interval, Event::CoreAllocTick);
+        let Some(_be) = self.be_app else { return };
+        let now = q.now();
+        let delay = self.policy.queue_delay(&self.tasks, now);
+        let congested = delay.is_some_and(|d| d > cfg.congestion_delay);
+        if congested {
+            // Reclaim one BE core per decision (Shenango revokes
+            // incrementally).
+            for &core in &self.worker_cores.clone() {
+                let c = &self.cores[core];
+                if c.granted_to_be && !c.revoking {
+                    self.cores[core].revoking = true;
+                    self.cores[core].idle_checks = 0;
+                    self.send_preempt_ipi(q, core, None, IpiPurpose::Revoke);
+                    break;
+                }
+            }
+            for &core in &self.worker_cores.clone() {
+                self.cores[core].idle_checks = 0;
+            }
+        } else if self.policy.queue_len().unwrap_or(0) == 0 {
+            // Grant a persistently idle LC core to the BE app.
+            let mut granted = false;
+            for &core in &self.worker_cores.clone() {
+                let c = &mut self.cores[core];
+                if c.granted_to_be || !c.is_idle() {
+                    c.idle_checks = 0;
+                    continue;
+                }
+                c.idle_checks += 1;
+                if !granted && c.idle_checks >= cfg.grant_after_idle_checks {
+                    c.idle_checks = 0;
+                    c.granted_to_be = true;
+                    granted = true;
+                    self.stats.be_grants += 1;
+                    if let Some(be_task) = c.be_task {
+                        self.run_task(q, core, be_task, Nanos::ZERO);
+                    }
+                }
+            }
+        } else {
+            for &core in &self.worker_cores.clone() {
+                self.cores[core].idle_checks = 0;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling internals
+    // ------------------------------------------------------------------
+
+    /// Enqueues a runnable task and kicks the machinery that will run it.
+    fn enqueue_task(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        t: TaskId,
+        flags: EnqueueFlags,
+        hint: Option<CoreId>,
+    ) {
+        let now = q.now();
+        match self.policy.kind() {
+            PolicyKind::Centralized => {
+                self.policy
+                    .task_enqueue(&mut self.tasks, t, hint, flags, now);
+                self.dispatch(q);
+            }
+            PolicyKind::PerCpu => {
+                let cpu = self.pick_enqueue_cpu(t, hint);
+                self.policy
+                    .task_enqueue(&mut self.tasks, t, Some(cpu), flags, now);
+                if self.cores[cpu].is_idle() {
+                    self.cores[cpu].incoming = true;
+                    q.schedule_after(self.plat.wake_latency, Event::StartCore { core: cpu });
+                } else if flags == EnqueueFlags::Wakeup || flags == EnqueueFlags::New {
+                    // Wakeup preemption: ask the policy whether the woken
+                    // task should preempt the core it was queued on.
+                    if let Some(cur) = self.cores[cpu].current {
+                        let ran = now.saturating_sub(self.cores[cpu].run_start);
+                        if self
+                            .policy
+                            .check_wakeup_preempt(&self.tasks, t, cpu, cur, ran, now)
+                        {
+                            self.send_preempt_ipi(q, cpu, Some(cur), IpiPurpose::Preempt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Chooses the runqueue core for a per-CPU enqueue, mirroring Linux's
+    /// `select_task_rq`: an idle core if one exists (preferring the task's
+    /// previous core, then the waker's), otherwise the previous core for
+    /// cache affinity — critically *not* the waker's core, or every thread
+    /// a message thread wakes would pile onto the waker's one queue —
+    /// and round-robin for tasks that never ran.
+    fn pick_enqueue_cpu(&mut self, t: TaskId, hint: Option<CoreId>) -> CoreId {
+        let last = self.tasks.get(t).last_cpu;
+        for c in [last, hint].into_iter().flatten() {
+            if c < self.cores.len()
+                && self.cores[c].role == CoreRole::Worker
+                && self.cores[c].is_idle()
+            {
+                return c;
+            }
+        }
+        if let Some(&c) = self.worker_cores.iter().find(|&&c| self.cores[c].is_idle()) {
+            return c;
+        }
+        if let Some(c) = last {
+            if c < self.cores.len() && self.cores[c].role == CoreRole::Worker {
+                return c;
+            }
+        }
+        self.rr_cursor = (self.rr_cursor + 1) % self.worker_cores.len();
+        self.worker_cores[self.rr_cursor]
+    }
+
+    /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
+    fn dispatch(&mut self, q: &mut EventQueue<Event>) {
+        if self.policy.kind() != PolicyKind::Centralized {
+            return;
+        }
+        let idle: Vec<CoreId> = self
+            .worker_cores
+            .iter()
+            .copied()
+            .filter(|&c| self.cores[c].is_idle() && !self.cores[c].granted_to_be)
+            .collect();
+        if idle.is_empty() {
+            return;
+        }
+        let now = q.now();
+        let placements = self.policy.sched_poll(&mut self.tasks, &idle, now);
+        // Placements serialize on the dispatcher core.
+        let mut busy_until = self.dispatcher_free_at.max(now);
+        for (core, task) in placements {
+            debug_assert!(self.cores[core].is_idle());
+            self.cores[core].incoming = true;
+            busy_until += self.plat.dispatch_cost;
+            q.schedule(
+                busy_until + self.plat.dispatch_latency,
+                Event::PlaceTask { core, task },
+            );
+        }
+        self.dispatcher_free_at = busy_until;
+    }
+
+    /// The per-core main scheduling loop (§4.1's idle user thread).
+    fn schedule_loop(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
+        debug_assert!(self.cores[core].current.is_none());
+        if self.cores[core].granted_to_be {
+            if let Some(be) = self.cores[core].be_task {
+                if self.tasks.get(be).state == TaskState::Runnable {
+                    self.run_task(q, core, be, overhead);
+                    return;
+                }
+            }
+        }
+        match self.policy.kind() {
+            PolicyKind::Centralized => {
+                // Worker goes idle; the dispatcher will place work.
+                self.dispatch(q);
+            }
+            PolicyKind::PerCpu => {
+                let now = q.now();
+                let next = self
+                    .policy
+                    .task_dequeue(&mut self.tasks, core, now)
+                    .or_else(|| self.policy.sched_balance(&mut self.tasks, core, now));
+                if let Some(t) = next {
+                    self.run_task(q, core, t, overhead);
+                }
+            }
+        }
+    }
+
+    /// Switches to `t` on `core`, charging same-app or cross-app switch
+    /// costs, then begins executing it.
+    fn run_task(&mut self, q: &mut EventQueue<Event>, core: CoreId, t: TaskId, overhead: Nanos) {
+        let mut overhead = overhead;
+        let now = q.now();
+        debug_assert!(self.cores[core].current.is_none());
+        debug_assert_eq!(
+            self.tasks.get(t).state,
+            TaskState::Runnable,
+            "running a non-runnable task"
+        );
+        let app = self.tasks.get(t).app;
+        let cur_app = self.cores[core].cur_app;
+        if cur_app != Some(app) {
+            // Inter-application switch through the kernel module (§3.3).
+            if let Some(prev) = cur_app {
+                let cur_tid = self.cores[core].kthreads[prev];
+                let tgt_tid = self.cores[core].kthreads[app];
+                self.kmod
+                    .switch_to(cur_tid, tgt_tid)
+                    .expect("single binding rule upheld by construction");
+            }
+            overhead += self.plat.cross_app_switch;
+            self.stats.app_switches += 1;
+            self.cores[core].cur_app = Some(app);
+        } else {
+            overhead += self.plat.same_app_switch;
+            self.stats.uthread_switches += 1;
+        }
+        {
+            let task = self.tasks.get_mut(t);
+            if task.measure_wakeup {
+                task.measure_wakeup = false;
+                let lat = (now + overhead).saturating_sub(task.runnable_since);
+                self.stats.wakeup_hist.record(lat.0);
+            }
+            task.state = TaskState::Running;
+            task.last_cpu = Some(core);
+        }
+        let c = &mut self.cores[core];
+        c.current = Some(t);
+        c.incoming = false;
+        c.run_start = now;
+        c.busy_since = Some((now, app));
+        self.advance_task(q, core, overhead);
+    }
+
+    /// Steps the current task's behavior until it produces a compute
+    /// segment (scheduled as a `SegmentDone` event) or leaves the core.
+    fn advance_task(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
+        let mut overhead = overhead;
+        let now = q.now();
+        let t = self.cores[core].current.expect("advance on idle core");
+        let mut segment = self.tasks.get(t).remaining;
+        if segment == Nanos::ZERO {
+            let mut behavior = self
+                .tasks
+                .get_mut(t)
+                .behavior
+                .take()
+                .expect("task without behavior");
+            let mut steps = 0u32;
+            loop {
+                steps += 1;
+                assert!(steps < 10_000, "behavior produced 10k zero-time steps");
+                match behavior.step(now, t) {
+                    Step::Compute(d) if d > Nanos::ZERO => {
+                        segment = d;
+                        break;
+                    }
+                    Step::Compute(_) => continue,
+                    Step::Wake(target) => {
+                        overhead += self.plat.wake_cost;
+                        self.wake(q, target, Some(core));
+                    }
+                    Step::Yield => {
+                        self.tasks.get_mut(t).behavior = Some(behavior);
+                        self.stop_current(q, core, TaskState::Runnable);
+                        self.enqueue_task(q, t, EnqueueFlags::Yield, Some(core));
+                        self.schedule_loop(q, core, overhead);
+                        return;
+                    }
+                    Step::Block => {
+                        self.tasks.get_mut(t).behavior = Some(behavior);
+                        self.stop_current(q, core, TaskState::Blocked);
+                        self.policy.task_block(&mut self.tasks, t, core, now);
+                        self.schedule_loop(q, core, overhead);
+                        return;
+                    }
+                    Step::Exit => {
+                        drop(behavior);
+                        self.finish_current(q, core);
+                        self.schedule_loop(q, core, overhead);
+                        return;
+                    }
+                }
+            }
+            self.tasks.get_mut(t).behavior = Some(behavior);
+            self.tasks.get_mut(t).remaining = segment;
+        }
+        let end = now + overhead + segment;
+        let c = &mut self.cores[core];
+        c.seg_end = end;
+        debug_assert!(c.done_token.is_none());
+        c.done_token = Some(q.schedule(end, Event::SegmentDone { core }));
+        // Centralized quantum enforcement: the dispatcher watches this
+        // worker. BE spin tasks are managed by the core allocator, not the
+        // dispatcher, so they get no quantum checks.
+        if self.policy.kind() == PolicyKind::Centralized && Some(t) != self.cores[core].be_task {
+            if let Some(quantum) = self.policy.quantum() {
+                if segment > quantum {
+                    q.schedule(
+                        now + overhead + quantum,
+                        Event::QuantumCheck { core, task: t },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Removes the current task from the core (yield/block path), closing
+    /// busy accounting and cancelling the pending segment event.
+    fn stop_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, new_state: TaskState) {
+        let t = self.cores[core].current.take().expect("no current task");
+        if let Some(tok) = self.cores[core].done_token.take() {
+            q.cancel(tok);
+        }
+        self.close_busy(q.now(), core);
+        self.tasks.get_mut(t).state = new_state;
+    }
+
+    /// Preempts the current task: remaining work is recomputed from the
+    /// cancelled segment, the task re-enters the runqueue, and the core
+    /// reschedules after `overhead` (the interrupt-handler cost).
+    fn preempt_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
+        let now = q.now();
+        let t = self.cores[core].current.take().expect("preempt idle core");
+        if let Some(tok) = self.cores[core].done_token.take() {
+            q.cancel(tok);
+        }
+        self.close_busy(now, core);
+        let remaining = self.cores[core].seg_end.saturating_sub(now);
+        {
+            let task = self.tasks.get_mut(t);
+            let executed = task.remaining.saturating_sub(remaining);
+            task.total_ran += executed;
+            task.remaining = remaining;
+            task.state = TaskState::Runnable;
+            task.preempt_count += 1;
+            task.runnable_since = now;
+        }
+        // The §5.2 core allocator parks BE tasks instead of re-enqueueing
+        // them into the LC policy.
+        if Some(t) == self.cores[core].be_task {
+            self.schedule_loop(q, core, overhead);
+            return;
+        }
+        self.enqueue_task(q, t, EnqueueFlags::Preempted, Some(core));
+        if self.cores[core].current.is_none() {
+            self.schedule_loop(q, core, overhead);
+        }
+    }
+
+    /// Parks the machine-managed BE task on a revoked core.
+    fn park_be_task(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
+        let now = q.now();
+        let t = self.cores[core].current.take().expect("park idle core");
+        debug_assert_eq!(Some(t), self.cores[core].be_task);
+        if let Some(tok) = self.cores[core].done_token.take() {
+            q.cancel(tok);
+        }
+        self.close_busy(now, core);
+        let remaining = self.cores[core].seg_end.saturating_sub(now);
+        let task = self.tasks.get_mut(t);
+        task.remaining = remaining;
+        task.state = TaskState::Runnable;
+        task.preempt_count += 1;
+        self.schedule_loop(q, core, overhead);
+    }
+
+    /// Completes the current task: request accounting, policy teardown,
+    /// slot recycling, application liveness.
+    fn finish_current(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
+        let now = q.now();
+        let t = self.cores[core].current.take().expect("finish idle core");
+        self.close_busy(now, core);
+        if let Some(req) = self.tasks.get(t).req {
+            self.stats
+                .record_request(req.class, now - req.arrival, req.service);
+            self.stats.last_completion = now;
+        }
+        self.policy.task_terminate(&mut self.tasks, t, now);
+        let app = self.tasks.get(t).app;
+        self.apps[app].live_tasks -= 1;
+        self.tasks.remove(t);
+    }
+
+    fn close_busy(&mut self, now: Nanos, core: CoreId) {
+        if let Some((since, app)) = self.cores[core].busy_since.take() {
+            self.stats.busy_by_app[app] += now.saturating_sub(since).0;
+        }
+    }
+
+    /// Applies an extra delay (interrupt handler, tick processing) to the
+    /// currently running segment.
+    fn delay_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, cost: Nanos) {
+        if cost == Nanos::ZERO {
+            return;
+        }
+        let c = &mut self.cores[core];
+        let Some(tok) = c.done_token.take() else {
+            return;
+        };
+        q.cancel(tok);
+        c.seg_end += cost;
+        c.done_token = Some(q.schedule(c.seg_end, Event::SegmentDone { core }));
+    }
+}
+
+#[cfg(test)]
+mod tests;

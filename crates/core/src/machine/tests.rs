@@ -1,0 +1,409 @@
+//! Machine integration tests: preemption plumbing, multi-application
+//! switching, dispatcher behaviour, core allocation.
+
+use skyloft_hw::Topology;
+use skyloft_sim::{EventQueue, Nanos};
+
+use crate::builtin::{CentralizedFcfs, GlobalFifo};
+use crate::conf::{CoreAllocConfig, Platform};
+use crate::machine::{AppKind, Call, Event, Machine, MachineConfig, SpawnOpts};
+use crate::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use crate::task::{Behavior, Step, TaskId, TaskTable};
+
+fn percpu_machine(workers: usize, policy: Box<dyn Policy>) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(Topology::single(workers + 1), 100_000),
+        n_workers: workers,
+        seed: 42,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, policy);
+    m.add_app("app0", AppKind::Lc);
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    (m, q)
+}
+
+fn central_machine(
+    workers: usize,
+    quantum: Option<Nanos>,
+    core_alloc: Option<CoreAllocConfig>,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_centralized(Topology::single(workers + 1)),
+        n_workers: workers,
+        seed: 42,
+        core_alloc,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(CentralizedFcfs::new(quantum)));
+    m.add_app("lc", AppKind::Lc);
+    let q = EventQueue::new();
+    (m, q)
+}
+
+#[test]
+fn single_request_completes_with_latency() {
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    m.spawn_request(&mut q, 0, Nanos::from_us(10), 0, None);
+    m.run(&mut q, Nanos::from_ms(1));
+    assert_eq!(m.stats.completed, 1);
+    let p50 = m.stats.resp_hist.percentile(50.0);
+    // Response = wake latency (100) + switch (37) + 10us service.
+    assert!((10_100..10_600).contains(&p50), "response {p50}");
+}
+
+#[test]
+fn fifo_runs_to_completion_without_preemption() {
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    // A 1 ms task followed by a 10 us task: FIFO (no tick preemption) must
+    // finish the long one first even though timer interrupts fire.
+    m.spawn_request(&mut q, 0, Nanos::from_ms(1), 1, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(10), 0, None);
+    m.run(&mut q, Nanos::from_ms(5));
+    assert_eq!(m.stats.completed, 2);
+    // The short request waited behind the long one (head-of-line blocking).
+    let short_p50 = m.stats.resp_by_class[0].percentile(50.0);
+    assert!(
+        short_p50 > 1_000_000,
+        "short request should HoL-block: {short_p50}"
+    );
+    // Timer interrupts were delivered but caused no preemptions.
+    assert!(
+        m.stats.timer_delivered > 50,
+        "delivered {}",
+        m.stats.timer_delivered
+    );
+    assert_eq!(m.stats.timer_lost, 0);
+    assert_eq!(m.stats.preemptions, 0);
+}
+
+/// A per-CPU round-robin test policy with a tiny slice, to exercise the
+/// user-timer preemption path end to end.
+struct TinyRr {
+    queue: std::collections::VecDeque<TaskId>,
+    slice: Nanos,
+}
+
+impl Policy for TinyRr {
+    fn name(&self) -> &'static str {
+        "tiny-rr"
+    }
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+    fn sched_init(&mut self, _env: &SchedEnv) {}
+    fn task_init(&mut self, _t: &mut TaskTable, _id: TaskId, _now: Nanos) {}
+    fn task_terminate(&mut self, _t: &mut TaskTable, _id: TaskId, _now: Nanos) {}
+    fn task_enqueue(
+        &mut self,
+        _t: &mut TaskTable,
+        id: TaskId,
+        _cpu: Option<CoreId>,
+        _f: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        self.queue.push_back(id);
+    }
+    fn task_dequeue(&mut self, _t: &mut TaskTable, _cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+    fn sched_timer_tick(
+        &mut self,
+        _t: &mut TaskTable,
+        _cpu: CoreId,
+        _cur: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        ran >= self.slice && !self.queue.is_empty()
+    }
+}
+
+#[test]
+fn user_timer_preemption_round_robins() {
+    let (mut m, mut q) = percpu_machine(
+        1,
+        Box::new(TinyRr {
+            queue: Default::default(),
+            slice: Nanos::from_us(20),
+        }),
+    );
+    // Two 200 us tasks on one core with a 20 us slice @ 100 kHz (10 us
+    // ticks): they must interleave, so both finish near 400 us rather than
+    // one at 200 us and the other at 400 us.
+    m.spawn_request(&mut q, 0, Nanos::from_us(200), 0, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(200), 1, None);
+    m.run(&mut q, Nanos::from_ms(2));
+    assert_eq!(m.stats.completed, 2);
+    assert!(
+        m.stats.preemptions >= 8,
+        "preemptions {}",
+        m.stats.preemptions
+    );
+    let a = m.stats.resp_by_class[0].percentile(50.0);
+    let b = m.stats.resp_by_class[1].percentile(50.0);
+    // Processor sharing: both completions land in the last quarter.
+    assert!(a > 300_000, "first task response {a}");
+    assert!(b > 300_000, "second task response {b}");
+    // The UINTR timer path stayed armed the whole time.
+    assert_eq!(m.stats.timer_lost, 0);
+    assert!(m.uintr.stats.recognized > 0);
+}
+
+struct WakerThenBlock {
+    target: TaskId,
+    woke: bool,
+}
+
+impl Behavior for WakerThenBlock {
+    fn step(&mut self, _now: Nanos, _id: TaskId) -> Step {
+        if !self.woke {
+            self.woke = true;
+            Step::Wake(self.target)
+        } else {
+            Step::Exit
+        }
+    }
+}
+
+struct BlockOnce {
+    blocked: bool,
+}
+
+impl Behavior for BlockOnce {
+    fn step(&mut self, _now: Nanos, _id: TaskId) -> Step {
+        if !self.blocked {
+            self.blocked = true;
+            Step::Block
+        } else {
+            Step::Exit
+        }
+    }
+}
+
+#[test]
+fn wakeup_latency_is_recorded() {
+    let (mut m, mut q) = percpu_machine(2, Box::new(GlobalFifo::new()));
+    let sleeper = m.spawn(
+        &mut q,
+        Box::new(BlockOnce { blocked: false }),
+        SpawnOpts::app(0),
+    );
+    // Let the sleeper run and block.
+    m.run(&mut q, Nanos::from_us(50));
+    // Waker wakes it from another task.
+    m.spawn(
+        &mut q,
+        Box::new(WakerThenBlock {
+            target: sleeper,
+            woke: false,
+        }),
+        SpawnOpts::app(0),
+    );
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.stats.wakeup_hist.count() >= 1);
+    let p99 = m.stats.wakeup_hist.percentile(99.0);
+    // Idle core available: wakeup latency ~ wake_latency + switch.
+    assert!(p99 < 1_000, "wakeup latency {p99}");
+    assert_eq!(m.apps[0].live_tasks, 0);
+}
+
+#[test]
+fn cross_app_switch_goes_through_kmod() {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(Topology::single(2), 100_000),
+        n_workers: 1,
+        seed: 7,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+    m.add_app("a", AppKind::Lc);
+    m.add_app("b", AppKind::Lc);
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    m.spawn_request(&mut q, 0, Nanos::from_us(5), 0, None);
+    m.spawn_request(&mut q, 1, Nanos::from_us(5), 0, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(5), 0, None);
+    m.run(&mut q, Nanos::from_ms(1));
+    assert_eq!(m.stats.completed, 3);
+    // a -> b -> a: two inter-application switches, both via the module.
+    assert_eq!(m.stats.app_switches, 2);
+    assert_eq!(m.kmod.stats.switches, 2);
+    m.kmod.check_binding_rule().unwrap();
+    // Cross-app switches are ~50x costlier than same-app ones.
+    assert_eq!(m.plat.cross_app_switch, Nanos(1_905));
+}
+
+#[test]
+fn centralized_dispatch_and_quantum_preemption() {
+    let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(30)), None);
+    m.start(&mut q);
+    // One long (10 ms) and many short (4 us) requests: with a 30 us
+    // quantum the shorts must not wait for the long request.
+    m.spawn_request(&mut q, 0, Nanos::from_ms(10), 1, None);
+    m.spawn_request(&mut q, 0, Nanos::from_ms(10), 1, None);
+    for _ in 0..50 {
+        m.spawn_request(&mut q, 0, Nanos::from_us(4), 0, None);
+    }
+    m.run(&mut q, Nanos::from_ms(60));
+    assert_eq!(m.stats.completed, 52);
+    let short_p99 = m.stats.resp_by_class[0].percentile(99.0);
+    // 50 shorts sharing slots with two preempted longs: worst case a few
+    // hundred us, not 10 ms.
+    assert!(short_p99 < 2_000_000, "short p99 {short_p99}");
+    // FCFS re-enqueues preempted longs at the back, so each long is
+    // preempted once while shorts drain, then runs out its quantum checks
+    // against an empty queue.
+    assert!(
+        m.stats.preemptions >= 2,
+        "preemptions {}",
+        m.stats.preemptions
+    );
+}
+
+#[test]
+fn centralized_without_quantum_hol_blocks() {
+    let (mut m, mut q) = central_machine(1, None, None);
+    m.start(&mut q);
+    m.spawn_request(&mut q, 0, Nanos::from_ms(10), 1, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(4), 0, None);
+    m.run(&mut q, Nanos::from_ms(30));
+    assert_eq!(m.stats.completed, 2);
+    let short = m.stats.resp_by_class[0].percentile(50.0);
+    assert!(short > 9_000_000, "short blocked behind long: {short}");
+    assert_eq!(m.stats.preemptions, 0);
+}
+
+#[test]
+fn core_allocator_grants_and_revokes() {
+    let alloc = CoreAllocConfig {
+        interval: Nanos::from_us(5),
+        congestion_delay: Nanos::from_us(10),
+        grant_after_idle_checks: 2,
+    };
+    let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(30)), Some(alloc));
+    let be = m.add_app("batch", AppKind::Be);
+    m.start(&mut q);
+    // Idle LC: the allocator must grant cores to the BE app.
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.stats.be_grants >= 1, "grants {}", m.stats.be_grants);
+    let be_busy_at_idle = m.busy_ns(be, q.now());
+    assert!(be_busy_at_idle > 0, "BE app should have run");
+
+    // Now flood the LC app; the allocator must revoke cores back.
+    for _ in 0..500 {
+        m.spawn_request(&mut q, 0, Nanos::from_us(100), 0, None);
+    }
+    m.run(&mut q, Nanos::from_ms(60));
+    assert!(m.stats.be_revokes >= 1, "revokes {}", m.stats.be_revokes);
+    assert!(m.stats.completed >= 500, "completed {}", m.stats.completed);
+    m.kmod.check_binding_rule().unwrap();
+}
+
+#[test]
+fn be_share_tracks_lc_load() {
+    let alloc = CoreAllocConfig::default();
+    let (mut m, mut q) = central_machine(4, Some(Nanos::from_us(30)), Some(alloc));
+    m.add_app("batch", AppKind::Be);
+    m.start(&mut q);
+    m.run(&mut q, Nanos::from_ms(2));
+    m.reset_stats(q.now());
+    m.run(&mut q, Nanos::from_ms(10));
+    let share_idle = m.app_share(1, q.now());
+    assert!(
+        share_idle > 0.8,
+        "idle LC should cede most cores: {share_idle}"
+    );
+}
+
+#[test]
+fn call_events_run() {
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    q.schedule(
+        Nanos::from_us(5),
+        Event::Call(Call(Box::new(|m, q| {
+            m.spawn_request(q, 0, Nanos::from_us(1), 0, None);
+        }))),
+    );
+    m.run(&mut q, Nanos::from_ms(1));
+    assert_eq!(m.stats.completed, 1);
+}
+
+#[test]
+fn yield_rotates_between_tasks() {
+    struct YieldN {
+        left: u32,
+    }
+    impl Behavior for YieldN {
+        fn step(&mut self, _now: Nanos, _id: TaskId) -> Step {
+            if self.left == 0 {
+                return Step::Exit;
+            }
+            self.left -= 1;
+            if self.left % 2 == 1 {
+                Step::Compute(Nanos(500))
+            } else {
+                Step::Yield
+            }
+        }
+    }
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    m.spawn(&mut q, Box::new(YieldN { left: 10 }), SpawnOpts::app(0));
+    m.spawn(&mut q, Box::new(YieldN { left: 10 }), SpawnOpts::app(0));
+    m.run(&mut q, Nanos::from_ms(1));
+    assert_eq!(m.apps[0].live_tasks, 0);
+    // 5 yields each, all on the same core with same-app fast-path switches.
+    assert!(m.stats.uthread_switches >= 10);
+    assert_eq!(m.stats.app_switches, 0);
+}
+
+#[test]
+fn stats_reset_clears_but_keeps_busy_anchors() {
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    m.spawn_request(&mut q, 0, Nanos::from_ms(5), 0, None);
+    m.run(&mut q, Nanos::from_ms(1));
+    m.reset_stats(q.now());
+    assert_eq!(m.stats.completed, 0);
+    m.run(&mut q, Nanos::from_ms(10));
+    assert_eq!(m.stats.completed, 1);
+    // Busy time counted after reset must be ~4 ms, not 5.
+    let busy = m.stats.busy_by_app[0];
+    assert!((3_500_000..4_500_000).contains(&busy), "busy {busy}");
+}
+
+#[test]
+fn utimer_emulation_preempts_via_ipis() {
+    let mut plat = Platform::skyloft_centralized(Topology::single(3));
+    plat.mech = crate::conf::PreemptMechanism::UserIpi;
+    plat.dedicated_dispatcher = true;
+    let cfg = MachineConfig {
+        plat,
+        n_workers: 1,
+        seed: 9,
+        core_alloc: None,
+        utimer_period: Some(Nanos::from_us(5)),
+    };
+    // Per-CPU FIFO policy driven by utimer IPIs acting as ticks.
+    let mut m = Machine::new(
+        cfg,
+        Box::new(TinyRr {
+            queue: Default::default(),
+            slice: Nanos::from_us(5),
+        }),
+    );
+    m.add_app("a", AppKind::Lc);
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    m.spawn_request(&mut q, 0, Nanos::from_us(100), 0, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(100), 1, None);
+    m.run(&mut q, Nanos::from_ms(1));
+    assert_eq!(m.stats.completed, 2);
+    assert!(
+        m.stats.preemptions >= 4,
+        "preemptions {}",
+        m.stats.preemptions
+    );
+}

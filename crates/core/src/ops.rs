@@ -1,0 +1,243 @@
+//! The general scheduling operations (§3.4, Table 2).
+//!
+//! A scheduling policy implements [`Policy`]; the framework (the per-core
+//! main loops, the preemption handler of Listing 1, the multi-application
+//! switcher) calls these operations and never looks inside a policy's
+//! runqueues. Per-CPU policies implement `sched_timer_tick` +
+//! `sched_balance`; centralized policies implement `sched_poll` and are
+//! driven by a dispatcher core. This split is exactly Table 2's.
+
+use skyloft_sim::Nanos;
+
+use crate::task::{TaskId, TaskTable};
+
+/// Core index within the machine.
+pub type CoreId = usize;
+
+/// Why a task is being enqueued (the `flags` argument of `task_enqueue`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueFlags {
+    /// Newly created task.
+    New,
+    /// Task was just woken from a blocked state.
+    Wakeup,
+    /// Task was preempted (timer tick or dispatcher quantum).
+    Preempted,
+    /// Task voluntarily yielded.
+    Yield,
+}
+
+/// Whether a policy is per-CPU (Figure 2a) or centralized (Figure 2b).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyKind {
+    /// Per-CPU runqueues; preemption by CPU-local timer interrupts;
+    /// optional load balancing via `sched_balance`.
+    PerCpu,
+    /// Single global queue; a dedicated dispatcher core distributes tasks
+    /// via `sched_poll` and preempts workers by sending user IPIs.
+    Centralized,
+}
+
+/// Static description the framework reads once at `sched_init`.
+#[derive(Clone, Debug)]
+pub struct SchedEnv {
+    /// Worker cores this scheduler manages (excludes the dispatcher).
+    pub worker_cores: Vec<CoreId>,
+    /// The dispatcher core for centralized policies.
+    pub dispatcher: Option<CoreId>,
+}
+
+/// The Table 2 scheduling operations.
+///
+/// All operations receive the shared [`TaskTable`] (the paper's
+/// shared-memory task structures) and the current virtual time. Policies
+/// keep only `TaskId`s in their internal queues.
+pub trait Policy {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Per-CPU or centralized.
+    fn kind(&self) -> PolicyKind;
+
+    /// `sched_init`: initializes policy state for the given environment.
+    fn sched_init(&mut self, env: &SchedEnv);
+
+    /// `task_init`: initializes the policy-defined field of a new task.
+    fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos);
+
+    /// `task_terminate`: releases policy state for a finished task.
+    fn task_terminate(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos);
+
+    /// `task_enqueue`: puts a runnable task into a runqueue.
+    ///
+    /// `cpu_hint` is the core on which the enqueue happens (or the woken
+    /// task's preferred core); per-CPU policies choose the actual queue.
+    fn task_enqueue(
+        &mut self,
+        tasks: &mut TaskTable,
+        t: TaskId,
+        cpu_hint: Option<CoreId>,
+        flags: EnqueueFlags,
+        now: Nanos,
+    );
+
+    /// `task_dequeue`: selects and removes the next task to run on `cpu`.
+    fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, now: Nanos) -> Option<TaskId>;
+
+    /// `task_block`: the current task on `cpu` suspended itself.
+    fn task_block(&mut self, _tasks: &mut TaskTable, _t: TaskId, _cpu: CoreId, _now: Nanos) {}
+
+    /// `task_wakeup`: a blocked task becomes runnable. The default
+    /// delegates to `task_enqueue` with [`EnqueueFlags::Wakeup`], matching
+    /// Table 2's description ("wakes up the task and puts it back to the
+    /// runqueue").
+    fn task_wakeup(&mut self, tasks: &mut TaskTable, t: TaskId, hint: Option<CoreId>, now: Nanos) {
+        self.task_enqueue(tasks, t, hint, EnqueueFlags::Wakeup, now);
+    }
+
+    /// `sched_timer_tick`: called from the user-interrupt handler
+    /// (Listing 1). `ran` is how long the current task has run since it was
+    /// last scheduled. Returns `true` if the current task must be
+    /// preempted.
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _current: TaskId,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        false
+    }
+
+    /// `sched_balance`: per-CPU only; invoked on an idle core, may migrate
+    /// (steal) a task for `cpu` from another queue.
+    fn sched_balance(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        None
+    }
+
+    /// `sched_poll`: centralized only; the dispatcher distributes tasks
+    /// from the global queue to `idle_workers`. Returns the placements.
+    fn sched_poll(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _idle_workers: &[CoreId],
+        _now: Nanos,
+    ) -> Vec<(CoreId, TaskId)> {
+        Vec::new()
+    }
+
+    /// The preemption quantum for centralized policies; the dispatcher
+    /// checks running workers on this period. `None` disables preemption.
+    fn quantum(&self) -> Option<Nanos> {
+        None
+    }
+
+    /// Wakeup-preemption check (per-CPU policies): `woken` was enqueued on
+    /// `cpu` where `current` has been running for `ran`. Returning `true`
+    /// makes the framework send a rescheduling interrupt to `cpu` (CFS's
+    /// `check_preempt_wakeup` path).
+    fn check_wakeup_preempt(
+        &mut self,
+        _tasks: &TaskTable,
+        _woken: TaskId,
+        _cpu: CoreId,
+        _current: TaskId,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        false
+    }
+
+    /// Queueing delay of the oldest waiting task (centralized policies),
+    /// used by the core allocator's congestion check (§5.2). `None` when
+    /// the queue is empty or the policy does not track it.
+    fn queue_delay(&self, _tasks: &TaskTable, _now: Nanos) -> Option<Nanos> {
+        None
+    }
+
+    /// Number of queued (runnable, not running) tasks, if the policy can
+    /// report it cheaply. Used for congestion statistics.
+    fn queue_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial global-FIFO policy used to exercise trait defaults.
+    struct Fifo {
+        q: std::collections::VecDeque<TaskId>,
+    }
+
+    impl Policy for Fifo {
+        fn name(&self) -> &'static str {
+            "test-fifo"
+        }
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::PerCpu
+        }
+        fn sched_init(&mut self, _env: &SchedEnv) {}
+        fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+        fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+        fn task_enqueue(
+            &mut self,
+            _tasks: &mut TaskTable,
+            t: TaskId,
+            _cpu: Option<CoreId>,
+            _flags: EnqueueFlags,
+            _now: Nanos,
+        ) {
+            self.q.push_back(t);
+        }
+        fn task_dequeue(
+            &mut self,
+            _tasks: &mut TaskTable,
+            _cpu: CoreId,
+            _now: Nanos,
+        ) -> Option<TaskId> {
+            self.q.pop_front()
+        }
+    }
+
+    #[test]
+    fn default_wakeup_enqueues() {
+        use crate::task::Task;
+        let mut tasks = TaskTable::new();
+        let id = tasks.insert(|id| Task::bare(id, 0));
+        let mut p = Fifo {
+            q: Default::default(),
+        };
+        p.task_wakeup(&mut tasks, id, None, Nanos(5));
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos(6)), Some(id));
+    }
+
+    #[test]
+    fn defaults_are_inert() {
+        let mut p = Fifo {
+            q: Default::default(),
+        };
+        let mut tasks = TaskTable::new();
+        assert!(!p.sched_timer_tick(
+            &mut tasks,
+            0,
+            TaskId {
+                idx: 0,
+                generation: 0
+            },
+            Nanos(1),
+            Nanos(1)
+        ));
+        assert!(p.sched_balance(&mut tasks, 0, Nanos(1)).is_none());
+        assert!(p.sched_poll(&mut tasks, &[0], Nanos(1)).is_empty());
+        assert_eq!(p.quantum(), None);
+        assert_eq!(p.queue_delay(&tasks, Nanos(1)), None);
+    }
+}

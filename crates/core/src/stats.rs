@@ -1,0 +1,175 @@
+//! Machine-wide measurement state.
+
+use skyloft_metrics::Histogram;
+use skyloft_sim::Nanos;
+
+/// Number of request classes tracked separately (e.g. GET/SET or GET/SCAN).
+pub const MAX_CLASSES: usize = 4;
+
+/// Counters and histograms populated while the machine runs.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Wakeup latency: time from a task being woken to it first running
+    /// (schbench's metric, Figures 5–6).
+    pub wakeup_hist: Histogram,
+    /// Response latency of completed requests (arrival → completion).
+    pub resp_hist: Histogram,
+    /// Response latency split by request class.
+    pub resp_by_class: Vec<Histogram>,
+    /// Slowdown × 1000 (fixed point) split by request class (Figure 8b).
+    pub slowdown_by_class: Vec<Histogram>,
+    /// Slowdown × 1000 across all classes.
+    pub slowdown_hist: Histogram,
+    /// Completed request count.
+    pub completed: u64,
+    /// Preemptions performed (timer or IPI).
+    pub preemptions: u64,
+    /// Inter-application (kernel-module) switches.
+    pub app_switches: u64,
+    /// Same-application user-level switches.
+    pub uthread_switches: u64,
+    /// Timer interrupts delivered to user space.
+    pub timer_delivered: u64,
+    /// Timer interrupts lost to an un-armed PIR (§3.2 pitfall; should stay
+    /// zero when the framework arms correctly).
+    pub timer_lost: u64,
+    /// Preemption IPIs that arrived after their target had already left the
+    /// core.
+    pub spurious_ipis: u64,
+    /// Core-allocator grants of a core to the best-effort application.
+    pub be_grants: u64,
+    /// Core-allocator revocations back to the latency-critical application.
+    pub be_revokes: u64,
+    /// Busy nanoseconds per application, accumulated when tasks stop.
+    pub busy_by_app: Vec<u64>,
+    /// Time at which measurement (re)started.
+    pub since: Nanos,
+    /// Completion time of the most recent request.
+    pub last_completion: Nanos,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Stats {
+            wakeup_hist: Histogram::new(),
+            resp_hist: Histogram::new(),
+            resp_by_class: vec![Histogram::new(); MAX_CLASSES],
+            slowdown_by_class: vec![Histogram::new(); MAX_CLASSES],
+            slowdown_hist: Histogram::new(),
+            completed: 0,
+            preemptions: 0,
+            app_switches: 0,
+            uthread_switches: 0,
+            timer_delivered: 0,
+            timer_lost: 0,
+            spurious_ipis: 0,
+            be_grants: 0,
+            be_revokes: 0,
+            busy_by_app: Vec::new(),
+            since: Nanos::ZERO,
+            last_completion: Nanos::ZERO,
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record_request(&mut self, class: u8, response: Nanos, service: Nanos) {
+        self.completed += 1;
+        self.resp_hist.record(response.0);
+        let c = (class as usize).min(MAX_CLASSES - 1);
+        self.resp_by_class[c].record(response.0);
+        let slow = (skyloft_metrics::slowdown(response.0, service.0) * 1000.0) as u64;
+        self.slowdown_by_class[c].record(slow);
+        self.slowdown_hist.record(slow);
+    }
+
+    /// Clears all measurements (warmup boundary), keeping `since` at `now`.
+    pub fn reset(&mut self, now: Nanos) {
+        let napps = self.busy_by_app.len();
+        *self = Stats::new();
+        self.busy_by_app = vec![0; napps];
+        self.since = now;
+    }
+
+    /// Achieved throughput in requests/second since the last reset.
+    pub fn achieved_rps(&self, now: Nanos) -> f64 {
+        let dt = (now - self.since).as_secs();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / dt
+        }
+    }
+
+    /// Busy share of application `app` over `n_cores` cores since the last
+    /// reset (Figure 7c's metric).
+    pub fn app_share(&self, app: usize, n_cores: usize, now: Nanos) -> f64 {
+        let dt = (now - self.since).0 as f64 * n_cores as f64;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.busy_by_app.get(app).copied().unwrap_or(0) as f64 / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_request_updates_class_and_slowdown() {
+        let mut s = Stats::new();
+        s.record_request(1, Nanos(2_000), Nanos(1_000));
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.resp_by_class[1].count(), 1);
+        assert_eq!(s.resp_by_class[0].count(), 0);
+        // Slowdown 2.0 stored as 2000.
+        let p = s.slowdown_by_class[1].percentile(50.0);
+        assert!((1_950..=2_050).contains(&p), "slowdown {p}");
+    }
+
+    #[test]
+    fn class_overflow_clamps() {
+        let mut s = Stats::new();
+        s.record_request(200, Nanos(10), Nanos(10));
+        assert_eq!(s.resp_by_class[MAX_CLASSES - 1].count(), 1);
+    }
+
+    #[test]
+    fn reset_preserves_app_slots_and_since() {
+        let mut s = Stats::new();
+        s.busy_by_app = vec![5, 6];
+        s.completed = 10;
+        s.reset(Nanos(1_000));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.busy_by_app, vec![0, 0]);
+        assert_eq!(s.since, Nanos(1_000));
+    }
+
+    #[test]
+    fn achieved_rps_math() {
+        let mut s = Stats::new();
+        s.since = Nanos::ZERO;
+        s.completed = 500;
+        let rps = s.achieved_rps(Nanos::from_secs(1));
+        assert!((rps - 500.0).abs() < 1e-9);
+        assert_eq!(s.achieved_rps(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn app_share_math() {
+        let mut s = Stats::new();
+        s.busy_by_app = vec![500_000_000, 250_000_000];
+        let share0 = s.app_share(0, 1, Nanos::from_secs(1));
+        assert!((share0 - 0.5).abs() < 1e-9);
+        let share1 = s.app_share(1, 2, Nanos::from_secs(1));
+        assert!((share1 - 0.125).abs() < 1e-9);
+        assert_eq!(s.app_share(5, 1, Nanos::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-core local APIC model: the periodic timer and IPI bookkeeping.
+//!
+//! Skyloft programs the LAPIC timer at up to 100 kHz (Table 5) and receives
+//! the resulting interrupts in user space via the UINTR delegation of §3.2.
+//! The APIC model only holds configuration; the event orchestrator in
+//! `skyloft-core` schedules the actual timer-fire events from
+//! [`TimerConfig::period`].
+
+use skyloft_sim::Nanos;
+
+use crate::CoreId;
+
+/// Configuration of one core's LAPIC timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerConfig {
+    /// Periodic frequency in Hz; 0 disables the timer.
+    pub hz: u64,
+    /// Interrupt vector raised on expiry.
+    pub vector: u8,
+    /// Whether the timer is running.
+    pub enabled: bool,
+}
+
+impl TimerConfig {
+    /// A disabled timer.
+    pub const fn disabled(vector: u8) -> Self {
+        TimerConfig {
+            hz: 0,
+            vector,
+            enabled: false,
+        }
+    }
+
+    /// The timer period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timer frequency is zero.
+    pub fn period(&self) -> Nanos {
+        assert!(self.hz > 0, "period of a disabled timer");
+        Nanos(1_000_000_000 / self.hz)
+    }
+}
+
+/// The machine's local APICs (one timer per core).
+#[derive(Clone, Debug)]
+pub struct Apic {
+    timers: Vec<TimerConfig>,
+}
+
+/// Default timer vector used by the Skyloft configuration (arbitrary high
+/// vector, matching the style of the Linux LAPIC timer vector 0xec).
+pub const TIMER_VECTOR: u8 = 0xec;
+
+impl Apic {
+    /// Creates APICs for `n_cores` cores with disabled timers.
+    pub fn new(n_cores: usize) -> Self {
+        Apic {
+            timers: vec![TimerConfig::disabled(TIMER_VECTOR); n_cores],
+        }
+    }
+
+    /// The timer configuration of a core.
+    pub fn timer(&self, core: CoreId) -> TimerConfig {
+        self.timers[core]
+    }
+
+    /// Sets the timer frequency of a core (the kernel-module
+    /// `skyloft_timer_set_hz` lands here).
+    pub fn set_hz(&mut self, core: CoreId, hz: u64) {
+        self.timers[core].hz = hz;
+    }
+
+    /// Enables or disables the periodic timer of a core.
+    pub fn set_enabled(&mut self, core: CoreId, enabled: bool) {
+        self.timers[core].enabled = enabled;
+    }
+
+    /// Whether the core's timer is enabled with a nonzero frequency.
+    pub fn timer_active(&self, core: CoreId) -> bool {
+        let t = self.timers[core];
+        t.enabled && t.hz > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_100khz_is_10us() {
+        let t = TimerConfig {
+            hz: 100_000,
+            vector: TIMER_VECTOR,
+            enabled: true,
+        };
+        assert_eq!(t.period(), Nanos::from_us(10));
+    }
+
+    #[test]
+    fn period_of_linux_250hz() {
+        let t = TimerConfig {
+            hz: 250,
+            vector: TIMER_VECTOR,
+            enabled: true,
+        };
+        assert_eq!(t.period(), Nanos::from_ms(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "period of a disabled timer")]
+    fn zero_hz_period_panics() {
+        TimerConfig::disabled(0).period();
+    }
+
+    #[test]
+    fn enable_and_configure() {
+        let mut a = Apic::new(2);
+        assert!(!a.timer_active(0));
+        a.set_hz(0, 1000);
+        assert!(!a.timer_active(0), "hz alone does not enable");
+        a.set_enabled(0, true);
+        assert!(a.timer_active(0));
+        assert!(!a.timer_active(1));
+        assert_eq!(a.timer(0).period(), Nanos::from_ms(1));
+    }
+}

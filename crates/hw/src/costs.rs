@@ -1,0 +1,244 @@
+//! Calibrated cost model.
+//!
+//! Every latency constant in the simulation comes from a measurement
+//! published in the paper, or, where the paper gives none, from the cited
+//! system's own publication — each such estimate is marked `ESTIMATE` with
+//! its provenance. Mechanism costs are in cycles at the testbed's 2.0 GHz
+//! (Table 6); switching and threading costs are in nanoseconds (Table 7,
+//! §5.4).
+//!
+//! A mechanism cost has three components, matching Table 6's columns:
+//!
+//! * `send` — cycles the *sender* spends issuing the notification,
+//! * `receive` — cycles the *receiver* spends around the handler (context
+//!   save/restore, kernel entries where applicable),
+//! * `delivery` — latency from the send completing to the receiver's
+//!   handler starting.
+
+use skyloft_sim::{Cycles, Nanos};
+
+use crate::{CoreId, Topology};
+
+/// Cost triple of a preemption/notification mechanism (Table 6 columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MechCost {
+    /// Sender-side cycles.
+    pub send: Cycles,
+    /// Receiver-side handling cycles (context save/restore included).
+    pub receive: Cycles,
+    /// Wire latency from send to handler start, in cycles.
+    pub delivery: Cycles,
+}
+
+impl MechCost {
+    /// Sender-side time.
+    pub fn send_ns(&self) -> Nanos {
+        self.send.to_nanos()
+    }
+
+    /// Receiver-side handling time.
+    pub fn receive_ns(&self) -> Nanos {
+        self.receive.to_nanos()
+    }
+
+    /// Delivery latency.
+    pub fn delivery_ns(&self) -> Nanos {
+        self.delivery.to_nanos()
+    }
+
+    /// Total time from the sender issuing the notification to the
+    /// receiver's handler having completed its entry overhead.
+    pub fn end_to_end_ns(&self) -> Nanos {
+        self.delivery.to_nanos() + self.receive.to_nanos()
+    }
+}
+
+/// Linux signal (Table 6 row 1).
+pub const SIGNAL: MechCost = MechCost {
+    send: Cycles(1_224),
+    receive: Cycles(6_359),
+    delivery: Cycles(5_274),
+};
+
+/// Kernel IPI, e.g. ghOSt's preemption path (Table 6 row 2).
+pub const KERNEL_IPI: MechCost = MechCost {
+    send: Cycles(437),
+    receive: Cycles(1_582),
+    delivery: Cycles(1_345),
+};
+
+/// User IPI within a socket (Table 6 row 3).
+pub const USER_IPI: MechCost = MechCost {
+    send: Cycles(167),
+    receive: Cycles(661),
+    delivery: Cycles(1_211),
+};
+
+/// User IPI across NUMA nodes (Table 6 row 4).
+pub const USER_IPI_XNUMA: MechCost = MechCost {
+    send: Cycles(178),
+    receive: Cycles(883),
+    delivery: Cycles(1_782),
+};
+
+/// Receiver cost of a `setitimer` signal-based timer (Table 6 row 5).
+pub const SETITIMER_RECEIVE: Cycles = Cycles(5_057);
+
+/// Receiver cost of a delegated user timer interrupt (Table 6 row 6).
+pub const USER_TIMER_RECEIVE: Cycles = Cycles(642);
+
+/// Cost of the `SENDUIPI` with `UPID.SN = 1` the handler executes to re-arm
+/// timer delegation (§5.4: "approximately 123 cycles").
+pub const SENDUIPI_SN: Cycles = Cycles(123);
+
+/// ESTIMATE — Shinjuku-style posted interrupt via VT-x (Dune). The paper
+/// only states Shinjuku's mechanism is "low-overhead" and performs close to
+/// user IPIs (§5.2); the Shinjuku paper (NSDI'19 §5.1) reports a ~1.2 μs
+/// preemption overhead. We model it as slightly costlier than a user IPI.
+pub const POSTED_IPI: MechCost = MechCost {
+    send: Cycles(250),
+    receive: Cycles(900),
+    delivery: Cycles(1_500),
+};
+
+/// Switching and scheduling-path costs (nanoseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchCost;
+
+impl SwitchCost {
+    /// User-level thread switch within one application — the Skyloft yield
+    /// fast path (Table 7: 37 ns).
+    pub const UTHREAD_SWITCH: Nanos = Nanos(37);
+    /// Skyloft user-level thread creation (Table 7: 191 ns).
+    pub const UTHREAD_SPAWN: Nanos = Nanos(191);
+    /// Skyloft condvar wake (Table 7: 86 ns); doubles as the user-space
+    /// wakeup fast path.
+    pub const UTHREAD_WAKE: Nanos = Nanos(86);
+    /// Skyloft inter-application switch through the kernel module
+    /// (§5.4: 1905 ns).
+    pub const INTER_APP_SWITCH: Nanos = Nanos(1_905);
+    /// Linux kernel-thread switch, both runnable (§5.4: 1124 ns).
+    pub const LINUX_SWITCH_RUNNABLE: Nanos = Nanos(1_124);
+    /// Linux switch where one thread wakes another (§5.4: 2471 ns).
+    pub const LINUX_SWITCH_WAKEUP: Nanos = Nanos(2_471);
+    /// pthread context switch / yield (Table 7: 898 ns).
+    pub const PTHREAD_YIELD: Nanos = Nanos(898);
+    /// pthread spawn (Table 7: 15418 ns).
+    pub const PTHREAD_SPAWN: Nanos = Nanos(15_418);
+    /// pthread condvar signal+wake path (Table 7: 2532 ns).
+    pub const PTHREAD_CONDVAR: Nanos = Nanos(2_532);
+}
+
+/// ESTIMATE — ghOSt scheduling-path costs, calibrated from the ghOSt paper
+/// (SOSP'21 §4: ~5 μs global-agent scheduling latency, kernel↔agent message
+/// queues, transaction commits) and from this paper's observation that
+/// ghOSt's low-load p99 is ~3× Skyloft's (§5.2).
+#[derive(Clone, Copy, Debug)]
+pub struct GhostCost;
+
+impl GhostCost {
+    /// Latency for a kernel message (task wakeup/new) to reach the agent.
+    pub const MESSAGE_TO_AGENT: Nanos = Nanos(1_800);
+    /// Agent decision + transaction commit for one placement. This is
+    /// serialized on the global agent core, making it ghOSt's throughput
+    /// ceiling under Shinjuku-style redispatching (§5.2's 80.1%).
+    pub const TXN_COMMIT: Nanos = Nanos(1_050);
+    /// Kernel-side context-switch work to install the chosen thread,
+    /// in addition to the `KERNEL_IPI` mechanism cost.
+    pub const INSTALL_THREAD: Nanos = Nanos(2_000);
+}
+
+/// Cost model façade: picks the right mechanism variant for a core pair.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    topo: Topology,
+}
+
+impl CostModel {
+    /// Creates a cost model over a topology.
+    pub fn new(topo: Topology) -> Self {
+        CostModel { topo }
+    }
+
+    /// The topology this model uses.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// User-IPI cost between two cores (NUMA-aware, Table 6 rows 3–4).
+    pub fn user_ipi(&self, from: CoreId, to: CoreId) -> MechCost {
+        if self.topo.cross_numa(from, to) {
+            USER_IPI_XNUMA
+        } else {
+            USER_IPI
+        }
+    }
+
+    /// Kernel-IPI cost between two cores. Table 6 measured same-socket
+    /// kernel IPIs; we apply the same cross-NUMA delivery inflation ratio
+    /// observed for user IPIs (~1.47×) to the delivery component.
+    pub fn kernel_ipi(&self, from: CoreId, to: CoreId) -> MechCost {
+        if self.topo.cross_numa(from, to) {
+            MechCost {
+                delivery: Cycles(KERNEL_IPI.delivery.0 * 147 / 100),
+                ..KERNEL_IPI
+            }
+        } else {
+            KERNEL_IPI
+        }
+    }
+
+    /// Signal cost between two cores (NUMA effects are dwarfed by the
+    /// kernel path, so a single row is used, as in Table 6).
+    pub fn signal(&self, _from: CoreId, _to: CoreId) -> MechCost {
+        SIGNAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_values_in_ns() {
+        // Cross-check the cycle→ns conversion against the paper's clock.
+        assert_eq!(USER_IPI.send_ns(), Nanos(84)); // 167 cy @ 2 GHz
+        assert_eq!(SIGNAL.receive_ns(), Nanos(3_180));
+        assert_eq!(KERNEL_IPI.delivery_ns(), Nanos(673));
+        assert_eq!(USER_TIMER_RECEIVE.to_nanos(), Nanos(321));
+    }
+
+    #[test]
+    fn mechanism_ordering_matches_table6() {
+        // Signal is the most expensive on every column; user IPI the
+        // cheapest to send and receive.
+        assert!(SIGNAL.send > KERNEL_IPI.send);
+        assert!(KERNEL_IPI.send > USER_IPI.send);
+        assert!(SIGNAL.receive > KERNEL_IPI.receive);
+        assert!(KERNEL_IPI.receive > USER_IPI.receive);
+        assert!(SIGNAL.delivery > KERNEL_IPI.delivery);
+        assert!(KERNEL_IPI.delivery > USER_IPI.delivery);
+        // Timers: user timer receive beats even the user-IPI receive path
+        // (§5.4), and setitimer is close to the signal path.
+        assert!(USER_TIMER_RECEIVE < USER_IPI.receive);
+        assert!(SETITIMER_RECEIVE > KERNEL_IPI.receive);
+    }
+
+    #[test]
+    fn numa_selects_cross_socket_costs() {
+        let m = CostModel::new(Topology::PAPER_SERVER);
+        assert_eq!(m.user_ipi(0, 1), USER_IPI);
+        assert_eq!(m.user_ipi(0, 24), USER_IPI_XNUMA);
+        assert!(m.kernel_ipi(0, 24).delivery > m.kernel_ipi(0, 1).delivery);
+    }
+
+    #[test]
+    fn end_to_end_is_delivery_plus_receive() {
+        let c = USER_IPI;
+        assert_eq!(c.end_to_end_ns(), c.delivery_ns() + c.receive_ns());
+        // Paper §1: "preemption overhead is 0.6 μs from sending an interrupt
+        // on one core to handling the interrupt on another" — delivery (606
+        // ns) matches.
+        assert_eq!(c.delivery_ns(), Nanos(606));
+    }
+}

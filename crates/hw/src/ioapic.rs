@@ -1,0 +1,196 @@
+//! Peripheral-interrupt delegation (§6 "Peripheral interrupts").
+//!
+//! Skyloft's timer-delegation mechanism generalizes: any interrupt whose
+//! vector is programmed into a core's `UINV` — an external interrupt
+//! routed through the I/O APIC, or a device MSI targeting the local APIC —
+//! is recognized as a user interrupt, provided the PIR is kept armed with
+//! the SN-self-post trick. That enables interrupt-driven kernel-bypass
+//! drivers with neither polling nor kernel signaling.
+//!
+//! This module models the routing half: redirection-table entries for
+//! IRQ lines (I/O APIC) and MSI vectors (device → LAPIC), both resolving
+//! to `(core, vector)` deliveries that feed
+//! [`crate::UintrFabric::on_interrupt_arrival`].
+
+use crate::CoreId;
+
+/// One redirection-table entry of the I/O APIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedirectionEntry {
+    /// Destination core.
+    pub dest: CoreId,
+    /// Vector raised at the destination.
+    pub vector: u8,
+    /// Masked entries deliver nothing.
+    pub masked: bool,
+}
+
+/// A delivery produced by a device event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Destination core.
+    pub core: CoreId,
+    /// Interrupt vector.
+    pub vector: u8,
+}
+
+/// I/O APIC with 24 IRQ lines (the classic count) plus an MSI table.
+#[derive(Clone, Debug)]
+pub struct IoApic {
+    redirection: Vec<Option<RedirectionEntry>>,
+    msi: Vec<Delivery>,
+}
+
+/// Number of IRQ lines.
+pub const N_IRQ_LINES: usize = 24;
+
+impl Default for IoApic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoApic {
+    /// Creates an I/O APIC with all lines masked and no MSI vectors.
+    pub fn new() -> Self {
+        IoApic {
+            redirection: vec![None; N_IRQ_LINES],
+            msi: Vec::new(),
+        }
+    }
+
+    /// Programs a redirection entry for an IRQ line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line index is out of range.
+    pub fn set_redirection(&mut self, line: usize, entry: RedirectionEntry) {
+        assert!(line < N_IRQ_LINES, "IRQ line out of range");
+        self.redirection[line] = Some(entry);
+    }
+
+    /// A device asserts an IRQ line; returns the delivery, if unmasked.
+    pub fn assert_irq(&self, line: usize) -> Option<Delivery> {
+        let e = self.redirection.get(line).copied().flatten()?;
+        if e.masked {
+            return None;
+        }
+        Some(Delivery {
+            core: e.dest,
+            vector: e.vector,
+        })
+    }
+
+    /// Allocates an MSI vector for a device (returns the MSI id).
+    pub fn alloc_msi(&mut self, core: CoreId, vector: u8) -> usize {
+        self.msi.push(Delivery { core, vector });
+        self.msi.len() - 1
+    }
+
+    /// A device signals its MSI.
+    pub fn signal_msi(&self, msi: usize) -> Delivery {
+        self.msi[msi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uintr::{Recognition, UittEntry};
+    use crate::UintrFabric;
+
+    const NIC_VECTOR: u8 = 0x31;
+
+    /// End-to-end §6 scenario: a NIC RX interrupt delegated to a
+    /// user-space driver through the same PIR-arming discipline as the
+    /// timer, with no polling and no kernel signal.
+    #[test]
+    fn nic_msi_delivered_to_user_space_driver() {
+        let mut ioapic = IoApic::new();
+        let mut fabric = UintrFabric::new(2);
+        // Driver thread on core 1 registers for the NIC vector.
+        let upid = fabric.alloc_upid(NIC_VECTOR, 1);
+        fabric.bind_receiver(1, upid, NIC_VECTOR);
+        fabric.set_user_mode(1, true);
+        fabric.set_sn(upid, true);
+        fabric.senduipi(UittEntry { upid, user_vec: 2 }); // arm the PIR
+        let msi = ioapic.alloc_msi(1, NIC_VECTOR);
+
+        // Packet arrives: the device signals its MSI.
+        let d = ioapic.signal_msi(msi);
+        assert_eq!(
+            d,
+            Delivery {
+                core: 1,
+                vector: NIC_VECTOR
+            }
+        );
+        assert_eq!(
+            fabric.on_interrupt_arrival(d.core, d.vector),
+            Recognition::Pending
+        );
+        assert!(fabric.deliverable(1));
+        let v = fabric.begin_delivery(1);
+        assert_eq!(v, 2);
+        // Handler re-arms for the next packet, as with timers.
+        fabric.senduipi(UittEntry { upid, user_vec: 2 });
+        fabric.uiret(1);
+        let d2 = ioapic.signal_msi(msi);
+        assert_eq!(
+            fabric.on_interrupt_arrival(d2.core, d2.vector),
+            Recognition::Pending
+        );
+    }
+
+    #[test]
+    fn unarmed_peripheral_interrupt_is_lost_like_timers() {
+        let mut ioapic = IoApic::new();
+        let mut fabric = UintrFabric::new(1);
+        let upid = fabric.alloc_upid(NIC_VECTOR, 0);
+        fabric.bind_receiver(0, upid, NIC_VECTOR);
+        fabric.set_user_mode(0, true);
+        ioapic.set_redirection(
+            5,
+            RedirectionEntry {
+                dest: 0,
+                vector: NIC_VECTOR,
+                masked: false,
+            },
+        );
+        let d = ioapic.assert_irq(5).expect("unmasked line");
+        // No SN-armed PIR: the device interrupt is lost, exactly the §3.2
+        // pitfall applied to peripherals.
+        assert_eq!(
+            fabric.on_interrupt_arrival(d.core, d.vector),
+            Recognition::Lost
+        );
+    }
+
+    #[test]
+    fn masked_lines_deliver_nothing() {
+        let mut ioapic = IoApic::new();
+        ioapic.set_redirection(
+            3,
+            RedirectionEntry {
+                dest: 0,
+                vector: 0x40,
+                masked: true,
+            },
+        );
+        assert_eq!(ioapic.assert_irq(3), None);
+        assert_eq!(ioapic.assert_irq(4), None, "unprogrammed line");
+    }
+
+    #[test]
+    #[should_panic(expected = "IRQ line out of range")]
+    fn bad_line_rejected() {
+        IoApic::new().set_redirection(
+            N_IRQ_LINES,
+            RedirectionEntry {
+                dest: 0,
+                vector: 1,
+                masked: false,
+            },
+        );
+    }
+}

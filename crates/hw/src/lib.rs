@@ -1,0 +1,32 @@
+//! Mechanistic model of the hardware Skyloft depends on.
+//!
+//! The paper's key enabling feature is Intel *User Interrupts* (UINTR,
+//! Sapphire Rapids). This crate models the architectural state and the state
+//! transitions of UINTR (§3.2 of the paper, chapter 7 of the Intel SDM
+//! volume 3A) together with the per-core local APIC timer, a two-socket NUMA
+//! topology, and a cost model calibrated from the paper's own measurements
+//! (Table 6, Table 7, §5.4).
+//!
+//! Real silicon is unavailable in this environment (the reproduction's
+//! hardware gate), so these models are driven by the discrete-event engine
+//! in `skyloft-sim`; see DESIGN.md §2 for the substitution argument. The
+//! models are *semantic*, not just cost tables: e.g. configuring `UINV` with
+//! the timer vector without arming the PIR loses the interrupt, exactly the
+//! pitfall §3.2 describes.
+
+#![warn(missing_docs)]
+
+pub mod apic;
+pub mod costs;
+pub mod ioapic;
+pub mod mpk;
+pub mod topo;
+pub mod uintr;
+
+pub use apic::{Apic, TimerConfig};
+pub use costs::{CostModel, MechCost};
+pub use topo::Topology;
+pub use uintr::{Recognition, SendOutcome, UintrFabric, UpidId};
+
+/// Identifies a logical CPU core.
+pub type CoreId = usize;

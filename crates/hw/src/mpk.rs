@@ -1,0 +1,217 @@
+//! Intel Memory Protection Keys (MPK) model — the §6 "shared memory
+//! protection" discussion.
+//!
+//! Skyloft's multi-application design shares scheduler state (runqueues,
+//! task metadata) across address spaces, which §6 identifies as a safety
+//! concern: a buggy or malicious application could tamper with scheduling
+//! decisions. The proposed mitigation is MPK: tag the shared scheduler
+//! pages with a protection key, and have a *guardian* trampoline set the
+//! PKRU access rights to read-only before entering application code and
+//! back to read-write when the scheduler runs.
+//!
+//! This module models the architecture: 16 keys, a per-core `PKRU`
+//! register with two bits per key (AD = access disable, WD = write
+//! disable), page→key tagging, and the `WRPKRU` instruction — including
+//! the §6 caveat that `WRPKRU` is unprivileged, so an application that
+//! *executes it* can lift the protection (the paper points at
+//! Hodor/ERIM-style binary scanning for that residual risk).
+
+use crate::CoreId;
+
+/// Number of protection keys (x86 MPK).
+pub const N_KEYS: usize = 16;
+
+/// Access rights for one key, as encoded in PKRU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeyRights {
+    /// AD=0, WD=0: full access.
+    ReadWrite,
+    /// AD=0, WD=1: read-only.
+    ReadOnly,
+    /// AD=1: no access.
+    None,
+}
+
+/// Outcome of a modelled memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// Access permitted.
+    Ok,
+    /// Protection-key fault (SIGSEGV with PKUERR on real hardware).
+    PkFault,
+}
+
+/// A per-core PKRU register.
+#[derive(Clone, Copy, Debug)]
+pub struct Pkru {
+    bits: u32,
+}
+
+impl Pkru {
+    /// All keys fully accessible (PKRU = 0).
+    pub const fn permissive() -> Pkru {
+        Pkru { bits: 0 }
+    }
+
+    /// Reads the rights for `key`.
+    pub fn rights(&self, key: usize) -> KeyRights {
+        assert!(key < N_KEYS, "protection key out of range");
+        let ad = self.bits >> (2 * key) & 1;
+        let wd = self.bits >> (2 * key + 1) & 1;
+        match (ad, wd) {
+            (1, _) => KeyRights::None,
+            (0, 1) => KeyRights::ReadOnly,
+            _ => KeyRights::ReadWrite,
+        }
+    }
+
+    /// `WRPKRU`: sets the rights for `key`. Unprivileged on real hardware —
+    /// which is exactly the residual risk §6 describes.
+    pub fn wrpkru(&mut self, key: usize, rights: KeyRights) {
+        assert!(key < N_KEYS, "protection key out of range");
+        let (ad, wd) = match rights {
+            KeyRights::ReadWrite => (0u32, 0u32),
+            KeyRights::ReadOnly => (0, 1),
+            KeyRights::None => (1, 0),
+        };
+        self.bits &= !(0b11 << (2 * key));
+        self.bits |= (wd << (2 * key + 1)) | (ad << (2 * key));
+    }
+
+    /// Raw register value.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+/// Machine MPK state: per-core PKRU plus page→key tags. Pages are modelled
+/// as abstract region ids rather than addresses.
+#[derive(Clone, Debug)]
+pub struct MpkDomain {
+    pkru: Vec<Pkru>,
+    region_keys: Vec<usize>,
+}
+
+/// The protection key Skyloft's guardian assigns to the shared scheduler
+/// region in this model.
+pub const SCHED_KEY: usize = 1;
+
+impl MpkDomain {
+    /// Creates state for `n_cores` cores and `n_regions` tagged regions
+    /// (all initially key 0 = default).
+    pub fn new(n_cores: usize, n_regions: usize) -> Self {
+        MpkDomain {
+            pkru: vec![Pkru::permissive(); n_cores],
+            region_keys: vec![0; n_regions],
+        }
+    }
+
+    /// Tags a region with a key (`pkey_mprotect`).
+    pub fn tag_region(&mut self, region: usize, key: usize) {
+        assert!(key < N_KEYS, "protection key out of range");
+        self.region_keys[region] = key;
+    }
+
+    /// The core executes `WRPKRU` to change its rights for `key`.
+    pub fn wrpkru(&mut self, core: CoreId, key: usize, rights: KeyRights) {
+        self.pkru[core].wrpkru(key, rights);
+    }
+
+    /// Checks a read of `region` from `core`.
+    pub fn read(&self, core: CoreId, region: usize) -> AccessOutcome {
+        match self.pkru[core].rights(self.region_keys[region]) {
+            KeyRights::None => AccessOutcome::PkFault,
+            _ => AccessOutcome::Ok,
+        }
+    }
+
+    /// Checks a write to `region` from `core`.
+    pub fn write(&self, core: CoreId, region: usize) -> AccessOutcome {
+        match self.pkru[core].rights(self.region_keys[region]) {
+            KeyRights::ReadWrite => AccessOutcome::Ok,
+            _ => AccessOutcome::PkFault,
+        }
+    }
+
+    /// The guardian entry sequence (§6): before jumping into application
+    /// code, drop the scheduler region to read-only.
+    pub fn guardian_enter_app(&mut self, core: CoreId) {
+        self.wrpkru(core, SCHED_KEY, KeyRights::ReadOnly);
+    }
+
+    /// The guardian exit sequence: back in scheduler code, restore write
+    /// access.
+    pub fn guardian_enter_sched(&mut self, core: CoreId) {
+        self.wrpkru(core, SCHED_KEY, KeyRights::ReadWrite);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARED_RQ: usize = 0;
+    const APP_HEAP: usize = 1;
+
+    fn domain() -> MpkDomain {
+        let mut d = MpkDomain::new(2, 2);
+        d.tag_region(SHARED_RQ, SCHED_KEY);
+        d
+    }
+
+    #[test]
+    fn pkru_encoding_round_trips() {
+        let mut p = Pkru::permissive();
+        for key in 0..N_KEYS {
+            for r in [KeyRights::ReadOnly, KeyRights::None, KeyRights::ReadWrite] {
+                p.wrpkru(key, r);
+                assert_eq!(p.rights(key), r, "key {key}");
+            }
+        }
+        assert_eq!(p.bits(), 0);
+    }
+
+    #[test]
+    fn guardian_blocks_app_writes_to_shared_runqueue() {
+        let mut d = domain();
+        // Scheduler context: full access.
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::Ok);
+        // Enter application: runqueue becomes read-only, app heap untouched.
+        d.guardian_enter_app(0);
+        assert_eq!(d.read(0, SHARED_RQ), AccessOutcome::Ok);
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::PkFault);
+        assert_eq!(d.write(0, APP_HEAP), AccessOutcome::Ok);
+        // Back in the scheduler: writes work again.
+        d.guardian_enter_sched(0);
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn protection_is_per_core() {
+        let mut d = domain();
+        d.guardian_enter_app(0);
+        // Core 1 is still in scheduler context.
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::PkFault);
+        assert_eq!(d.write(1, SHARED_RQ), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn wrpkru_is_unprivileged_the_residual_risk() {
+        // §6: "the application could potentially modify permissions using
+        // the WRPKRU instruction" — the model reflects that the protection
+        // is advisory against code that executes WRPKRU itself.
+        let mut d = domain();
+        d.guardian_enter_app(0);
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::PkFault);
+        d.wrpkru(0, SCHED_KEY, KeyRights::ReadWrite); // malicious app
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn access_disable_blocks_reads_too() {
+        let mut d = domain();
+        d.wrpkru(0, SCHED_KEY, KeyRights::None);
+        assert_eq!(d.read(0, SHARED_RQ), AccessOutcome::PkFault);
+        assert_eq!(d.write(0, SHARED_RQ), AccessOutcome::PkFault);
+    }
+}

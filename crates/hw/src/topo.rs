@@ -1,0 +1,89 @@
+//! Machine topology: sockets and core placement.
+//!
+//! The paper's testbed is a dual-socket machine with 24 cores per socket
+//! (Xeon Gold 5418Y). Cross-socket user IPIs have measurably higher
+//! delivery latency (Table 6), which the cost model keys off this topology.
+
+use crate::CoreId;
+
+/// A two-level topology: `sockets × cores_per_socket` cores, numbered
+/// socket-major (cores 0..cps on socket 0, and so on).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of sockets (NUMA nodes).
+    pub sockets: usize,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+}
+
+impl Topology {
+    /// The paper's testbed: 2 sockets × 24 cores.
+    pub const PAPER_SERVER: Topology = Topology {
+        sockets: 2,
+        cores_per_socket: 24,
+    };
+
+    /// A single-socket topology with `n` cores (unit tests, examples).
+    pub const fn single(n: usize) -> Topology {
+        Topology {
+            sockets: 1,
+            cores_per_socket: n,
+        }
+    }
+
+    /// Total core count.
+    pub const fn n_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Socket a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        assert!(core < self.n_cores(), "core {core} out of range");
+        core / self.cores_per_socket
+    }
+
+    /// Whether two cores are on different sockets.
+    pub fn cross_numa(&self, a: CoreId, b: CoreId) -> bool {
+        self.socket_of(a) != self.socket_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_server_counts() {
+        let t = Topology::PAPER_SERVER;
+        assert_eq!(t.n_cores(), 48);
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.socket_of(23), 0);
+        assert_eq!(t.socket_of(24), 1);
+        assert_eq!(t.socket_of(47), 1);
+    }
+
+    #[test]
+    fn cross_numa_detection() {
+        let t = Topology::PAPER_SERVER;
+        assert!(!t.cross_numa(0, 23));
+        assert!(t.cross_numa(0, 24));
+        assert!(!t.cross_numa(30, 40));
+    }
+
+    #[test]
+    fn single_socket_never_cross() {
+        let t = Topology::single(8);
+        assert_eq!(t.n_cores(), 8);
+        assert!(!t.cross_numa(0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        Topology::single(4).socket_of(4);
+    }
+}

@@ -1,0 +1,485 @@
+//! Architectural model of Intel User Interrupts (UINTR).
+//!
+//! State modelled per the Intel SDM and §3.2 of the paper:
+//!
+//! * **UPID** (User Posted-Interrupt Descriptor), one per receiver thread:
+//!   the `PIR` (Posted-Interrupt Requests, a 64-bit bitmap), the `ON`
+//!   (Outstanding Notification) and `SN` (Suppress Notification) control
+//!   bits, the notification vector `NV`, and the notification destination
+//!   `NDST` (the APIC id of the core the receiver runs on).
+//! * **UITT** (User-Interrupt Target Table), one per sender: each entry
+//!   names a receiver's UPID and a user vector (0..64).
+//! * Per-core receiver state: `UINV` (the vector the core recognizes as a
+//!   user-interrupt notification), `UIRR` (User-Interrupt Request Register,
+//!   the 64-bit pending bitmap), `UIF` (User-Interrupt Flag, the maskable
+//!   enable bit), the registered handler, and whether the core currently
+//!   executes in user mode.
+//!
+//! The three-phase pipeline of §3.2 — *identification* (vector == UINV),
+//! *processing* (PIR drained into UIRR), *delivery* (user mode and UIF set)
+//! — maps to [`UintrFabric::on_interrupt_arrival`],
+//! [`UintrFabric::deliverable`] and [`UintrFabric::begin_delivery`].
+//!
+//! The model reproduces the paper's central discovery mechanistically:
+//! pointing `UINV` at the LAPIC timer vector is *not* enough to get timer
+//! interrupts in user space, because a timer event does not write the PIR.
+//! The receiver must first execute `SENDUIPI` to itself with `SN` set so
+//! the PIR is non-empty when the timer fires, and the handler must re-arm
+//! the PIR the same way before returning (Listing 1 line 5). Tests at the
+//! bottom of this file pin down both the failure and the success path.
+
+use crate::CoreId;
+
+/// Handle to an allocated UPID.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct UpidId(pub usize);
+
+/// User Posted-Interrupt Descriptor.
+#[derive(Clone, Debug)]
+pub struct Upid {
+    /// Posted-Interrupt Requests: one bit per user vector.
+    pub pir: u64,
+    /// Outstanding Notification: a notification IPI is in flight or pending.
+    pub on: bool,
+    /// Suppress Notification: posting sets PIR but sends no IPI.
+    pub sn: bool,
+    /// Notification vector delivered to the destination core.
+    pub nv: u8,
+    /// Notification destination: core the receiver thread runs on.
+    pub ndst: CoreId,
+}
+
+/// One entry of a sender's User-Interrupt Target Table.
+#[derive(Clone, Copy, Debug)]
+pub struct UittEntry {
+    /// The receiver's UPID.
+    pub upid: UpidId,
+    /// User vector (0..64) to post.
+    pub user_vec: u8,
+}
+
+/// Per-core receiver-side state.
+#[derive(Clone, Debug, Default)]
+struct CoreUintr {
+    /// UINV: which notification vector this core treats as a user interrupt.
+    uinv: Option<u8>,
+    /// UIRR: pending user-interrupt vectors.
+    uirr: u64,
+    /// UIF: user interrupts enabled (STUI/CLUI; cleared during delivery).
+    uif: bool,
+    /// Whether a user-interrupt handler is registered (UIHANDLER MSR).
+    handler: bool,
+    /// UPID of the receiver context currently active on this core.
+    upid: Option<UpidId>,
+    /// Whether the core currently executes user code (delivery requires it).
+    user_mode: bool,
+}
+
+/// Result of executing `SENDUIPI`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendOutcome {
+    /// The PIR bit was set and a notification IPI must be delivered to the
+    /// destination core with the given vector.
+    Notify {
+        /// Destination core of the notification IPI.
+        dest: CoreId,
+        /// Notification vector (the receiver's `NV`).
+        vector: u8,
+    },
+    /// The PIR bit was set but no IPI is generated (`SN` set, or a
+    /// notification is already outstanding).
+    Suppressed,
+}
+
+/// Result of an interrupt arriving at a core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Recognition {
+    /// Vector did not match `UINV`: handled as a legacy (kernel) interrupt.
+    Legacy,
+    /// Vector matched `UINV` and draining the PIR left user interrupts
+    /// pending in the UIRR.
+    Pending,
+    /// Vector matched `UINV` but the PIR was empty, so no user interrupt is
+    /// recognized — the event is lost. This is the §3.2 pitfall for
+    /// hardware timer interrupts before the SN-self-IPI arming trick.
+    Lost,
+}
+
+/// Counters exposed for tests and the microbenchmark harness.
+#[derive(Clone, Debug, Default)]
+pub struct UintrStats {
+    /// `SENDUIPI` executions that generated a notification IPI.
+    pub notifications_sent: u64,
+    /// `SENDUIPI` executions that were suppressed (SN or ON).
+    pub sends_suppressed: u64,
+    /// Interrupts recognized with pending user vectors.
+    pub recognized: u64,
+    /// Interrupts that matched UINV but found an empty PIR (lost).
+    pub lost: u64,
+    /// User interrupts delivered to handlers.
+    pub delivered: u64,
+}
+
+/// The machine-wide UINTR state: all UPIDs plus per-core receiver state.
+#[derive(Clone, Debug)]
+pub struct UintrFabric {
+    upids: Vec<Upid>,
+    cores: Vec<CoreUintr>,
+    /// Event counters.
+    pub stats: UintrStats,
+}
+
+impl UintrFabric {
+    /// Creates the fabric for `n_cores` cores with no UPIDs allocated.
+    pub fn new(n_cores: usize) -> Self {
+        UintrFabric {
+            upids: Vec::new(),
+            cores: vec![CoreUintr::default(); n_cores],
+            stats: UintrStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Allocates a UPID for a receiver thread whose notifications target
+    /// `ndst` with vector `nv`.
+    pub fn alloc_upid(&mut self, nv: u8, ndst: CoreId) -> UpidId {
+        self.upids.push(Upid {
+            pir: 0,
+            on: false,
+            sn: false,
+            nv,
+            ndst,
+        });
+        UpidId(self.upids.len() - 1)
+    }
+
+    /// Read access to a UPID (tests, harness).
+    pub fn upid(&self, id: UpidId) -> &Upid {
+        &self.upids[id.0]
+    }
+
+    /// Sets or clears the Suppress-Notification bit of a UPID.
+    pub fn set_sn(&mut self, id: UpidId, sn: bool) {
+        self.upids[id.0].sn = sn;
+    }
+
+    /// Updates the notification destination when the receiver migrates.
+    pub fn set_ndst(&mut self, id: UpidId, ndst: CoreId) {
+        self.upids[id.0].ndst = ndst;
+    }
+
+    /// Binds a receiver context to a core: programs `UINV`, registers the
+    /// handler, attaches the UPID, and sets `UIF`.
+    pub fn bind_receiver(&mut self, core: CoreId, upid: UpidId, uinv: u8) {
+        let c = &mut self.cores[core];
+        c.uinv = Some(uinv);
+        c.handler = true;
+        c.upid = Some(upid);
+        c.uif = true;
+        self.upids[upid.0].ndst = core;
+    }
+
+    /// Detaches the receiver context from a core (e.g. application switch).
+    pub fn unbind_receiver(&mut self, core: CoreId) {
+        let c = &mut self.cores[core];
+        c.uinv = None;
+        c.handler = false;
+        c.upid = None;
+        c.uirr = 0;
+    }
+
+    /// Sets whether the core currently runs user code.
+    pub fn set_user_mode(&mut self, core: CoreId, user: bool) {
+        self.cores[core].user_mode = user;
+    }
+
+    /// STUI/CLUI: sets the User-Interrupt Flag.
+    pub fn set_uif(&mut self, core: CoreId, uif: bool) {
+        self.cores[core].uif = uif;
+    }
+
+    /// Returns the core's UIF.
+    pub fn uif(&self, core: CoreId) -> bool {
+        self.cores[core].uif
+    }
+
+    /// Returns the core's pending UIRR bitmap.
+    pub fn uirr(&self, core: CoreId) -> u64 {
+        self.cores[core].uirr
+    }
+
+    /// Executes `SENDUIPI` against a UITT entry.
+    ///
+    /// Sets the `user_vec` bit in the target UPID's PIR. If neither `SN` nor
+    /// `ON` is set, marks a notification outstanding and returns
+    /// [`SendOutcome::Notify`]; the caller (the event orchestrator) is
+    /// responsible for delivering the IPI to `dest` after the modelled wire
+    /// latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_vec` is 64 or larger (the UIRR holds 64 vectors).
+    pub fn senduipi(&mut self, entry: UittEntry) -> SendOutcome {
+        assert!(entry.user_vec < 64, "user vector out of range");
+        let upid = &mut self.upids[entry.upid.0];
+        upid.pir |= 1u64 << entry.user_vec;
+        if !upid.sn && !upid.on {
+            upid.on = true;
+            self.stats.notifications_sent += 1;
+            SendOutcome::Notify {
+                dest: upid.ndst,
+                vector: upid.nv,
+            }
+        } else {
+            self.stats.sends_suppressed += 1;
+            SendOutcome::Suppressed
+        }
+    }
+
+    /// An interrupt with `vector` arrives at `core` (notification IPI or a
+    /// hardware event such as the LAPIC timer).
+    ///
+    /// Implements identification and processing (§3.2): when the vector
+    /// matches `UINV`, the PIR of the core's active UPID is drained into the
+    /// UIRR and the outstanding-notification bit is cleared. When the PIR
+    /// was empty the event is **lost** — user-interrupt recognition found
+    /// nothing to post. Delivery is a separate step because it can only
+    /// happen once the core executes user code with `UIF` set.
+    pub fn on_interrupt_arrival(&mut self, core: CoreId, vector: u8) -> Recognition {
+        let c = &mut self.cores[core];
+        if c.uinv != Some(vector) || !c.handler {
+            return Recognition::Legacy;
+        }
+        let Some(upid_id) = c.upid else {
+            return Recognition::Legacy;
+        };
+        let upid = &mut self.upids[upid_id.0];
+        upid.on = false;
+        let pir = std::mem::take(&mut upid.pir);
+        if pir == 0 {
+            self.stats.lost += 1;
+            return Recognition::Lost;
+        }
+        c.uirr |= pir;
+        self.stats.recognized += 1;
+        Recognition::Pending
+    }
+
+    /// Whether a user interrupt can be delivered on `core` right now
+    /// (pending UIRR bits, user mode, and UIF set).
+    pub fn deliverable(&self, core: CoreId) -> bool {
+        let c = &self.cores[core];
+        c.uirr != 0 && c.user_mode && c.uif && c.handler
+    }
+
+    /// Delivers the highest-priority pending user interrupt: clears its UIRR
+    /// bit, clears `UIF` (the handler runs with user interrupts masked), and
+    /// returns the vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is deliverable; callers must check
+    /// [`Self::deliverable`] first.
+    pub fn begin_delivery(&mut self, core: CoreId) -> u8 {
+        assert!(self.deliverable(core), "no deliverable user interrupt");
+        let c = &mut self.cores[core];
+        let vec = 63 - c.uirr.leading_zeros() as u8;
+        c.uirr &= !(1u64 << vec);
+        c.uif = false;
+        self.stats.delivered += 1;
+        vec
+    }
+
+    /// `UIRET`: the handler returns; user interrupts are re-enabled.
+    pub fn uiret(&mut self, core: CoreId) {
+        self.cores[core].uif = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMER_VEC: u8 = 0xec;
+    const NV: u8 = 0xe1;
+
+    fn fabric_with_receiver(core: CoreId) -> (UintrFabric, UpidId) {
+        let mut f = UintrFabric::new(4);
+        let upid = f.alloc_upid(NV, core);
+        f.bind_receiver(core, upid, NV);
+        f.set_user_mode(core, true);
+        (f, upid)
+    }
+
+    #[test]
+    fn senduipi_notifies_once() {
+        let (mut f, upid) = fabric_with_receiver(1);
+        let e = UittEntry { upid, user_vec: 3 };
+        assert_eq!(
+            f.senduipi(e),
+            SendOutcome::Notify {
+                dest: 1,
+                vector: NV
+            }
+        );
+        // Second post while the first notification is outstanding: PIR
+        // updated, no second IPI.
+        assert_eq!(
+            f.senduipi(UittEntry { upid, user_vec: 5 }),
+            SendOutcome::Suppressed
+        );
+        assert_eq!(f.upid(upid).pir, (1 << 3) | (1 << 5));
+    }
+
+    #[test]
+    fn sn_suppresses_notification() {
+        let (mut f, upid) = fabric_with_receiver(0);
+        f.set_sn(upid, true);
+        assert_eq!(
+            f.senduipi(UittEntry { upid, user_vec: 0 }),
+            SendOutcome::Suppressed
+        );
+        assert_eq!(f.upid(upid).pir, 1);
+        assert!(!f.upid(upid).on, "SN posting must not mark ON");
+    }
+
+    #[test]
+    fn arrival_drains_pir_into_uirr() {
+        let (mut f, upid) = fabric_with_receiver(2);
+        f.senduipi(UittEntry { upid, user_vec: 7 });
+        assert_eq!(f.on_interrupt_arrival(2, NV), Recognition::Pending);
+        assert_eq!(f.uirr(2), 1 << 7);
+        assert_eq!(f.upid(upid).pir, 0);
+        assert!(!f.upid(upid).on);
+    }
+
+    #[test]
+    fn wrong_vector_is_legacy() {
+        let (mut f, upid) = fabric_with_receiver(2);
+        f.senduipi(UittEntry { upid, user_vec: 7 });
+        assert_eq!(f.on_interrupt_arrival(2, 0x20), Recognition::Legacy);
+        assert_eq!(f.uirr(2), 0);
+    }
+
+    #[test]
+    fn delivery_requires_user_mode_and_uif() {
+        let (mut f, upid) = fabric_with_receiver(0);
+        f.senduipi(UittEntry { upid, user_vec: 1 });
+        f.on_interrupt_arrival(0, NV);
+        assert!(f.deliverable(0));
+        f.set_user_mode(0, false);
+        assert!(!f.deliverable(0), "kernel mode blocks delivery");
+        f.set_user_mode(0, true);
+        f.set_uif(0, false);
+        assert!(!f.deliverable(0), "UIF clear blocks delivery");
+        f.set_uif(0, true);
+        let v = f.begin_delivery(0);
+        assert_eq!(v, 1);
+        assert!(!f.uif(0), "handler runs with UIF cleared");
+        f.uiret(0);
+        assert!(f.uif(0));
+    }
+
+    #[test]
+    fn delivery_priority_is_highest_vector() {
+        let (mut f, upid) = fabric_with_receiver(0);
+        for v in [2u8, 9, 5] {
+            f.senduipi(UittEntry { upid, user_vec: v });
+        }
+        f.on_interrupt_arrival(0, NV);
+        assert_eq!(f.begin_delivery(0), 9);
+        f.uiret(0);
+        assert_eq!(f.begin_delivery(0), 5);
+        f.uiret(0);
+        assert_eq!(f.begin_delivery(0), 2);
+    }
+
+    /// §3.2 pitfall: pointing UINV at the timer vector without arming the
+    /// PIR loses the timer interrupt.
+    #[test]
+    fn timer_without_sn_arming_is_lost() {
+        let mut f = UintrFabric::new(1);
+        let upid = f.alloc_upid(TIMER_VEC, 0);
+        f.bind_receiver(0, upid, TIMER_VEC);
+        f.set_user_mode(0, true);
+        // The LAPIC timer fires: vector matches UINV but the PIR is empty.
+        assert_eq!(f.on_interrupt_arrival(0, TIMER_VEC), Recognition::Lost);
+        assert!(!f.deliverable(0));
+        assert_eq!(f.stats.lost, 1);
+    }
+
+    /// §3.2 trick: a self-SENDUIPI with SN set arms the PIR without
+    /// generating an IPI; the next timer interrupt is then recognized and
+    /// delivered in user space, and the handler re-arms.
+    #[test]
+    fn timer_with_sn_arming_is_delivered_and_rearmed() {
+        let mut f = UintrFabric::new(1);
+        let upid = f.alloc_upid(TIMER_VEC, 0);
+        f.bind_receiver(0, upid, TIMER_VEC);
+        f.set_user_mode(0, true);
+        f.set_sn(upid, true);
+        // Step (2) of the configuration: populate the PIR.
+        let arm = UittEntry { upid, user_vec: 0 };
+        assert_eq!(f.senduipi(arm), SendOutcome::Suppressed);
+        assert_eq!(f.stats.notifications_sent, 0, "no real IPI generated");
+
+        // First timer interrupt: recognized and deliverable.
+        assert_eq!(f.on_interrupt_arrival(0, TIMER_VEC), Recognition::Pending);
+        assert!(f.deliverable(0));
+        let _v = f.begin_delivery(0);
+        // Step (3): handler re-arms before returning (Listing 1 line 5).
+        assert_eq!(f.senduipi(arm), SendOutcome::Suppressed);
+        f.uiret(0);
+
+        // Second timer interrupt is also recognized.
+        assert_eq!(f.on_interrupt_arrival(0, TIMER_VEC), Recognition::Pending);
+        assert_eq!(f.stats.recognized, 2);
+        assert_eq!(f.stats.lost, 0);
+    }
+
+    /// Without the handler re-arm, the *second* timer interrupt is lost.
+    #[test]
+    fn missing_rearm_loses_next_timer() {
+        let mut f = UintrFabric::new(1);
+        let upid = f.alloc_upid(TIMER_VEC, 0);
+        f.bind_receiver(0, upid, TIMER_VEC);
+        f.set_user_mode(0, true);
+        f.set_sn(upid, true);
+        f.senduipi(UittEntry { upid, user_vec: 0 });
+        assert_eq!(f.on_interrupt_arrival(0, TIMER_VEC), Recognition::Pending);
+        f.begin_delivery(0);
+        f.uiret(0); // Handler "forgot" the re-arm.
+        assert_eq!(f.on_interrupt_arrival(0, TIMER_VEC), Recognition::Lost);
+    }
+
+    #[test]
+    fn unbind_clears_receiver_state() {
+        let (mut f, upid) = fabric_with_receiver(0);
+        f.senduipi(UittEntry { upid, user_vec: 0 });
+        f.on_interrupt_arrival(0, NV);
+        f.unbind_receiver(0);
+        assert!(!f.deliverable(0));
+        assert_eq!(f.on_interrupt_arrival(0, NV), Recognition::Legacy);
+    }
+
+    #[test]
+    fn ndst_migration_redirects_notification() {
+        let (mut f, upid) = fabric_with_receiver(1);
+        f.set_ndst(upid, 3);
+        match f.senduipi(UittEntry { upid, user_vec: 0 }) {
+            SendOutcome::Notify { dest, .. } => assert_eq!(dest, 3),
+            other => panic!("expected Notify, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "user vector out of range")]
+    fn vector_64_rejected() {
+        let (mut f, upid) = fabric_with_receiver(0);
+        f.senduipi(UittEntry { upid, user_vec: 64 });
+    }
+}

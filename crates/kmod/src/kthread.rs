@@ -1,0 +1,67 @@
+//! Kernel-thread table.
+
+use skyloft_hw::CoreId;
+
+/// Kernel thread id (the model's analogue of a Linux TID obtained via
+/// `gettid()` and stored in shared application metadata, §4.1).
+pub type Tid = usize;
+
+/// Application id.
+pub type AppId = usize;
+
+/// Scheduling state of a kernel thread, from the kernel's point of view
+/// (§3.3): *active* threads are runnable and visible to the kernel
+/// scheduler; *inactive* threads are suspended and never run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KthreadState {
+    /// Runnable; eligible on its bound core.
+    Active,
+    /// Suspended (parked); invisible to the kernel scheduler.
+    Inactive,
+    /// Blocked in the kernel on a passive event (page fault) — §6
+    /// "blocking events". A userfaultfd-style monitor resolves the fault
+    /// on a non-isolated core and transitions the thread back to
+    /// [`KthreadState::Inactive`], after which it can be woken.
+    FaultBlocked,
+    /// Terminated.
+    Exited,
+}
+
+/// One kernel thread.
+#[derive(Clone, Debug)]
+pub struct Kthread {
+    /// Owning application.
+    pub app: AppId,
+    /// Core the thread's affinity binds it to, if bound.
+    pub core: Option<CoreId>,
+    /// Current state.
+    pub state: KthreadState,
+}
+
+impl Kthread {
+    /// Whether this thread counts against the Single Binding Rule on `core`.
+    pub fn is_active_on(&self, core: CoreId) -> bool {
+        self.state == KthreadState::Active && self.core == Some(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_on_requires_both() {
+        let t = Kthread {
+            app: 0,
+            core: Some(3),
+            state: KthreadState::Active,
+        };
+        assert!(t.is_active_on(3));
+        assert!(!t.is_active_on(2));
+        let parked = Kthread {
+            state: KthreadState::Inactive,
+            ..t.clone()
+        };
+        assert!(!parked.is_active_on(3));
+    }
+}

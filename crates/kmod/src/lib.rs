@@ -1,0 +1,58 @@
+//! Model of the Skyloft kernel module and the kernel-thread management it
+//! performs (§3.3, §4.2, Table 3).
+//!
+//! Skyloft runs multiple applications on a set of *isolated cores*. Each
+//! application owns one kernel thread per isolated core; at any moment at
+//! most one kernel thread bound to a given isolated core may be *active*
+//! (runnable from the kernel scheduler's point of view) — the paper's
+//! **Single Binding Rule**. The real system enforces this with a 325-line
+//! kernel module exposing `ioctl`s; this model implements the same
+//! operations as fallible state transitions over an explicit kernel-thread
+//! table and *checks the rule on every transition*, so any framework bug
+//! that would break scheduling on real hardware fails loudly here.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod ioctl;
+pub mod kthread;
+
+pub use fault::FaultMonitor;
+pub use ioctl::Kmod;
+pub use kthread::{AppId, KthreadState, Tid};
+
+/// Errors returned by kernel-module operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KmodError {
+    /// The operation would put two active kernel threads on one isolated
+    /// core, violating the Single Binding Rule.
+    BindingRuleViolation {
+        /// The contested core.
+        core: skyloft_hw::CoreId,
+    },
+    /// The named kernel thread does not exist.
+    NoSuchThread,
+    /// The thread is in the wrong state for the operation (e.g. waking an
+    /// active thread, switching from a thread that is not current).
+    InvalidState,
+    /// The core index is out of range or not an isolated core.
+    BadCore,
+}
+
+impl std::fmt::Display for KmodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KmodError::BindingRuleViolation { core } => {
+                write!(f, "single binding rule violated on core {core}")
+            }
+            KmodError::NoSuchThread => write!(f, "no such kernel thread"),
+            KmodError::InvalidState => write!(f, "kernel thread in invalid state"),
+            KmodError::BadCore => write!(f, "bad or non-isolated core"),
+        }
+    }
+}
+
+impl std::error::Error for KmodError {}
+
+/// Result alias for kernel-module operations.
+pub type Result<T> = std::result::Result<T, KmodError>;

@@ -1,0 +1,63 @@
+//! Latency metrics for the Skyloft reproduction.
+//!
+//! This crate provides the measurement machinery used by every experiment in
+//! the paper's evaluation (§5): a log-bucketed latency histogram with
+//! bounded relative error (in the spirit of HdrHistogram), percentile and
+//! slowdown computation, load/latency series used by the figures, and plain
+//! text/CSV table rendering used by the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod series;
+pub mod table;
+
+pub use hist::Histogram;
+pub use series::{LoadPoint, Series};
+pub use table::Table;
+
+/// Computes the slowdown of a request: total response time divided by its
+/// uninterrupted service time (§5.3 uses the 99.9th percentile of this).
+///
+/// Slowdown is clamped below at `1.0`: a response can never be faster than
+/// its own service time, but integer rounding of virtual timestamps could
+/// otherwise produce values slightly below one.
+///
+/// # Examples
+///
+/// ```
+/// let s = skyloft_metrics::slowdown(200, 100);
+/// assert_eq!(s, 2.0);
+/// ```
+pub fn slowdown(response_ns: u64, service_ns: u64) -> f64 {
+    if service_ns == 0 {
+        return 1.0;
+    }
+    let s = response_ns as f64 / service_ns as f64;
+    if s < 1.0 {
+        1.0
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_basic() {
+        assert_eq!(slowdown(100, 100), 1.0);
+        assert_eq!(slowdown(500, 100), 5.0);
+    }
+
+    #[test]
+    fn slowdown_clamps_below_one() {
+        assert_eq!(slowdown(50, 100), 1.0);
+    }
+
+    #[test]
+    fn slowdown_zero_service_is_one() {
+        assert_eq!(slowdown(100, 0), 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Load/latency series: the data behind every figure in the evaluation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Histogram;
+
+/// One measured point of a latency-vs-load curve.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load in requests per second.
+    pub offered_rps: f64,
+    /// Achieved throughput in requests per second.
+    pub achieved_rps: f64,
+    /// Median response latency in microseconds.
+    pub p50_us: f64,
+    /// 99th percentile response latency in microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile response latency in microseconds.
+    pub p999_us: f64,
+    /// 99.9th percentile slowdown (response / service time), if tracked.
+    pub slowdown_p999: Option<f64>,
+    /// CPU share of a co-located best-effort application (0.0..=1.0),
+    /// if tracked (Figure 7c).
+    pub be_share: Option<f64>,
+}
+
+impl LoadPoint {
+    /// Builds a point from a response-latency histogram (nanosecond samples).
+    pub fn from_hist(offered_rps: f64, achieved_rps: f64, h: &Histogram) -> Self {
+        LoadPoint {
+            offered_rps,
+            achieved_rps,
+            p50_us: h.percentile(50.0) as f64 / 1000.0,
+            p99_us: h.percentile(99.0) as f64 / 1000.0,
+            p999_us: h.percentile(99.9) as f64 / 1000.0,
+            slowdown_p999: None,
+            be_share: None,
+        }
+    }
+}
+
+/// A named curve: one scheduler/system across a load sweep.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Series {
+    /// Display name of the system (e.g. `"Skyloft-Shinjuku (30us)"`).
+    pub name: String,
+    /// Measured points, in sweep order.
+    pub points: Vec<LoadPoint>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: LoadPoint) {
+        self.points.push(p);
+    }
+
+    /// The achieved throughput of the last point before the
+    /// 99th-percentile latency first crosses `slo_us` — the paper's notion
+    /// of "maximum throughput" for the Figure 7 experiments. Using the
+    /// first crossing (rather than any later compliant point) keeps the
+    /// metric monotone under measurement noise.
+    pub fn max_tput_under_p99_slo(&self, slo_us: f64) -> f64 {
+        let mut best = 0.0f64;
+        for p in &self.points {
+            if p.p99_us > slo_us {
+                break;
+            }
+            best = best.max(p.achieved_rps);
+        }
+        best
+    }
+
+    /// The achieved throughput of the last point before the
+    /// 99.9th-percentile slowdown first crosses `slo` (Figure 8b's metric).
+    pub fn max_tput_under_slowdown_slo(&self, slo: f64) -> f64 {
+        let mut best = 0.0f64;
+        for p in &self.points {
+            match p.slowdown_p999 {
+                Some(s) if s <= slo => best = best.max(p.achieved_rps),
+                _ => break,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(tput: f64, p99: f64, slow: f64) -> LoadPoint {
+        LoadPoint {
+            offered_rps: tput,
+            achieved_rps: tput,
+            p50_us: p99 / 2.0,
+            p99_us: p99,
+            p999_us: p99 * 2.0,
+            slowdown_p999: Some(slow),
+            be_share: None,
+        }
+    }
+
+    #[test]
+    fn from_hist_converts_to_us() {
+        let mut h = Histogram::new();
+        h.record_n(10_000, 100); // 10 us
+        let p = LoadPoint::from_hist(1000.0, 990.0, &h);
+        assert!((p.p50_us - 10.0).abs() / 10.0 < 0.05);
+        assert_eq!(p.offered_rps, 1000.0);
+        assert_eq!(p.achieved_rps, 990.0);
+    }
+
+    #[test]
+    fn max_tput_under_slo_picks_last_compliant() {
+        let mut s = Series::new("x");
+        s.push(pt(100.0, 10.0, 2.0));
+        s.push(pt(200.0, 20.0, 5.0));
+        s.push(pt(300.0, 900.0, 400.0));
+        assert_eq!(s.max_tput_under_p99_slo(50.0), 200.0);
+        assert_eq!(s.max_tput_under_slowdown_slo(3.0), 100.0);
+    }
+
+    #[test]
+    fn max_tput_empty_is_zero() {
+        let s = Series::new("x");
+        assert_eq!(s.max_tput_under_p99_slo(50.0), 0.0);
+    }
+
+    #[test]
+    fn series_clone_preserves_points() {
+        let mut s = Series::new("sys");
+        s.push(pt(1.0, 2.0, 3.0));
+        let c = s.clone();
+        assert_eq!(c.points.len(), 1);
+        assert_eq!(c.name, "sys");
+    }
+}

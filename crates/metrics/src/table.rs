@@ -1,0 +1,148 @@
+//! Plain-text and CSV table rendering for the benchmark harness output.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = skyloft_metrics::Table::new(&["system", "p99 (us)"]);
+/// t.row(&["Skyloft", "12.5"]);
+/// let s = t.render();
+/// assert!(s.contains("Skyloft"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut r: Vec<String> = cells
+            .iter()
+            .take(self.header.len())
+            .map(|s| s.to_string())
+            .collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        let mut r = cells;
+        r.truncate(self.header.len());
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.len()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting: the harness never emits commas
+    /// inside cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+        t.row(&["x", "y", "z-dropped"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("only-one,\n"));
+        assert!(!csv.contains("z-dropped"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut t = Table::new(&["h1", "h2"]);
+        t.row_owned(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "h1,h2\n1,2\n");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! Kernel-bypass networking model (§3.5).
+//!
+//! Skyloft integrates DPDK: a polling core receives packets, RSS-hashes
+//! them onto per-core shared rings, and a lightweight user-space UDP stack
+//! parses them into requests; idle cores also poll the ingress rings. This
+//! crate provides those pieces as host-side data structures driven by the
+//! simulation:
+//!
+//! * [`packet`] — wire format: a real (serialized/parsed) UDP-like header
+//!   and a key-value request codec, built on `bytes`.
+//! * [`rss`] — Receive Side Scaling: Toeplitz hashing of flow tuples onto
+//!   rings.
+//! * [`ring`] — bounded SPSC rings with drop accounting (NIC behaviour
+//!   under overload).
+//! * [`nic`] — per-packet cost constants for the DPDK RX/TX path.
+//! * [`loadgen`] — the open-loop Poisson client of §5.3.
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod nic;
+pub mod packet;
+pub mod ring;
+pub mod rss;
+
+pub use loadgen::OpenLoop;
+pub use packet::{KvOp, KvRequest, UdpHeader};
+pub use ring::Ring;
+pub use rss::RssHasher;

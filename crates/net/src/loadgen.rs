@@ -1,0 +1,143 @@
+//! Open-loop Poisson load generator (§5.3's client machine).
+//!
+//! An open-loop generator emits requests at the offered rate regardless of
+//! completions — the correct methodology for tail-latency studies (a
+//! closed-loop client self-throttles and hides queueing collapse). The
+//! generator is an iterator of `(arrival_time, service_time, class)`
+//! tuples; harnesses turn them into simulation events.
+
+use skyloft_sim::rng::PoissonArrivals;
+use skyloft_sim::{Distribution, Nanos, Rng};
+
+/// A generated request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// Absolute arrival time.
+    pub at: Nanos,
+    /// Service demand.
+    pub service: Nanos,
+    /// Workload class (0 = short/GET, 1 = long/SCAN or SET).
+    pub class: u8,
+}
+
+/// Open-loop Poisson generator over a service-time distribution.
+#[derive(Clone, Debug)]
+pub struct OpenLoop {
+    arrivals: PoissonArrivals,
+    service: Distribution,
+    /// Classifies a sampled service time (e.g. long vs short).
+    class_threshold: Nanos,
+    rng: Rng,
+    now: Nanos,
+}
+
+impl OpenLoop {
+    /// Creates a generator at `rate_rps` with the given service
+    /// distribution; samples at or above `class_threshold` are class 1.
+    pub fn new(rate_rps: f64, service: Distribution, class_threshold: Nanos, seed: u64) -> Self {
+        OpenLoop {
+            arrivals: PoissonArrivals::new(rate_rps),
+            service,
+            class_threshold,
+            rng: Rng::seed_from_u64(seed),
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// The mean service time of the configured distribution.
+    pub fn mean_service(&self) -> f64 {
+        self.service.mean()
+    }
+}
+
+impl Iterator for OpenLoop {
+    type Item = GenRequest;
+
+    fn next(&mut self) -> Option<GenRequest> {
+        self.now += self.arrivals.next_gap(&mut self.rng);
+        let service = self.service.sample(&mut self.rng);
+        let class = u8::from(service >= self.class_threshold);
+        Some(GenRequest {
+            at: self.now,
+            service,
+            class,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected() {
+        let g = OpenLoop::new(
+            100_000.0,
+            Distribution::Constant(Nanos(1_000)),
+            Nanos(10_000),
+            7,
+        );
+        let reqs: Vec<GenRequest> = g.take(10_000).collect();
+        let span = reqs.last().unwrap().at.as_secs();
+        let rate = 10_000.0 / span;
+        assert!((rate - 100_000.0).abs() / 100_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let g = OpenLoop::new(1_000_000.0, Distribution::Constant(Nanos(100)), Nanos(1), 3);
+        let mut prev = Nanos::ZERO;
+        for r in g.take(1000) {
+            assert!(r.at >= prev);
+            prev = r.at;
+        }
+    }
+
+    #[test]
+    fn classes_follow_threshold() {
+        let g = OpenLoop::new(
+            10_000.0,
+            Distribution::Bimodal {
+                p_long: 0.5,
+                short: Nanos(950),
+                long: Nanos(591_000),
+            },
+            Nanos(10_000),
+            11,
+        );
+        let reqs: Vec<GenRequest> = g.take(10_000).collect();
+        let longs = reqs.iter().filter(|r| r.class == 1).count();
+        assert!(
+            (4_000..6_000).contains(&longs),
+            "long fraction off: {longs}/10000"
+        );
+        for r in &reqs {
+            if r.class == 1 {
+                assert_eq!(r.service, Nanos(591_000));
+            } else {
+                assert_eq!(r.service, Nanos(950));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<GenRequest> = OpenLoop::new(
+            50_000.0,
+            Distribution::Exponential(Nanos(2_000)),
+            Nanos(5_000),
+            42,
+        )
+        .take(100)
+        .collect();
+        let b: Vec<GenRequest> = OpenLoop::new(
+            50_000.0,
+            Distribution::Exponential(Nanos(2_000)),
+            Nanos(5_000),
+            42,
+        )
+        .take(100)
+        .collect();
+        assert_eq!(a, b);
+    }
+}

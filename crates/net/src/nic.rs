@@ -1,0 +1,42 @@
+//! NIC / DPDK path cost constants.
+//!
+//! ESTIMATEs consistent with published DPDK figures on 10 GbE (82599ES,
+//! the paper's NIC): tens of nanoseconds of per-packet poll cost and a few
+//! hundred nanoseconds of stack processing. Both the Skyloft and Shenango
+//! configurations use the same kernel-bypass path, so these constants
+//! cancel in comparisons; they exist so absolute latencies stay plausible.
+
+use skyloft_sim::Nanos;
+
+/// Per-packet cost on the polling core (RX descriptor + mbuf handling).
+pub const RX_POLL_COST: Nanos = Nanos(80);
+
+/// UDP stack parse + request dispatch cost on the worker.
+pub const STACK_RX_COST: Nanos = Nanos(250);
+
+/// Response build + TX enqueue cost on the worker.
+pub const STACK_TX_COST: Nanos = Nanos(200);
+
+/// One-way wire + NIC latency between the client and the server (the
+/// paper's client is one switch hop away). Charged symmetrically to every
+/// request; identical across systems.
+pub const WIRE_LATENCY: Nanos = Nanos(1_000);
+
+/// The full per-request network overhead added to a request's measured
+/// service: RX poll + stack RX + stack TX (wire latency is accounted by
+/// the load generator on both directions).
+pub fn per_request_overhead() -> Nanos {
+    RX_POLL_COST + STACK_RX_COST + STACK_TX_COST
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_sub_microsecond() {
+        let o = per_request_overhead();
+        assert!(o < Nanos::from_us(1), "net overhead {o:?}");
+        assert_eq!(o, Nanos(530));
+    }
+}

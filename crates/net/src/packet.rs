@@ -1,0 +1,203 @@
+//! Wire format: UDP-like header plus a key-value request codec.
+//!
+//! The stack is deliberately small (the paper's is "a lightweight
+//! user-space TCP and UDP stack", §3.5) but real: headers and requests are
+//! byte-serialized and parsed, not passed as structs, so the simulated
+//! servers exercise an actual encode/decode path.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A UDP header (RFC 768 layout, 8 bytes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload.
+    pub length: u16,
+    /// Checksum (optional in IPv4; the model computes a simple sum).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size in bytes.
+    pub const SIZE: usize = 8;
+
+    /// Serializes the header.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.length);
+        buf.put_u16(self.checksum);
+    }
+
+    /// Parses a header; returns `None` if the buffer is too short.
+    pub fn decode(buf: &mut Bytes) -> Option<UdpHeader> {
+        if buf.len() < Self::SIZE {
+            return None;
+        }
+        Some(UdpHeader {
+            src_port: buf.get_u16(),
+            dst_port: buf.get_u16(),
+            length: buf.get_u16(),
+            checksum: buf.get_u16(),
+        })
+    }
+}
+
+/// Key-value operation kinds used by the §5.3 workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum KvOp {
+    /// Point read (Memcached/RocksDB GET).
+    Get = 0,
+    /// Write (Memcached SET).
+    Set = 1,
+    /// Range scan (RocksDB SCAN).
+    Scan = 2,
+}
+
+impl KvOp {
+    fn from_u8(v: u8) -> Option<KvOp> {
+        match v {
+            0 => Some(KvOp::Get),
+            1 => Some(KvOp::Set),
+            2 => Some(KvOp::Scan),
+            _ => None,
+        }
+    }
+}
+
+/// A key-value request as carried in a UDP payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KvRequest {
+    /// Client-assigned request id (echoed in the response).
+    pub id: u64,
+    /// Operation.
+    pub op: KvOp,
+    /// Key bytes.
+    pub key: Bytes,
+    /// Value bytes (SET only).
+    pub value: Bytes,
+}
+
+impl KvRequest {
+    /// Serializes a full datagram: UDP header + request body.
+    pub fn encode_datagram(&self, src_port: u16, dst_port: u16) -> Bytes {
+        let body_len = 8 + 1 + 2 + self.key.len() + 2 + self.value.len();
+        let mut buf = BytesMut::with_capacity(UdpHeader::SIZE + body_len);
+        let hdr = UdpHeader {
+            src_port,
+            dst_port,
+            length: (UdpHeader::SIZE + body_len) as u16,
+            checksum: 0,
+        };
+        hdr.encode(&mut buf);
+        buf.put_u64(self.id);
+        buf.put_u8(self.op as u8);
+        buf.put_u16(self.key.len() as u16);
+        buf.put_slice(&self.key);
+        buf.put_u16(self.value.len() as u16);
+        buf.put_slice(&self.value);
+        buf.freeze()
+    }
+
+    /// Parses a datagram produced by [`Self::encode_datagram`]. Returns the
+    /// header and the request, or `None` on any truncation or bad opcode.
+    pub fn decode_datagram(mut data: Bytes) -> Option<(UdpHeader, KvRequest)> {
+        let hdr = UdpHeader::decode(&mut data)?;
+        if data.len() < 13 {
+            return None;
+        }
+        let id = data.get_u64();
+        let op = KvOp::from_u8(data.get_u8())?;
+        let klen = data.get_u16() as usize;
+        if data.len() < klen + 2 {
+            return None;
+        }
+        let key = data.copy_to_bytes(klen);
+        let vlen = data.get_u16() as usize;
+        if data.len() < vlen {
+            return None;
+        }
+        let value = data.copy_to_bytes(vlen);
+        Some((hdr, KvRequest { id, op, key, value }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = UdpHeader {
+            src_port: 1234,
+            dst_port: 11211,
+            length: 42,
+            checksum: 7,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), UdpHeader::SIZE);
+        let mut bytes = buf.freeze();
+        assert_eq!(UdpHeader::decode(&mut bytes), Some(h));
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        let mut b = Bytes::from_static(&[1, 2, 3]);
+        assert_eq!(UdpHeader::decode(&mut b), None);
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = KvRequest {
+            id: 99,
+            op: KvOp::Set,
+            key: Bytes::from_static(b"user:42"),
+            value: Bytes::from_static(b"hello"),
+        };
+        let dgram = req.encode_datagram(40000, 11211);
+        let (hdr, parsed) = KvRequest::decode_datagram(dgram.clone()).unwrap();
+        assert_eq!(hdr.dst_port, 11211);
+        assert_eq!(hdr.length as usize, dgram.len());
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn scan_round_trip_empty_value() {
+        let req = KvRequest {
+            id: 1,
+            op: KvOp::Scan,
+            key: Bytes::from_static(b"range-start"),
+            value: Bytes::new(),
+        };
+        let (_, parsed) = KvRequest::decode_datagram(req.encode_datagram(1, 2)).unwrap();
+        assert_eq!(parsed.op, KvOp::Scan);
+        assert!(parsed.value.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        let req = KvRequest {
+            id: 5,
+            op: KvOp::Get,
+            key: Bytes::from_static(b"k"),
+            value: Bytes::new(),
+        };
+        let dgram = req.encode_datagram(1, 2);
+        for cut in [0, 9, 12, dgram.len() - 1] {
+            let sliced = dgram.slice(0..cut);
+            assert!(
+                KvRequest::decode_datagram(sliced).is_none(),
+                "cut at {cut} should fail"
+            );
+        }
+        // Bad opcode.
+        let mut raw = BytesMut::from(&dgram[..]);
+        raw[UdpHeader::SIZE + 8] = 99;
+        assert!(KvRequest::decode_datagram(raw.freeze()).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-CPU round-robin with time slicing (Skyloft RR, §5.1; 141 LoC in
+//! Table 4). With `slice = None` the policy degenerates to per-CPU FIFO
+//! (the "Skyloft-FIFO, infinite time slice" series of Figure 6).
+
+use std::collections::VecDeque;
+
+use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use skyloft::task::{TaskId, TaskTable};
+use skyloft_sim::Nanos;
+
+/// Round-robin policy state: one FIFO runqueue per core.
+pub struct RoundRobin {
+    queues: Vec<VecDeque<TaskId>>,
+    cores: Vec<CoreId>,
+    slice: Option<Nanos>,
+}
+
+impl RoundRobin {
+    /// Creates the policy with the given time slice (`None` = FIFO).
+    pub fn new(slice: Option<Nanos>) -> Self {
+        RoundRobin {
+            queues: Vec::new(),
+            cores: Vec::new(),
+            slice,
+        }
+    }
+
+    fn rq(&mut self, cpu: CoreId) -> &mut VecDeque<TaskId> {
+        &mut self.queues[cpu]
+    }
+
+    /// Total queued tasks across all cores.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Policy for RoundRobin {
+    fn name(&self) -> &'static str {
+        if self.slice.is_some() {
+            "skyloft-rr"
+        } else {
+            "skyloft-fifo"
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.queues = vec![VecDeque::new(); max + 1];
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        self.rq(cpu).push_back(t);
+    }
+
+    fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        self.rq(cpu).pop_front()
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        match self.slice {
+            Some(s) => ran >= s && !self.queues[cpu].is_empty(),
+            None => false,
+        }
+    }
+
+    fn sched_balance(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        // Pull from the longest queue (simple periodic balancing, as the
+        // kernel's RT pull logic would).
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.queues[c].len())?;
+        // Queues hold only *waiting* tasks (the running task is not queued),
+        // so stealing even a lone waiter keeps the machine work-conserving.
+        self.queues[victim].pop_back()
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::task::Task;
+
+    fn env(n: usize) -> SchedEnv {
+        SchedEnv {
+            worker_cores: (0..n).collect(),
+            dispatcher: None,
+        }
+    }
+
+    fn mk(tasks: &mut TaskTable) -> TaskId {
+        tasks.insert(|id| Task::bare(id, 0))
+    }
+
+    #[test]
+    fn per_cpu_fifo_order() {
+        let mut p = RoundRobin::new(Some(Nanos::from_us(50)));
+        p.sched_init(&env(2));
+        let mut tasks = TaskTable::new();
+        let a = mk(&mut tasks);
+        let b = mk(&mut tasks);
+        let c = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, c, Some(1), EnqueueFlags::New, Nanos::ZERO);
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(a));
+        assert_eq!(p.task_dequeue(&mut tasks, 1, Nanos::ZERO), Some(c));
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(b));
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn slice_expiry_preempts_only_with_waiters() {
+        let mut p = RoundRobin::new(Some(Nanos::from_us(50)));
+        p.sched_init(&env(1));
+        let mut tasks = TaskTable::new();
+        let cur = mk(&mut tasks);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(60), Nanos::ZERO));
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        assert!(p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(60), Nanos::ZERO));
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(40), Nanos::ZERO));
+    }
+
+    #[test]
+    fn fifo_never_preempts() {
+        let mut p = RoundRobin::new(None);
+        p.sched_init(&env(1));
+        let mut tasks = TaskTable::new();
+        let cur = mk(&mut tasks);
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_ms(100), Nanos::ZERO));
+        assert_eq!(p.name(), "skyloft-fifo");
+    }
+
+    #[test]
+    fn balance_steals_from_longest_queue() {
+        let mut p = RoundRobin::new(Some(Nanos::from_us(50)));
+        p.sched_init(&env(3));
+        let mut tasks = TaskTable::new();
+        for _ in 0..3 {
+            let t = mk(&mut tasks);
+            p.task_enqueue(&mut tasks, t, Some(1), EnqueueFlags::New, Nanos::ZERO);
+        }
+        let stolen = p.sched_balance(&mut tasks, 2, Nanos::ZERO);
+        assert!(stolen.is_some());
+        assert_eq!(p.queues[1].len(), 2);
+        // A lone waiter is still stolen: queues hold only waiting tasks.
+        let t = mk(&mut tasks);
+        let mut p2 = RoundRobin::new(None);
+        p2.sched_init(&env(2));
+        p2.task_enqueue(&mut tasks, t, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        assert_eq!(p2.sched_balance(&mut tasks, 1, Nanos::ZERO), Some(t));
+        assert_eq!(p2.sched_balance(&mut tasks, 1, Nanos::ZERO), None);
+    }
+}

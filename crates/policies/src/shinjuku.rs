@@ -1,0 +1,177 @@
+//! The Shinjuku centralized preemptive policy (§5.2; 192 LoC in Table 4).
+//!
+//! A spinning dispatcher owns a single global FCFS queue. Idle workers
+//! receive the queue head; a worker that exceeds the preemption quantum is
+//! interrupted (user IPI in Skyloft, posted interrupt in the original
+//! Shinjuku) and its request returns to the queue tail. This approximates
+//! processor sharing and eliminates head-of-line blocking for dispersive
+//! workloads (Figure 7a).
+
+use std::collections::VecDeque;
+
+use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use skyloft::task::{TaskId, TaskTable};
+use skyloft_sim::Nanos;
+
+/// Shinjuku policy state: the dispatcher's global queue.
+pub struct Shinjuku {
+    queue: VecDeque<(TaskId, Nanos)>,
+    quantum: Option<Nanos>,
+    /// Requests preempted at least once (observability).
+    pub preempted_requests: u64,
+}
+
+impl Shinjuku {
+    /// Creates the policy; `quantum = None` gives non-preemptive FCFS
+    /// (the "centralized FCFS" baseline shape).
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        Shinjuku {
+            queue: VecDeque::new(),
+            quantum,
+            preempted_requests: 0,
+        }
+    }
+}
+
+impl Policy for Shinjuku {
+    fn name(&self) -> &'static str {
+        "skyloft-shinjuku"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Centralized
+    }
+
+    fn sched_init(&mut self, _env: &SchedEnv) {}
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        _cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        now: Nanos,
+    ) {
+        if flags == EnqueueFlags::Preempted {
+            self.preempted_requests += 1;
+        }
+        // FCFS: both fresh and preempted requests join the tail.
+        self.queue.push_back((t, now));
+    }
+
+    fn task_dequeue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        self.queue.pop_front().map(|(t, _)| t)
+    }
+
+    fn sched_poll(
+        &mut self,
+        _tasks: &mut TaskTable,
+        idle_workers: &[CoreId],
+        _now: Nanos,
+    ) -> Vec<(CoreId, TaskId)> {
+        let mut placements = Vec::new();
+        for &core in idle_workers {
+            match self.queue.pop_front() {
+                Some((t, _)) => placements.push((core, t)),
+                None => break,
+            }
+        }
+        placements
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt a worker over quantum only when requests are waiting:
+        // bouncing a lone request through the queue buys nothing.
+        self.quantum
+            .is_some_and(|q| ran >= q && !self.queue.is_empty())
+    }
+
+    fn quantum(&self) -> Option<Nanos> {
+        self.quantum
+    }
+
+    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::task::Task;
+
+    fn mk(tasks: &mut TaskTable) -> TaskId {
+        tasks.insert(|id| Task::bare(id, 0))
+    }
+
+    #[test]
+    fn preempted_requests_rejoin_tail() {
+        let mut p = Shinjuku::new(Some(Nanos::from_us(30)));
+        let mut tasks = TaskTable::new();
+        let a = mk(&mut tasks);
+        let b = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(0));
+        p.task_enqueue(&mut tasks, b, None, EnqueueFlags::Preempted, Nanos(1));
+        assert_eq!(p.preempted_requests, 1);
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos(2)), Some(a));
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos(2)), Some(b));
+    }
+
+    #[test]
+    fn quantum_gates_preemption() {
+        let mut p = Shinjuku::new(Some(Nanos::from_us(30)));
+        let mut tasks = TaskTable::new();
+        let cur = mk(&mut tasks);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(100), Nanos::ZERO));
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, None, EnqueueFlags::New, Nanos::ZERO);
+        assert!(p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(100), Nanos::ZERO));
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(10), Nanos::ZERO));
+        assert_eq!(p.quantum(), Some(Nanos::from_us(30)));
+    }
+
+    #[test]
+    fn non_preemptive_variant() {
+        let mut p = Shinjuku::new(None);
+        let mut tasks = TaskTable::new();
+        let cur = mk(&mut tasks);
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, None, EnqueueFlags::New, Nanos::ZERO);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_ms(10), Nanos::ZERO));
+        assert_eq!(p.quantum(), None);
+    }
+
+    #[test]
+    fn poll_fills_idle_workers_fcfs() {
+        let mut p = Shinjuku::new(Some(Nanos::from_us(30)));
+        let mut tasks = TaskTable::new();
+        let a = mk(&mut tasks);
+        let b = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(10));
+        p.task_enqueue(&mut tasks, b, None, EnqueueFlags::New, Nanos(20));
+        assert_eq!(p.queue_delay(&tasks, Nanos(110)), Some(Nanos(100)));
+        let placed = p.sched_poll(&mut tasks, &[5, 6, 7], Nanos(110));
+        assert_eq!(placed, vec![(5, a), (6, b)]);
+        assert_eq!(p.queue_delay(&tasks, Nanos(110)), None);
+    }
+}

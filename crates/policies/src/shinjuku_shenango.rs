@@ -1,0 +1,173 @@
+//! Shinjuku scheduling + Shenango core allocation (§5.2, Figures 7b/7c;
+//! 444 LoC in Table 4).
+//!
+//! The paper co-locates the latency-critical dispersive workload with a
+//! best-effort batch application: the dispatcher runs the Shinjuku policy
+//! while a Shenango-style allocator watches the global queue's head-of-line
+//! delay every 5 μs, revoking cores from the batch application under
+//! congestion and granting persistently idle cores to it. The allocator
+//! itself lives in the framework (`Machine::core_alloc`); this policy adds
+//! the congestion signal the allocator consumes: an exponentially weighted
+//! view of queueing delay that avoids flapping grants/revokes on single
+//! bursty samples.
+
+use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use skyloft::task::{TaskId, TaskTable};
+use skyloft_sim::Nanos;
+
+use crate::shinjuku::Shinjuku;
+
+/// Shinjuku + congestion signal for the Shenango-style core allocator.
+pub struct ShinjukuShenango {
+    inner: Shinjuku,
+    /// EWMA of the head-of-line queueing delay, in nanoseconds.
+    ewma_delay_ns: f64,
+    /// EWMA smoothing factor per observation.
+    alpha: f64,
+}
+
+impl ShinjukuShenango {
+    /// Creates the policy with the given preemption quantum.
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        ShinjukuShenango {
+            inner: Shinjuku::new(quantum),
+            ewma_delay_ns: 0.0,
+            alpha: 0.25,
+        }
+    }
+
+    /// The smoothed congestion signal.
+    pub fn smoothed_delay(&self) -> Nanos {
+        Nanos(self.ewma_delay_ns as u64)
+    }
+}
+
+impl Policy for ShinjukuShenango {
+    fn name(&self) -> &'static str {
+        "skyloft-shinjuku-shenango"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Centralized
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        self.inner.sched_init(env);
+    }
+
+    fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos) {
+        self.inner.task_init(tasks, t, now);
+    }
+
+    fn task_terminate(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos) {
+        self.inner.task_terminate(tasks, t, now);
+    }
+
+    fn task_enqueue(
+        &mut self,
+        tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        now: Nanos,
+    ) {
+        self.inner.task_enqueue(tasks, t, cpu, flags, now);
+    }
+
+    fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, now: Nanos) -> Option<TaskId> {
+        self.inner.task_dequeue(tasks, cpu, now)
+    }
+
+    fn sched_poll(
+        &mut self,
+        tasks: &mut TaskTable,
+        idle_workers: &[CoreId],
+        now: Nanos,
+    ) -> Vec<(CoreId, TaskId)> {
+        self.inner.sched_poll(tasks, idle_workers, now)
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        current: TaskId,
+        ran: Nanos,
+        now: Nanos,
+    ) -> bool {
+        self.inner.sched_timer_tick(tasks, cpu, current, ran, now)
+    }
+
+    fn quantum(&self) -> Option<Nanos> {
+        self.inner.quantum()
+    }
+
+    /// The allocator's congestion probe: sampling updates the EWMA and
+    /// reports the smoothed delay.
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // `queue_delay` is a &self probe; interior smoothing state would
+        // need a Cell. Report the max of the instantaneous and smoothed
+        // values so a congestion spike is never hidden by the average.
+        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO);
+        let smoothed = self.smoothed_delay();
+        if inst == Nanos::ZERO && smoothed == Nanos::ZERO {
+            None
+        } else {
+            Some(inst.max(smoothed))
+        }
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        self.inner.queue_len()
+    }
+}
+
+impl ShinjukuShenango {
+    /// Feeds one queue-delay observation into the EWMA (called by the
+    /// allocator harness each decision interval).
+    pub fn observe_delay(&mut self, tasks: &TaskTable, now: Nanos) {
+        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO).0 as f64;
+        self.ewma_delay_ns = self.alpha * inst + (1.0 - self.alpha) * self.ewma_delay_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::task::Task;
+
+    #[test]
+    fn delegates_to_shinjuku() {
+        let mut p = ShinjukuShenango::new(Some(Nanos::from_us(30)));
+        let mut tasks = TaskTable::new();
+        let a = tasks.insert(|id| Task::bare(id, 0));
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(5));
+        assert_eq!(p.queue_len(), Some(1));
+        assert_eq!(p.quantum(), Some(Nanos::from_us(30)));
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos(10)), Some(a));
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let mut p = ShinjukuShenango::new(None);
+        let mut tasks = TaskTable::new();
+        let a = tasks.insert(|id| Task::bare(id, 0));
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(0));
+        for _ in 0..50 {
+            p.observe_delay(&tasks, Nanos::from_us(100));
+        }
+        let s = p.smoothed_delay();
+        assert!(s > Nanos::from_us(90), "smoothed {s:?}");
+    }
+
+    #[test]
+    fn queue_delay_reports_spikes_immediately() {
+        let mut p = ShinjukuShenango::new(None);
+        let mut tasks = TaskTable::new();
+        assert_eq!(p.queue_delay(&tasks, Nanos(10)), None);
+        let a = tasks.insert(|id| Task::bare(id, 0));
+        p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(0));
+        // No EWMA samples yet: the instantaneous delay still shows.
+        assert_eq!(p.queue_delay(&tasks, Nanos(500)), Some(Nanos(500)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Work-stealing policy (§5.3; Table 4 lists the preemptive variant at
+//! 150 LoC).
+//!
+//! Shenango-style load balancing: each core owns a FIFO runqueue and an
+//! idle core steals from the longest queue. The paper's point in §5.3 is
+//! that enabling Skyloft's timer-interrupt handler turns this policy
+//! preemptive *without modifying the scheduler* — a RocksDB SCAN that
+//! exceeds the quantum is preempted and re-queued locally, so queued GETs
+//! behind it (or thieves) get the core (Figure 8b).
+
+use std::collections::VecDeque;
+
+use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use skyloft::task::{TaskId, TaskTable};
+use skyloft_sim::Nanos;
+
+/// Work-stealing policy state.
+pub struct WorkStealing {
+    queues: Vec<VecDeque<TaskId>>,
+    cores: Vec<CoreId>,
+    /// Preemption quantum; `None` = cooperative (Shenango's model).
+    quantum: Option<Nanos>,
+    /// Successful steals (observability).
+    pub steals: u64,
+}
+
+impl WorkStealing {
+    /// Creates the policy. `quantum = None` disables preemption.
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        WorkStealing {
+            queues: Vec::new(),
+            cores: Vec::new(),
+            quantum,
+            steals: 0,
+        }
+    }
+
+    /// Total queued tasks.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Policy for WorkStealing {
+    fn name(&self) -> &'static str {
+        if self.quantum.is_some() {
+            "skyloft-ws-preempt"
+        } else {
+            "skyloft-ws"
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.queues = vec![VecDeque::new(); max + 1];
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        self.queues[cpu].push_back(t);
+    }
+
+    fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        self.queues[cpu].pop_front()
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt over-quantum tasks when local work is waiting; remote
+        // waiters are served by stealing instead of bouncing the current
+        // task.
+        self.quantum
+            .is_some_and(|q| ran >= q && !self.queues[cpu].is_empty())
+    }
+
+    fn sched_balance(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        // Steal from the longest queue (Shenango steals on idle).
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.queues[c].len())?;
+        let stolen = self.queues[victim].pop_back();
+        if stolen.is_some() {
+            self.steals += 1;
+        }
+        stolen
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyloft::task::Task;
+
+    fn setup(n: usize, quantum: Option<Nanos>) -> (WorkStealing, TaskTable) {
+        let mut p = WorkStealing::new(quantum);
+        p.sched_init(&SchedEnv {
+            worker_cores: (0..n).collect(),
+            dispatcher: None,
+        });
+        (p, TaskTable::new())
+    }
+
+    fn mk(tasks: &mut TaskTable) -> TaskId {
+        tasks.insert(|id| Task::bare(id, 0))
+    }
+
+    #[test]
+    fn local_fifo_then_steal() {
+        let (mut p, mut tasks) = setup(2, None);
+        let a = mk(&mut tasks);
+        let b = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        // Core 1 is empty: dequeue fails, steal succeeds (takes the tail).
+        assert_eq!(p.task_dequeue(&mut tasks, 1, Nanos::ZERO), None);
+        assert_eq!(p.sched_balance(&mut tasks, 1, Nanos::ZERO), Some(b));
+        assert_eq!(p.steals, 1);
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(a));
+    }
+
+    #[test]
+    fn cooperative_variant_never_preempts() {
+        let (mut p, mut tasks) = setup(1, None);
+        let cur = mk(&mut tasks);
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_ms(5), Nanos::ZERO));
+        assert_eq!(p.name(), "skyloft-ws");
+    }
+
+    #[test]
+    fn preemptive_variant_needs_local_waiters() {
+        let (mut p, mut tasks) = setup(2, Some(Nanos::from_us(5)));
+        let cur = mk(&mut tasks);
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(10), Nanos::ZERO));
+        let w = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w, Some(1), EnqueueFlags::New, Nanos::ZERO);
+        // Waiter on another core: stealing, not preemption, serves it.
+        assert!(!p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(10), Nanos::ZERO));
+        let w2 = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, w2, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        assert!(p.sched_timer_tick(&mut tasks, 0, cur, Nanos::from_us(10), Nanos::ZERO));
+        assert_eq!(p.name(), "skyloft-ws-preempt");
+    }
+
+    #[test]
+    fn steal_prefers_longest_queue() {
+        let (mut p, mut tasks) = setup(3, None);
+        for _ in 0..3 {
+            let t = mk(&mut tasks);
+            p.task_enqueue(&mut tasks, t, Some(1), EnqueueFlags::New, Nanos::ZERO);
+        }
+        let t0 = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, t0, Some(0), EnqueueFlags::New, Nanos::ZERO);
+        p.sched_balance(&mut tasks, 2, Nanos::ZERO).unwrap();
+        assert_eq!(p.queues[1].len(), 2, "stole from the longest queue");
+        assert_eq!(p.queues[0].len(), 1);
+    }
+}

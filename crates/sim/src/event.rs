@@ -1,0 +1,293 @@
+//! Cancellable, deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)`. The sequence number is a
+//! monotonically increasing counter assigned at scheduling time, so two
+//! events at the same timestamp fire in scheduling order — this makes every
+//! run with the same seed bit-identical, which the experiment harness relies
+//! on.
+//!
+//! Cancellation is O(1): [`EventQueue::cancel`] marks the event's slot dead;
+//! dead heap entries are skipped on pop. Slots are recycled with a
+//! generation counter so a stale [`Token`] can never cancel a later event.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// Handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Token {
+    slot: u32,
+    generation: u32,
+}
+
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// A time-ordered queue of events of type `E`.
+pub struct EventQueue<E> {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            now: Nanos::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: the simulation cannot
+    /// travel backwards.
+    pub fn schedule(&mut self, at: Nanos, event: E) -> Token {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.payload = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(event),
+                });
+                s
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+        self.live += 1;
+        Token { slot, generation }
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Nanos, event: E) -> Token {
+        let at = self.now + delay;
+        self.schedule(at, event)
+    }
+
+    /// Cancels a scheduled event. Returns the payload if the event was still
+    /// pending, or `None` if it already fired, was already cancelled, or the
+    /// token is stale.
+    pub fn cancel(&mut self, token: Token) -> Option<E> {
+        let sl = self.slots.get_mut(token.slot as usize)?;
+        if sl.generation != token.generation {
+            return None;
+        }
+        let payload = sl.payload.take()?;
+        self.live -= 1;
+        Some(payload)
+    }
+
+    /// Returns the timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.skim_dead();
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Removes and returns the next live event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        loop {
+            let Reverse((t, _, slot)) = self.heap.pop()?;
+            let sl = &mut self.slots[slot as usize];
+            if let Some(ev) = sl.payload.take() {
+                sl.generation = sl.generation.wrapping_add(1);
+                self.free.push(slot);
+                self.live -= 1;
+                debug_assert!(t >= self.now);
+                self.now = t;
+                return Some((t, ev));
+            }
+            // Cancelled entry: recycle its slot and keep looking.
+            sl.generation = sl.generation.wrapping_add(1);
+            self.free.push(slot);
+        }
+    }
+
+    /// Advances the clock to `t` if it is in the future (used by drivers
+    /// when a deadline passes with no event).
+    pub fn advance_to(&mut self, t: Nanos) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drops cancelled entries from the top of the heap so `peek_time` sees
+    /// a live event.
+    fn skim_dead(&mut self) {
+        while let Some(Reverse((_, _, slot))) = self.heap.peek() {
+            let sl = &mut self.slots[*slot as usize];
+            if sl.payload.is_some() {
+                break;
+            }
+            sl.generation = sl.generation.wrapping_add(1);
+            self.free.push(*slot);
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), 'c');
+        q.schedule(Nanos(10), 'a');
+        q.schedule(Nanos(20), 'b');
+        let mut out = String::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, "abc");
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos(5), i);
+        }
+        let mut prev = -1i64;
+        while let Some((_, e)) = q.pop() {
+            assert!(e as i64 > prev);
+            prev = e as i64;
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(42), ());
+        assert_eq!(q.now(), Nanos(0));
+        q.pop();
+        assert_eq!(q.now(), Nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn cannot_schedule_into_past() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), ());
+        q.pop();
+        q.schedule(Nanos(5), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        assert_eq!(q.cancel(t1), Some(1));
+        assert_eq!(q.len(), 1);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_twice_is_none() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(Nanos(10), 7);
+        assert_eq!(q.cancel(t), Some(7));
+        assert_eq!(q.cancel(t), None);
+    }
+
+    #[test]
+    fn stale_token_cannot_cancel_recycled_slot() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(Nanos(10), 1);
+        q.pop(); // t1 fires; slot recycled.
+        let _t2 = q.schedule(Nanos(20), 2);
+        // t1's token points at the recycled slot but the generation differs.
+        assert_eq!(q.cancel(t1), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), 0);
+        q.pop();
+        q.schedule_after(Nanos(5), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Nanos(105));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        q.cancel(t);
+        assert_eq!(q.peek_time(), Some(Nanos(20)));
+    }
+
+    #[test]
+    fn many_slots_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10 {
+            let toks: Vec<_> = (0..100)
+                .map(|i| q.schedule(Nanos(round * 1000 + i), i))
+                .collect();
+            for t in toks.iter().step_by(2) {
+                q.cancel(*t);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 50);
+        }
+        // Slot storage should be bounded by the max in-flight count.
+        assert!(q.slots.len() <= 128);
+    }
+}

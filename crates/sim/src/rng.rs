@@ -1,0 +1,313 @@
+//! Seeded pseudo-randomness and the service-time distributions used by the
+//! paper's workloads.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — implemented
+//! here (rather than pulled from a crate) so that experiment reproducibility
+//! does not depend on an external crate's stream stability.
+
+use crate::time::Nanos;
+
+/// Deterministic PRNG (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]` — safe as a log() argument.
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Multiply-shift with rejection for exact uniformity.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator (for per-component streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// A sampling distribution over nanosecond durations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Distribution {
+    /// Always the same value.
+    Constant(Nanos),
+    /// Exponential with the given mean (memoryless; used for Poisson
+    /// inter-arrival gaps).
+    Exponential(Nanos),
+    /// Two-point distribution: with probability `p_long` sample `long`,
+    /// otherwise `short`. This is the paper's dispersive (§5.2) and
+    /// RocksDB bimodal (§5.3) workload shape.
+    Bimodal {
+        /// Probability of the long value.
+        p_long: f64,
+        /// The common, short duration.
+        short: Nanos,
+        /// The rare, long duration.
+        long: Nanos,
+    },
+    /// Uniform over `[lo, hi]`.
+    Uniform(Nanos, Nanos),
+    /// Lognormal with the given median and sigma of the underlying normal
+    /// (used for heavy-tailed sensitivity studies).
+    Lognormal {
+        /// Median of the distribution.
+        median: Nanos,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl Distribution {
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> Nanos {
+        match *self {
+            Distribution::Constant(v) => v,
+            Distribution::Exponential(mean) => {
+                let u = rng.next_f64_open();
+                Nanos((-(u.ln()) * mean.0 as f64).round() as u64)
+            }
+            Distribution::Bimodal {
+                p_long,
+                short,
+                long,
+            } => {
+                if rng.chance(p_long) {
+                    long
+                } else {
+                    short
+                }
+            }
+            Distribution::Uniform(lo, hi) => {
+                debug_assert!(hi >= lo);
+                Nanos(lo.0 + rng.next_below(hi.0 - lo.0 + 1))
+            }
+            Distribution::Lognormal { median, sigma } => {
+                // Box-Muller.
+                let u1 = rng.next_f64_open();
+                let u2 = rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                Nanos((median.0 as f64 * (sigma * z).exp()).round() as u64)
+            }
+        }
+    }
+
+    /// The distribution's exact mean, used for offered-load arithmetic.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Constant(v) => v.0 as f64,
+            Distribution::Exponential(mean) => mean.0 as f64,
+            Distribution::Bimodal {
+                p_long,
+                short,
+                long,
+            } => p_long * long.0 as f64 + (1.0 - p_long) * short.0 as f64,
+            Distribution::Uniform(lo, hi) => (lo.0 + hi.0) as f64 / 2.0,
+            Distribution::Lognormal { median, sigma } => {
+                median.0 as f64 * (sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+/// An open-loop Poisson arrival process at a given rate.
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    gap: Distribution,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_rps` arrivals per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_rps` is not positive.
+    pub fn new(rate_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "arrival rate must be positive");
+        let mean = Nanos((1e9 / rate_rps).round() as u64);
+        PoissonArrivals {
+            gap: Distribution::Exponential(mean),
+        }
+    }
+
+    /// Samples the gap to the next arrival.
+    pub fn next_gap(&self, rng: &mut Rng) -> Nanos {
+        self.gap.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_range() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            let o = r.next_f64_open();
+            assert!(o > 0.0 && o <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_uniform() {
+        let mut r = Rng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.next_below(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::seed_from_u64(5);
+        let d = Distribution::Exponential(Nanos(1_000));
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r).0).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn bimodal_fraction_and_mean() {
+        let mut r = Rng::seed_from_u64(6);
+        let d = Distribution::Bimodal {
+            p_long: 0.005,
+            short: Nanos(4_000),
+            long: Nanos(10_000_000),
+        };
+        let n = 400_000;
+        let mut longs = 0u32;
+        for _ in 0..n {
+            if d.sample(&mut r) == Nanos(10_000_000) {
+                longs += 1;
+            }
+        }
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.005).abs() < 0.001, "long fraction {frac}");
+        // Mean of the paper's dispersive workload: ~54 us.
+        assert!((d.mean() - 53_980.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = Rng::seed_from_u64(8);
+        let d = Distribution::Uniform(Nanos(10), Nanos(20));
+        for _ in 0..10_000 {
+            let v = d.sample(&mut r);
+            assert!((10..=20).contains(&v.0));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = Rng::seed_from_u64(9);
+        let d = Distribution::Lognormal {
+            median: Nanos(1_000),
+            sigma: 1.0,
+        };
+        let mut samples: Vec<u64> = (0..50_001).map(|_| d.sample(&mut r).0).collect();
+        samples.sort_unstable();
+        let med = samples[25_000] as f64;
+        assert!((med - 1000.0).abs() / 1000.0 < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn poisson_rate() {
+        let mut r = Rng::seed_from_u64(10);
+        let p = PoissonArrivals::new(1_000_000.0); // 1M rps -> 1 us mean gap
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(&mut r).0).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1_000.0).abs() < 20.0, "gap mean {mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(11);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        Rng::seed_from_u64(1).next_below(0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Virtual time: nanoseconds and CPU cycles.
+//!
+//! The paper's testbed runs at 2.0 GHz (Xeon Gold 5418Y, TurboBoost off), so
+//! its cycle-denominated measurements (Table 6) convert at 2 cycles per
+//! nanosecond. All simulation timestamps are [`Nanos`]; cost constants
+//! calibrated from the paper are [`Cycles`] and converted at that frequency.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Simulated CPU frequency in GHz, matching the paper's testbed.
+pub const CPU_GHZ: u64 = 2;
+
+/// A point in (or span of) virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero nanoseconds.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_us(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_ms(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Value as (fractional) microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value as (fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        Nanos(iter.map(|n| n.0).sum())
+    }
+}
+
+/// Shared human-readable formatting for [`Nanos`].
+macro_rules! fmt_nanos_body {
+    () => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let v = self.0;
+            if v >= 1_000_000_000 {
+                write!(f, "{:.3}s", v as f64 / 1e9)
+            } else if v >= 1_000_000 {
+                write!(f, "{:.3}ms", v as f64 / 1e6)
+            } else if v >= 1_000 {
+                write!(f, "{:.3}us", v as f64 / 1e3)
+            } else {
+                write!(f, "{v}ns")
+            }
+        }
+    };
+}
+
+impl fmt::Debug for Nanos {
+    fmt_nanos_body!();
+}
+
+impl fmt::Display for Nanos {
+    fmt_nanos_body!();
+}
+
+/// A span of CPU cycles at [`CPU_GHZ`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Converts to nanoseconds at the simulated 2.0 GHz clock, rounding up
+    /// so that nonzero costs never vanish.
+    pub const fn to_nanos(self) -> Nanos {
+        Nanos(self.0.div_ceil(CPU_GHZ))
+    }
+
+    /// Converts a nanosecond span to cycles.
+    pub const fn from_nanos(ns: Nanos) -> Cycles {
+        Cycles(ns.0 * CPU_GHZ)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl From<Cycles> for Nanos {
+    fn from(c: Cycles) -> Nanos {
+        c.to_nanos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Nanos::from_us(3), Nanos(3_000));
+        assert_eq!(Nanos::from_ms(2), Nanos(2_000_000));
+        assert_eq!(Nanos::from_secs(1), Nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(a * 3, Nanos(300));
+        assert_eq!(a / 4, Nanos(25));
+        assert_eq!(b.saturating_sub(a), Nanos(0));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        // 3 cycles at 2 GHz is 1.5 ns; the conversion must not drop to 1 ns
+        // of work costing zero.
+        assert_eq!(Cycles(3).to_nanos(), Nanos(2));
+        assert_eq!(Cycles(4).to_nanos(), Nanos(2));
+        assert_eq!(Cycles(0).to_nanos(), Nanos(0));
+        assert_eq!(Cycles::from_nanos(Nanos(5)), Cycles(10));
+    }
+
+    #[test]
+    fn table6_examples() {
+        // User IPI send: 167 cycles -> 84 ns (rounded up from 83.5).
+        assert_eq!(Cycles(167).to_nanos(), Nanos(84));
+        // Signal receive: 6359 cycles -> 3180 ns.
+        assert_eq!(Cycles(6359).to_nanos(), Nanos(3180));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Nanos(5)), "5ns");
+        assert_eq!(format!("{}", Nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", Nanos(2_000_000)), "2.000ms");
+        assert_eq!(format!("{}", Nanos(3_000_000_000)), "3.000s");
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

@@ -1,0 +1,103 @@
+//! The x86-64 context switch.
+//!
+//! System V callee-saved registers (`rbp`, `rbx`, `r12`–`r15`) are pushed
+//! onto the outgoing stack, the stack pointers are exchanged, and the
+//! incoming stack's registers are popped. A new thread's stack is seeded so
+//! that the first switch "returns" into [`tramp`], which calls the Rust
+//! entry with the task pointer that was planted in the `r12` slot.
+
+use core::arch::global_asm;
+
+global_asm!(
+    r#"
+    .text
+    .globl skyloft_ctx_switch
+    .p2align 4
+// fn skyloft_ctx_switch(save: *mut *mut u8 /* rdi */, restore: *mut u8 /* rsi */)
+skyloft_ctx_switch:
+    push rbp
+    push rbx
+    push r12
+    push r13
+    push r14
+    push r15
+    mov [rdi], rsp
+    mov rsp, rsi
+    pop r15
+    pop r14
+    pop r13
+    pop r12
+    pop rbx
+    pop rbp
+    ret
+
+    .globl skyloft_ctx_tramp
+    .p2align 4
+// First activation of a new thread: rsp is 16-aligned here (the stack was
+// seeded that way), so the call below leaves rsp ≡ 8 (mod 16) at the entry
+// of skyloft_thread_entry, as the ABI requires.
+skyloft_ctx_tramp:
+    mov rdi, r12
+    call skyloft_thread_entry
+    ud2
+"#
+);
+
+unsafe extern "C" {
+    /// Saves the current context into `*save` and activates `restore`.
+    pub fn skyloft_ctx_switch(save: *mut *mut u8, restore: *mut u8);
+    fn skyloft_ctx_tramp();
+}
+
+/// Number of callee-saved slots below the return address.
+const SAVED_REGS: usize = 6;
+/// Index of the `r12` slot (popped fourth-from-last): layout from the
+/// saved rsp upward is r15, r14, r13, r12, rbx, rbp, retaddr.
+const R12_SLOT: usize = 3;
+
+/// Seeds a fresh stack so the first `skyloft_ctx_switch` into it starts
+/// `tramp`, which forwards `arg` (planted in r12) to
+/// `skyloft_thread_entry`.
+///
+/// Returns the initial saved stack pointer.
+///
+/// # Safety
+///
+/// `stack_top` must be the one-past-the-end pointer of a writable stack
+/// region of at least `(SAVED_REGS + 2) * 8` bytes.
+pub unsafe fn seed_stack(stack_top: *mut u8, arg: *mut u8) -> *mut u8 {
+    // Align down to 16 bytes; the trampoline executes with this rsp.
+    let top = (stack_top as usize) & !15;
+    // SAFETY: the caller guarantees the region below `stack_top` is
+    // writable and large enough for the seeded frame.
+    unsafe {
+        let ret_slot = (top - 8) as *mut u64;
+        let tramp: unsafe extern "C" fn() = skyloft_ctx_tramp;
+        *ret_slot = tramp as usize as u64;
+        let base = (top - 8 - SAVED_REGS * 8) as *mut u64;
+        for i in 0..SAVED_REGS {
+            *base.add(i) = 0;
+        }
+        *base.add(R12_SLOT) = arg as usize as u64;
+        base as *mut u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_layout_is_aligned() {
+        let mut buf = vec![0u8; 1024];
+        let top = unsafe { buf.as_mut_ptr().add(1024) };
+        let sp = unsafe { seed_stack(top, 0xdead as *mut u8) };
+        // The seeded rsp must leave the trampoline with 16-byte alignment
+        // after 6 pops + ret.
+        let after_frame = sp as usize + (SAVED_REGS + 1) * 8;
+        assert_eq!(after_frame % 16, 0);
+        // The r12 slot carries the argument.
+        let r12 = unsafe { *(sp as *const u64).add(R12_SLOT) };
+        assert_eq!(r12, 0xdead);
+    }
+}

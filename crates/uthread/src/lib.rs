@@ -1,0 +1,56 @@
+//! A real user-level threading runtime (§5.4, Table 7).
+//!
+//! Everything else in this workspace runs on virtual time; this crate is
+//! host-executable: an M:N green-thread runtime with an assembly context
+//! switch, pooled stacks, and user-space `Mutex`/`Condvar`, in the style of
+//! the Skyloft LibOS threading layer. The `tab7_threadops` bench target
+//! measures its `yield`/`spawn`/`mutex`/`condvar` costs against
+//! `std::thread` (pthread), reproducing Table 7's comparison.
+//!
+//! Preemption note: real μs-scale preemption needs UINTR (or signals),
+//! neither available here — this runtime is cooperative, and the
+//! preemption *evaluation* runs on the simulated substrate instead (see
+//! DESIGN.md §2). What is real here is the context-switch machinery whose
+//! cost Table 7 reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use skyloft_uthread::Runtime;
+//!
+//! let sum = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+//! let s2 = sum.clone();
+//! Runtime::run(2, move || {
+//!     let handles: Vec<_> = (0..8)
+//!         .map(|i| {
+//!             let s = s2.clone();
+//!             skyloft_uthread::spawn(move || {
+//!                 s.fetch_add(i, std::sync::atomic::Ordering::Relaxed);
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join();
+//!     }
+//! });
+//! assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 28);
+//! ```
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_arch = "x86_64"))]
+compile_error!(
+    "skyloft-uthread implements its context switch for x86_64 only; \
+     port context.rs (callee-saved register save/restore) for this target"
+);
+
+mod context;
+mod sync;
+mod task;
+
+pub mod stack;
+
+pub mod runtime;
+
+pub use runtime::{spawn, yield_now, JoinHandle, Runtime};
+pub use sync::{Condvar, Mutex, MutexGuard};

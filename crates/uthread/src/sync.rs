@@ -1,0 +1,258 @@
+//! User-space synchronization: `Mutex` and `Condvar` over green threads
+//! (Table 7's `Mutex` and `Condvar` rows).
+//!
+//! The uncontended mutex path is a single compare-and-swap — the reason
+//! Table 7 shows Skyloft, Go, and pthread all around ~27 ns there. The
+//! contended path blocks the *green thread* (a context switch), never the
+//! OS thread.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::runtime::{current_task, switch_to_sched, wake_task};
+use crate::task::{state, UTask};
+
+/// A green-thread mutex.
+pub struct Mutex<T> {
+    locked: AtomicBool,
+    waiters: parking_lot::Mutex<VecDeque<Arc<UTask>>>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the mutex provides the exclusion; T must be Send for the data to
+// move between workers.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard; unlocks on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            locked: AtomicBool::new(false),
+            waiters: parking_lot::Mutex::new(VecDeque::new()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Attempts to lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if self.try_acquire() {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Locks, blocking the calling green thread on contention.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        loop {
+            // Fast path: one CAS.
+            if self.try_acquire() {
+                return MutexGuard { mutex: self };
+            }
+            let me = current_task();
+            me.state.store(state::BLOCKING, Ordering::Release);
+            self.waiters.lock().push_back(Arc::clone(&me));
+            // Re-check after enqueuing: the holder may have unlocked in
+            // between (its pop would otherwise be our only wake).
+            if self.try_acquire() {
+                // Cancel the block: take ourselves out of the wait list.
+                self.waiters.lock().retain(|t| !Arc::ptr_eq(t, &me));
+                me.state.store(state::RUNNING, Ordering::Release);
+                return MutexGuard { mutex: self };
+            }
+            switch_to_sched();
+            // Woken by an unlock: retry the CAS.
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+        let next = self.waiters.lock().pop_front();
+        if let Some(t) = next {
+            wake_task(t);
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard proves exclusive ownership.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+/// A green-thread condition variable.
+#[derive(Default)]
+pub struct Condvar {
+    waiters: parking_lot::Mutex<VecDeque<Arc<UTask>>>,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Atomically releases the guard and blocks until notified; re-acquires
+    /// the mutex before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let me = current_task();
+        me.state.store(state::BLOCKING, Ordering::Release);
+        self.waiters.lock().push_back(Arc::clone(&me));
+        let mutex = guard.mutex;
+        drop(guard); // Unlock; wakers can now make progress.
+        switch_to_sched();
+        mutex.lock()
+    }
+
+    /// Wakes one waiter (Table 7's `Condvar` operation).
+    pub fn notify_one(&self) {
+        let next = self.waiters.lock().pop_front();
+        if let Some(t) = next {
+            wake_task(t);
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        let drained: Vec<_> = self.waiters.lock().drain(..).collect();
+        for t in drained {
+            wake_task(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{spawn, Runtime};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn mutex_excludes() {
+        let total = Arc::new(Mutex::new(0u64));
+        let t = total.clone();
+        Runtime::run(4, move || {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let t = t.clone();
+                    spawn(move || {
+                        for _ in 0..1_000 {
+                            *t.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert_eq!(*total.try_lock().unwrap(), 8_000);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        Runtime::run(1, || {
+            let m = Mutex::new(5);
+            let g = m.lock();
+            assert!(m.try_lock().is_none());
+            drop(g);
+            assert_eq!(*m.try_lock().unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn condvar_ping_pong() {
+        let rounds = Arc::new(AtomicU64::new(0));
+        let r = rounds.clone();
+        Runtime::run(2, move || {
+            let m = Arc::new(Mutex::new(false)); // token: false=ping's turn
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2, r2) = (m.clone(), cv.clone(), r.clone());
+            let ponger = spawn(move || {
+                for _ in 0..100 {
+                    let mut g = m2.lock();
+                    while !*g {
+                        g = cv2.wait(g);
+                    }
+                    *g = false;
+                    r2.fetch_add(1, Ordering::Relaxed);
+                    drop(g);
+                    cv2.notify_one();
+                }
+            });
+            for _ in 0..100 {
+                let mut g = m.lock();
+                while *g {
+                    g = cv.wait(g);
+                }
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            }
+            ponger.join();
+        });
+        assert_eq!(rounds.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let woke = Arc::new(AtomicU64::new(0));
+        let w = woke.clone();
+        Runtime::run(2, move || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let handles: Vec<_> = (0..5)
+                .map(|_| {
+                    let (m, cv, w) = (m.clone(), cv.clone(), w.clone());
+                    spawn(move || {
+                        let mut g = m.lock();
+                        while !*g {
+                            g = cv.wait(g);
+                        }
+                        w.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            // Let the waiters block, then release them all.
+            for _ in 0..50 {
+                crate::runtime::yield_now();
+            }
+            *m.lock() = true;
+            cv.notify_all();
+            for h in handles {
+                h.join();
+            }
+        });
+        assert_eq!(woke.load(Ordering::Relaxed), 5);
+    }
+}

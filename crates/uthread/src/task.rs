@@ -1,0 +1,172 @@
+//! Green-thread task objects and the block/wake state machine.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::stack::Stack;
+
+/// Task states. The `BLOCKING` → `BLOCKED` handshake closes the race
+/// between a task announcing it will sleep and the scheduler actually
+/// switching it out: a waker that arrives in the window flips the state to
+/// `RUNNABLE`, and the scheduler, failing its `BLOCKING → BLOCKED` CAS,
+/// re-queues the task instead of parking it.
+pub mod state {
+    /// In a runqueue.
+    pub const RUNNABLE: u8 = 0;
+    /// Executing on a worker.
+    pub const RUNNING: u8 = 1;
+    /// Announced intent to block; not yet switched out.
+    pub const BLOCKING: u8 = 2;
+    /// Switched out, waiting for a wake.
+    pub const BLOCKED: u8 = 3;
+    /// Finished.
+    pub const DONE: u8 = 4;
+}
+
+/// One green thread.
+pub struct UTask {
+    /// Saved stack pointer while switched out.
+    pub(crate) saved_sp: UnsafeCell<*mut u8>,
+    /// The execution stack (returned to the pool on exit).
+    pub(crate) stack: UnsafeCell<Option<Stack>>,
+    /// Entry closure, taken exactly once by the trampoline.
+    pub(crate) entry: UnsafeCell<Option<Box<dyn FnOnce() + Send>>>,
+    /// State machine (see [`state`]).
+    pub(crate) state: AtomicU8,
+    /// Tasks waiting in `join` on this one.
+    pub(crate) joiners: parking_lot::Mutex<Vec<Arc<UTask>>>,
+}
+
+// SAFETY: the UnsafeCell fields are only touched under the scheduler's
+// ownership discipline — a task is manipulated either by the single worker
+// currently running it or, while switched out, by the single worker that
+// dequeued it; the state machine's atomics provide the happens-before
+// edges.
+unsafe impl Send for UTask {}
+unsafe impl Sync for UTask {}
+
+impl UTask {
+    /// Creates a task around an entry closure; the stack is attached by the
+    /// runtime when the task is first scheduled.
+    pub fn new(entry: Box<dyn FnOnce() + Send>) -> Arc<UTask> {
+        Arc::new(UTask {
+            saved_sp: UnsafeCell::new(std::ptr::null_mut()),
+            stack: UnsafeCell::new(None),
+            entry: UnsafeCell::new(Some(entry)),
+            state: AtomicU8::new(state::RUNNABLE),
+            joiners: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// Whether the task has finished.
+    pub fn is_done(&self) -> bool {
+        self.state() == state::DONE
+    }
+
+    /// Wake-side half of the handshake. Returns `true` if the caller must
+    /// enqueue the task (it was fully `BLOCKED`); `false` if the wake was
+    /// absorbed (the task was still `BLOCKING` and its scheduler will
+    /// requeue it) or spurious.
+    pub fn try_wake(&self) -> bool {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                state::BLOCKED => {
+                    if self
+                        .state
+                        .compare_exchange(
+                            state::BLOCKED,
+                            state::RUNNABLE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return true;
+                    }
+                }
+                state::BLOCKING => {
+                    if self
+                        .state
+                        .compare_exchange(
+                            state::BLOCKING,
+                            state::RUNNABLE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        // The dequeuing scheduler requeues it.
+                        return false;
+                    }
+                }
+                // RUNNABLE / RUNNING / DONE: spurious wake.
+                _ => return false,
+            }
+        }
+    }
+
+    /// Scheduler-side half: after switching a `BLOCKING` task out, decide
+    /// whether it parked (`true`) or a concurrent wake already made it
+    /// runnable again (`false` = requeue it).
+    pub fn try_park(&self) -> bool {
+        self.state
+            .compare_exchange(
+                state::BLOCKING,
+                state::BLOCKED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Arc<UTask> {
+        UTask::new(Box::new(|| {}))
+    }
+
+    #[test]
+    fn wake_blocked_enqueues() {
+        let t = task();
+        t.state.store(state::BLOCKED, Ordering::Release);
+        assert!(t.try_wake());
+        assert_eq!(t.state(), state::RUNNABLE);
+    }
+
+    #[test]
+    fn wake_blocking_is_absorbed() {
+        let t = task();
+        t.state.store(state::BLOCKING, Ordering::Release);
+        assert!(!t.try_wake());
+        assert_eq!(t.state(), state::RUNNABLE);
+        // Scheduler then fails to park and requeues.
+        assert!(!t.try_park());
+    }
+
+    #[test]
+    fn park_succeeds_without_race() {
+        let t = task();
+        t.state.store(state::BLOCKING, Ordering::Release);
+        assert!(t.try_park());
+        assert_eq!(t.state(), state::BLOCKED);
+    }
+
+    #[test]
+    fn spurious_wakes_ignored() {
+        let t = task();
+        assert!(!t.try_wake()); // RUNNABLE
+        t.state.store(state::RUNNING, Ordering::Release);
+        assert!(!t.try_wake());
+        t.state.store(state::DONE, Ordering::Release);
+        assert!(!t.try_wake());
+    }
+}

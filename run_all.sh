@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every experiment binary at full measurement windows, logging output.
+set -x
+for b in tab4_loc tab5_params tab6_preemption sec54_switch tab7_threadops \
+         fig5_schbench fig6_timeslice fig7a_single fig7b_multi \
+         fig8a_memcached fig8b_rocksdb ablate_dispatcher ablate_quantum; do
+  echo "### $b" 
+  ./target/release/$b 2>/dev/null
+  echo "### $b exit=$?"
+done

@@ -1,0 +1,17 @@
+//! Umbrella crate for the Skyloft reproduction workspace.
+//!
+//! Re-exports the member crates so the integration tests (`tests/`) and
+//! runnable examples (`examples/`) can reach everything through one
+//! dependency. See the README for the map of the workspace and DESIGN.md
+//! for the reproduction plan.
+
+pub use skyloft;
+pub use skyloft_apps as apps;
+pub use skyloft_baselines as baselines;
+pub use skyloft_hw as hw;
+pub use skyloft_kmod as kmod;
+pub use skyloft_metrics as metrics;
+pub use skyloft_net as net;
+pub use skyloft_policies as policies;
+pub use skyloft_sim as sim;
+pub use skyloft_uthread as uthread;
