@@ -34,10 +34,18 @@ pub struct SweepSpec {
     pub measure: Nanos,
     /// Base RNG seed.
     pub seed: u64,
+    /// Dump the scheduling trace of each measured point to this path as
+    /// Chrome-trace JSON (each point overwrites the previous one, so the
+    /// file ends up holding the last point of the sweep).
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl SweepSpec {
     /// A reasonable default window: 50 ms warmup, 300 ms measurement.
+    ///
+    /// The spec honors a `--trace <path>` flag on the binary's command
+    /// line (see [`trace_arg`]), so every sweep-driven bench binary can
+    /// dump a Perfetto-loadable trace without its own plumbing.
     pub fn new(name: impl Into<String>, rates: Vec<f64>, service: Distribution) -> Self {
         SweepSpec {
             name: name.into(),
@@ -49,11 +57,27 @@ impl SweepSpec {
             warmup: Nanos::from_ms(50),
             measure: Nanos::from_ms(300),
             seed: SKY_SEED,
+            trace: trace_arg(),
         }
     }
 }
 
 const SKY_SEED: u64 = 0x5359_4c4f_4654; // "SYLOFT"
+
+/// The path given by a `--trace <path>` (or `--trace=<path>`) argument on
+/// the current process's command line, if any.
+pub fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(p.into());
+        }
+    }
+    None
+}
 
 /// Runs one load point on a freshly built machine and returns its
 /// measurements.
@@ -84,6 +108,17 @@ pub fn run_point(
     let be = m.apps.iter().position(|a| a.kind == skyloft::AppKind::Be);
     if let Some(be) = be {
         p.be_share = Some(m.app_share(be, now));
+    }
+    if let Some(path) = &spec.trace {
+        match m.write_trace(path) {
+            Ok(()) => eprintln!(
+                "trace: wrote {} ({} rps point of {})",
+                path.display(),
+                rate,
+                spec.name
+            ),
+            Err(e) => eprintln!("trace: failed to write {}: {}", path.display(), e),
+        }
     }
     p
 }

@@ -10,10 +10,10 @@ use skyloft_bench::build;
 use skyloft_sim::Nanos;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let sys = args.get(1).map(|s| s.as_str()).unwrap_or("ghost");
+    let args = skyloft_bench::positional_args();
+    let sys = args.first().map(|s| s.as_str()).unwrap_or("ghost");
     let rate: f64 = args
-        .get(2)
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(350_000.0);
     let spec = SweepSpec {
@@ -21,6 +21,9 @@ fn main() {
         placement: Placement::Queue,
         warmup: Nanos::from_ms(50),
         measure: Nanos::from_ms(200),
+        // The manually driven machine below dumps the trace instead, so
+        // its counters and the dumped trace describe the same run.
+        trace: None,
         ..SweepSpec::new(sys, vec![rate], dispersive())
     };
     // Build once more manually to read machine stats after the run.
@@ -40,6 +43,7 @@ fn main() {
     m.run(&mut q, Nanos::from_ms(50));
     m.reset_stats(q.now());
     m.run(&mut q, Nanos::from_ms(250));
+    skyloft_bench::dump_trace(&m, sys);
     println!(
         "{sys}@{rate}: completed={} achieved={:.0} p99={:.1}us preempt={} spurious={} queue_len={:?}",
         m.stats.completed,

@@ -20,8 +20,9 @@ const N_PAIRS: u64 = 500;
 const WORK: Nanos = Nanos::from_us(2);
 
 /// Runs `2 * N_PAIRS` tasks alternating between two apps (or one app) on a
-/// single core; returns the measured per-switch overhead in ns.
-fn measure(plat: Platform, two_apps: bool) -> (f64, u64) {
+/// single core; returns the measured per-switch overhead in ns. `label`
+/// names the run in a `--trace` dump (later runs overwrite earlier ones).
+fn measure(plat: Platform, two_apps: bool, label: &str) -> (f64, u64) {
     let cfg = MachineConfig {
         plat,
         n_workers: 1,
@@ -48,6 +49,7 @@ fn measure(plat: Platform, two_apps: bool) -> (f64, u64) {
     let total = m.stats.last_completion - t0;
     let compute = WORK * (2 * N_PAIRS);
     let overhead_per_switch = (total - compute).0 as f64 / (2 * N_PAIRS) as f64;
+    skyloft_bench::dump_trace(&m, label);
     (overhead_per_switch, m.stats.app_switches)
 }
 
@@ -55,7 +57,11 @@ fn main() {
     let topo = Topology::single(2);
     let mut t = Table::new(&["path", "measured ns/switch", "paper ns", "app switches"]);
 
-    let (same, sw) = measure(Platform::skyloft_percpu(topo, 100_000), false);
+    let (same, sw) = measure(
+        Platform::skyloft_percpu(topo, 100_000),
+        false,
+        "skyloft same-app",
+    );
     t.row_owned(vec![
         "Skyloft same-app uthread switch".into(),
         format!("{same:.0}"),
@@ -63,7 +69,11 @@ fn main() {
         sw.to_string(),
     ]);
 
-    let (cross, sw) = measure(Platform::skyloft_percpu(topo, 100_000), true);
+    let (cross, sw) = measure(
+        Platform::skyloft_percpu(topo, 100_000),
+        true,
+        "skyloft inter-app",
+    );
     t.row_owned(vec![
         "Skyloft inter-application switch".into(),
         format!("{cross:.0}"),
@@ -71,7 +81,7 @@ fn main() {
         sw.to_string(),
     ]);
 
-    let (lin, _) = measure(linux::platform(topo, 1_000), false);
+    let (lin, _) = measure(linux::platform(topo, 1_000), false, "linux kthreads");
     t.row_owned(vec![
         "Linux kthread switch (runnable)".into(),
         format!("{lin:.0}"),

@@ -12,6 +12,38 @@ pub mod schbench_util;
 
 use skyloft_sim::Nanos;
 
+/// Writes `m`'s scheduling trace (Chrome-trace JSON, loadable in
+/// Perfetto / `chrome://tracing`) to the path given by a `--trace <path>`
+/// argument on the command line, if any. `what` labels the dump in the
+/// notice printed to stderr. Binaries that run several machines call this
+/// once per machine; later calls overwrite earlier ones, so the file ends
+/// up holding the last machine's trace — the same "last point wins"
+/// convention the sweep harness uses.
+pub fn dump_trace(m: &skyloft::machine::Machine, what: &str) {
+    if let Some(path) = skyloft_apps::harness::trace_arg() {
+        match m.write_trace(&path) {
+            Ok(()) => eprintln!("trace: wrote {} ({what})", path.display()),
+            Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The binary's positional arguments (without the program name), with the
+/// shared `--trace <path>` / `--trace=<path>` flag filtered out so
+/// positional parsing is unaffected by it.
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let _ = args.next();
+        } else if !a.starts_with("--trace=") {
+            out.push(a);
+        }
+    }
+    out
+}
+
 /// Scales a duration down by `SKYLOFT_FAST` (e.g. `SKYLOFT_FAST=10` runs
 /// ten times shorter windows) — used to smoke-test the figure binaries.
 pub fn scaled(d: Nanos) -> Nanos {

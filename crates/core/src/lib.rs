@@ -46,9 +46,11 @@ pub mod machine;
 pub mod ops;
 pub mod stats;
 pub mod task;
+#[cfg(feature = "trace")]
+pub mod trace;
 
 pub use conf::{CoreAllocConfig, Platform, PreemptMechanism, SchedParams};
-pub use machine::{AppKind, Call, Event, Machine, MachineConfig, SpawnOpts};
+pub use machine::{AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, SpawnOpts};
 pub use ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 pub use stats::Stats;
 pub use task::{AppId, Behavior, OneShot, RequestMeta, Step, Task, TaskId, TaskState, TaskTable};

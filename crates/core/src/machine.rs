@@ -27,6 +27,8 @@ use crate::conf::{CoreAllocConfig, Platform, PreemptMechanism};
 use crate::ops::{EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use crate::stats::Stats;
 use crate::task::{AppId, Behavior, RequestMeta, Step, Task, TaskId, TaskState, TaskTable};
+#[cfg(feature = "trace")]
+use crate::trace::TraceKind;
 
 /// ESTIMATE — cost of a Linux kernel timer interrupt + scheduler tick path
 /// (IRQ entry/exit, `update_curr`, possible resched). Not measured by the
@@ -300,7 +302,11 @@ pub struct Machine {
     /// earlier placements until this time (ghOSt's transaction commits make
     /// this the throughput bottleneck, §5.2).
     dispatcher_free_at: Nanos,
-    started: bool,
+    pub(crate) started: bool,
+    /// Scheduling trace rings + runtime invariant checker (see
+    /// [`crate::trace`]); fed by [`Machine::handle`] on every event.
+    #[cfg(feature = "trace")]
+    pub tracer: crate::trace::Tracer,
 }
 
 impl Machine {
@@ -348,6 +354,8 @@ impl Machine {
             dispatcher_free_at: Nanos::ZERO,
             plat: cfg.plat,
             started: false,
+            #[cfg(feature = "trace")]
+            tracer: crate::trace::Tracer::new(total),
         }
     }
 
@@ -491,7 +499,10 @@ impl Machine {
     }
 
     /// CPU share of an application over the worker cores since the last
-    /// stats reset (Figure 7c's metric).
+    /// stats reset (Figure 7c's metric). This is the single authoritative
+    /// share computation: it builds on [`Machine::busy_ns`], so tasks that
+    /// are *still running* (a BE spinner that never stops inside the
+    /// measurement window) are counted via their open busy intervals.
     pub fn app_share(&self, app: AppId, now: Nanos) -> f64 {
         let capacity =
             now.saturating_sub(self.stats.since).0 as f64 * self.worker_cores.len() as f64;
@@ -615,8 +626,20 @@ impl Machine {
     // Event handling
     // ------------------------------------------------------------------
 
-    /// Processes one event.
+    /// Processes one event: records it in the scheduling trace, dispatches
+    /// it to its handler, and — with the `trace` feature, in debug/test
+    /// builds — validates the machine invariants afterwards
+    /// ([`crate::trace::violations_of`]).
     pub fn handle(&mut self, ev: Event, q: &mut EventQueue<Event>) {
+        #[cfg(feature = "trace")]
+        self.trace_raw(&ev, q.now());
+        self.dispatch_event(ev, q);
+        #[cfg(feature = "trace")]
+        self.check_invariants(q.now());
+    }
+
+    /// Dispatches one event to its handler.
+    fn dispatch_event(&mut self, ev: Event, q: &mut EventQueue<Event>) {
         match ev {
             Event::TimerFire { core } => self.on_timer_fire(q, core),
             Event::IpiArrive {
@@ -686,6 +709,13 @@ impl Machine {
                     }
                     Recognition::Lost => {
                         self.stats.timer_lost += 1;
+                        #[cfg(feature = "trace")]
+                        self.trace_emit(
+                            q.now(),
+                            Some(core),
+                            self.cores[core].current,
+                            TraceKind::TimerLost,
+                        );
                     }
                     Recognition::Legacy => {}
                 }
@@ -774,13 +804,29 @@ impl Machine {
             }
             IpiPurpose::Revoke => {
                 self.cores[core].revoking = false;
+                // Only an actual grant-state transition counts: a stray or
+                // duplicate revoke on a core the allocator never granted
+                // must not inflate `be_revokes` or disturb the core.
+                if !self.cores[core].granted_to_be {
+                    self.stats.spurious_ipis += 1;
+                    return;
+                }
                 self.cores[core].granted_to_be = false;
                 self.stats.be_revokes += 1;
+                #[cfg(feature = "trace")]
+                self.trace_emit(
+                    q.now(),
+                    Some(core),
+                    self.cores[core].be_task,
+                    TraceKind::Revoke,
+                );
                 if let Some(cur) = self.cores[core].current {
                     if Some(cur) == self.cores[core].be_task {
                         self.park_be_task(q, core, recv);
-                        return;
                     }
+                    // Otherwise an LC task already occupies the core; there
+                    // is nothing to reschedule.
+                    return;
                 }
                 self.schedule_loop(q, core, recv);
             }
@@ -912,8 +958,11 @@ impl Machine {
                     c.idle_checks = 0;
                     c.granted_to_be = true;
                     granted = true;
+                    let be_task = c.be_task;
                     self.stats.be_grants += 1;
-                    if let Some(be_task) = c.be_task {
+                    #[cfg(feature = "trace")]
+                    self.trace_emit(now, Some(core), be_task, TraceKind::Grant);
+                    if let Some(be_task) = be_task {
                         self.run_task(q, core, be_task, Nanos::ZERO);
                     }
                 }
@@ -992,8 +1041,11 @@ impl Machine {
                 return c;
             }
         }
+        // Use the cursor before advancing it so the rotation starts at
+        // worker 0 and visits every worker exactly once per lap.
+        let c = self.worker_cores[self.rr_cursor % self.worker_cores.len()];
         self.rr_cursor = (self.rr_cursor + 1) % self.worker_cores.len();
-        self.worker_cores[self.rr_cursor]
+        c
     }
 
     /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
@@ -1099,6 +1151,8 @@ impl Machine {
         c.incoming = false;
         c.run_start = now;
         c.busy_since = Some((now, app));
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), Some(t), TraceKind::Switch);
         self.advance_task(q, core, overhead);
     }
 
@@ -1184,6 +1238,17 @@ impl Machine {
         }
         self.close_busy(q.now(), core);
         self.tasks.get_mut(t).state = new_state;
+        #[cfg(feature = "trace")]
+        self.trace_emit(
+            q.now(),
+            Some(core),
+            Some(t),
+            if new_state == TaskState::Blocked {
+                TraceKind::Block
+            } else {
+                TraceKind::Yield
+            },
+        );
     }
 
     /// Preempts the current task: remaining work is recomputed from the
@@ -1206,6 +1271,8 @@ impl Machine {
             task.preempt_count += 1;
             task.runnable_since = now;
         }
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), Some(t), TraceKind::Preempt);
         // The §5.2 core allocator parks BE tasks instead of re-enqueueing
         // them into the LC policy.
         if Some(t) == self.cores[core].be_task {
@@ -1232,6 +1299,8 @@ impl Machine {
         task.remaining = remaining;
         task.state = TaskState::Runnable;
         task.preempt_count += 1;
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), Some(t), TraceKind::Park);
         self.schedule_loop(q, core, overhead);
     }
 
@@ -1241,6 +1310,8 @@ impl Machine {
         let now = q.now();
         let t = self.cores[core].current.take().expect("finish idle core");
         self.close_busy(now, core);
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), Some(t), TraceKind::Finish);
         if let Some(req) = self.tasks.get(t).req {
             self.stats
                 .record_request(req.class, now - req.arrival, req.service);

@@ -6,7 +6,7 @@ use skyloft_sim::{EventQueue, Nanos};
 
 use crate::builtin::{CentralizedFcfs, GlobalFifo};
 use crate::conf::{CoreAllocConfig, Platform};
-use crate::machine::{AppKind, Call, Event, Machine, MachineConfig, SpawnOpts};
+use crate::machine::{AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, SpawnOpts};
 use crate::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use crate::task::{Behavior, Step, TaskId, TaskTable};
 
@@ -372,6 +372,181 @@ fn stats_reset_clears_but_keeps_busy_anchors() {
     // Busy time counted after reset must be ~4 ms, not 5.
     let busy = m.stats.busy_by_app[0];
     assert!((3_500_000..4_500_000).contains(&busy), "busy {busy}");
+}
+
+#[test]
+fn round_robin_placement_starts_at_worker_zero() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// FIFO that records the core hint of every enqueue.
+    struct RecordingFifo {
+        queue: std::collections::VecDeque<TaskId>,
+        placements: Rc<RefCell<Vec<Option<CoreId>>>>,
+    }
+    impl Policy for RecordingFifo {
+        fn name(&self) -> &'static str {
+            "recording-fifo"
+        }
+        fn kind(&self) -> PolicyKind {
+            PolicyKind::PerCpu
+        }
+        fn sched_init(&mut self, _env: &SchedEnv) {}
+        fn task_init(&mut self, _t: &mut TaskTable, _id: TaskId, _now: Nanos) {}
+        fn task_terminate(&mut self, _t: &mut TaskTable, _id: TaskId, _now: Nanos) {}
+        fn task_enqueue(
+            &mut self,
+            _t: &mut TaskTable,
+            id: TaskId,
+            cpu: Option<CoreId>,
+            _f: EnqueueFlags,
+            _now: Nanos,
+        ) {
+            self.placements.borrow_mut().push(cpu);
+            self.queue.push_back(id);
+        }
+        fn task_dequeue(
+            &mut self,
+            _t: &mut TaskTable,
+            _cpu: CoreId,
+            _now: Nanos,
+        ) -> Option<TaskId> {
+            self.queue.pop_front()
+        }
+    }
+
+    let placements = Rc::new(RefCell::new(Vec::new()));
+    let (mut m, mut q) = percpu_machine(
+        3,
+        Box::new(RecordingFifo {
+            queue: Default::default(),
+            placements: placements.clone(),
+        }),
+    );
+    // Occupy every worker with a long pinned task.
+    for c in 0..3 {
+        m.spawn_request(&mut q, 0, Nanos::from_ms(10), 0, Some(c));
+    }
+    m.run(&mut q, Nanos::from_us(5));
+    for c in 0..3 {
+        assert!(m.cores[c].current.is_some(), "core {c} should be busy");
+    }
+    placements.borrow_mut().clear();
+    // Never-run, unpinned tasks arriving while every core is busy must be
+    // spread round-robin starting at worker 0 — regression test for the
+    // cursor being advanced before use, which made worker 0 the *last*
+    // choice of every lap.
+    for _ in 0..3 {
+        m.spawn_request(&mut q, 0, Nanos::from_us(1), 0, None);
+    }
+    assert_eq!(*placements.borrow(), vec![Some(0), Some(1), Some(2)]);
+}
+
+#[test]
+fn revoke_counters_track_state_transitions() {
+    let alloc = CoreAllocConfig {
+        interval: Nanos::from_us(5),
+        congestion_delay: Nanos::from_us(10),
+        grant_after_idle_checks: 2,
+    };
+    let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(30)), Some(alloc));
+    m.add_app("batch", AppKind::Be);
+    m.start(&mut q);
+
+    // A stray revoke IPI at a core the allocator never granted must not
+    // count as a revocation or disturb the core's grant state.
+    m.handle(
+        Event::IpiArrive {
+            core: 0,
+            purpose: IpiPurpose::Revoke,
+            expect: None,
+        },
+        &mut q,
+    );
+    assert_eq!(m.stats.be_revokes, 0);
+    assert!(m.stats.spurious_ipis >= 1);
+
+    // Idle LC: the allocator grants cores to the BE app.
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.stats.be_grants >= 1, "grants {}", m.stats.be_grants);
+    let core = m
+        .worker_cores
+        .iter()
+        .copied()
+        .find(|&c| m.cores[c].granted_to_be)
+        .expect("a granted core");
+
+    // A real revoke counts exactly once and clears the grant...
+    let before = m.stats.be_revokes;
+    m.handle(
+        Event::IpiArrive {
+            core,
+            purpose: IpiPurpose::Revoke,
+            expect: None,
+        },
+        &mut q,
+    );
+    assert_eq!(m.stats.be_revokes, before + 1);
+    assert!(!m.cores[core].granted_to_be);
+
+    // ...and a duplicate revoke for the same core is spurious.
+    m.handle(
+        Event::IpiArrive {
+            core,
+            purpose: IpiPurpose::Revoke,
+            expect: None,
+        },
+        &mut q,
+    );
+    assert_eq!(m.stats.be_revokes, before + 1);
+}
+
+#[test]
+fn app_share_counts_still_running_be_spinner() {
+    let alloc = CoreAllocConfig::default();
+    let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(30)), Some(alloc));
+    let be = m.add_app("batch", AppKind::Be);
+    m.start(&mut q);
+    m.run(&mut q, Nanos::from_ms(2));
+    m.reset_stats(q.now());
+    m.run(&mut q, Nanos::from_ms(5));
+    let now = q.now();
+    // The spinner has been running the whole window without stopping, so
+    // its busy interval is still open: the closed-interval counter alone
+    // undercounts, and the share must come from `Machine::busy_ns`.
+    assert!(
+        m.busy_ns(be, now) > m.stats.busy_by_app[be],
+        "open interval missing: busy_ns {} vs closed {}",
+        m.busy_ns(be, now),
+        m.stats.busy_by_app[be]
+    );
+    let share = m.app_share(be, now);
+    assert!(share > 0.8, "running spinner must be counted: {share}");
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn trace_records_events_and_exports_chrome_json() {
+    use crate::trace::TraceKind;
+
+    let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
+    m.spawn_request(&mut q, 0, Nanos::from_us(30), 0, None);
+    m.spawn_request(&mut q, 0, Nanos::from_us(30), 1, None);
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.tracer.checker.checks_run() > 0, "checker must have run");
+    assert!(m.tracer.checker.violations().is_empty());
+    let kinds: Vec<_> = m.tracer.events().map(|e| e.kind).collect();
+    for kind in [TraceKind::TimerFire, TraceKind::Switch, TraceKind::Finish] {
+        assert!(kinds.contains(&kind), "missing {kind:?} in {kinds:?}");
+    }
+    let json = m.trace_to_chrome_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"X\""), "run slices present");
+    assert!(
+        json.contains("\"name\":\"app0/"),
+        "slices named by app/task"
+    );
 }
 
 #[test]

@@ -106,17 +106,11 @@ impl Stats {
             self.completed as f64 / dt
         }
     }
-
-    /// Busy share of application `app` over `n_cores` cores since the last
-    /// reset (Figure 7c's metric).
-    pub fn app_share(&self, app: usize, n_cores: usize, now: Nanos) -> f64 {
-        let dt = (now - self.since).0 as f64 * n_cores as f64;
-        if dt <= 0.0 {
-            return 0.0;
-        }
-        self.busy_by_app.get(app).copied().unwrap_or(0) as f64 / dt
-    }
 }
+
+// NOTE: CPU-share computation lives in `Machine::app_share` (which also
+// counts the open busy intervals of still-running tasks); `Stats` only
+// stores the closed-interval counters it builds on.
 
 #[cfg(test)]
 mod tests {
@@ -160,16 +154,5 @@ mod tests {
         let rps = s.achieved_rps(Nanos::from_secs(1));
         assert!((rps - 500.0).abs() < 1e-9);
         assert_eq!(s.achieved_rps(Nanos::ZERO), 0.0);
-    }
-
-    #[test]
-    fn app_share_math() {
-        let mut s = Stats::new();
-        s.busy_by_app = vec![500_000_000, 250_000_000];
-        let share0 = s.app_share(0, 1, Nanos::from_secs(1));
-        assert!((share0 - 0.5).abs() < 1e-9);
-        let share1 = s.app_share(1, 2, Nanos::from_secs(1));
-        assert!((share1 - 0.125).abs() < 1e-9);
-        assert_eq!(s.app_share(5, 1, Nanos::from_secs(1)), 0.0);
     }
 }

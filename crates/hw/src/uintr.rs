@@ -162,6 +162,12 @@ impl UintrFabric {
         &self.upids[id.0]
     }
 
+    /// UPID of the receiver context currently bound to `core`, if any
+    /// (invariant checkers verify bindings stay intact across events).
+    pub fn receiver_upid(&self, core: CoreId) -> Option<UpidId> {
+        self.cores[core].upid
+    }
+
     /// Sets or clears the Suppress-Notification bit of a UPID.
     pub fn set_sn(&mut self, id: UpidId, sn: bool) {
         self.upids[id.0].sn = sn;
@@ -464,6 +470,15 @@ mod tests {
         f.unbind_receiver(0);
         assert!(!f.deliverable(0));
         assert_eq!(f.on_interrupt_arrival(0, NV), Recognition::Legacy);
+    }
+
+    #[test]
+    fn receiver_upid_tracks_bind_and_unbind() {
+        let (mut f, upid) = fabric_with_receiver(1);
+        assert_eq!(f.receiver_upid(1), Some(upid));
+        assert_eq!(f.receiver_upid(0), None);
+        f.unbind_receiver(1);
+        assert_eq!(f.receiver_upid(1), None);
     }
 
     #[test]

@@ -1,11 +1,9 @@
 //! Load/latency series: the data behind every figure in the evaluation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Histogram;
 
 /// One measured point of a latency-vs-load curve.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoadPoint {
     /// Offered load in requests per second.
     pub offered_rps: f64,
@@ -40,7 +38,7 @@ impl LoadPoint {
 }
 
 /// A named curve: one scheduler/system across a load sweep.
-#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Series {
     /// Display name of the system (e.g. `"Skyloft-Shinjuku (30us)"`).
     pub name: String,

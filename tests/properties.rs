@@ -216,4 +216,76 @@ proptest! {
         prop_assert_eq!(m.apps[0].live_tasks, 0);
         prop_assert_eq!(m.stats.timer_lost, 0);
     }
+
+    /// Random workloads across machine shapes (per-CPU user timers,
+    /// centralized dispatch with the core allocator and a BE app, utimer
+    /// emulation) run with the runtime invariant checker validating the
+    /// machine after every event: zero violations, zero lost timer
+    /// interrupts, and every request still completes exactly once.
+    #[test]
+    fn machine_invariants_hold_on_random_workloads(
+        reqs in prop::collection::vec((1u64..150_000, 0usize..4), 1..30),
+        shape in 0u8..4,
+        seed in 0u64..1_000,
+    ) {
+        use skyloft::builtin::CentralizedFcfs;
+        use skyloft::machine::{AppKind, Machine, MachineConfig};
+        use skyloft::{CoreAllocConfig, Platform, PreemptMechanism};
+        let workers = 3usize;
+        let topo = skyloft_hw::Topology::single(workers + 1);
+        let (plat, core_alloc, utimer, policy): (Platform, _, _, Box<dyn Policy>) = match shape {
+            0 => (
+                Platform::skyloft_percpu(topo, 100_000),
+                None,
+                None,
+                Box::new(WorkStealing::new(Some(Nanos::from_us(20)))),
+            ),
+            1 => (
+                Platform::skyloft_percpu(topo, 100_000),
+                None,
+                None,
+                Box::new(Cfs::new(skyloft::SchedParams::SKYLOFT_CFS)),
+            ),
+            2 => (
+                Platform::skyloft_centralized(topo),
+                Some(CoreAllocConfig::default()),
+                None,
+                Box::new(CentralizedFcfs::new(Some(Nanos::from_us(30)))),
+            ),
+            _ => {
+                let mut p = Platform::skyloft_percpu(topo, 100_000);
+                p.mech = PreemptMechanism::UserIpi;
+                (
+                    p,
+                    None,
+                    Some(Nanos::from_us(5)),
+                    Box::new(WorkStealing::new(Some(Nanos::from_us(20)))),
+                )
+            }
+        };
+        let cfg = MachineConfig {
+            plat,
+            n_workers: workers,
+            seed,
+            core_alloc,
+            utimer_period: utimer,
+        };
+        let mut m = Machine::new(cfg, policy);
+        m.add_app("lc", AppKind::Lc);
+        if shape == 2 {
+            m.add_app("batch", AppKind::Be);
+        }
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        let n = reqs.len() as u64;
+        for (i, (svc, pin)) in reqs.into_iter().enumerate() {
+            let pin = (pin < workers).then_some(pin);
+            m.spawn_request(&mut q, 0, Nanos(svc), (i % 4) as u8, pin);
+        }
+        m.run(&mut q, Nanos::from_ms(10));
+        prop_assert_eq!(m.stats.completed, n);
+        prop_assert_eq!(m.stats.timer_lost, 0);
+        prop_assert!(m.tracer.checker.checks_run() > 0);
+        prop_assert!(m.tracer.checker.violations().is_empty());
+    }
 }

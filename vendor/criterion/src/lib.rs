@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`bench_function`, `iter`, `iter_custom`, `iter_batched`, the
+//! `criterion_group!`/`criterion_main!` macros) with a plain
+//! measure-and-print loop instead of criterion's statistics. Good enough
+//! to keep `cargo bench` compiling and producing indicative numbers
+//! without network access to crates.io.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint (ignored by this stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm up and find an iteration count that fills a sample.
+        let warm_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_end {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed < Duration::from_micros(100) {
+                b.iters = (b.iters * 2).min(1 << 24);
+            }
+        }
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        if b.elapsed > Duration::ZERO && b.elapsed < per_sample {
+            let scale = per_sample.as_nanos() / b.elapsed.as_nanos().max(1);
+            b.iters = (b.iters.saturating_mul(scale as u64)).clamp(1, 1 << 24);
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{name:<44} {per_iter:>12.1} ns/iter ({iters} iters)");
+        self
+    }
+
+    /// Criterion's config finalizer (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Criterion's report finalizer (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations the closure must perform per sample.
+    pub iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+    }
+
+    /// Lets the closure time itself over `iters` iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed += f(self.iters);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
