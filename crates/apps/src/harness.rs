@@ -8,10 +8,10 @@
 
 use skyloft::machine::{Event, Machine};
 use skyloft_metrics::{LoadPoint, Series};
-use skyloft_net::loadgen::OpenLoop;
+use skyloft_net::loadgen::{NetProfile, OpenLoop};
 use skyloft_sim::{Distribution, EventQueue, Nanos};
 
-use crate::synthetic::{install_open_loop, Placement};
+use crate::synthetic::{install_open_loop_net, Placement};
 
 /// Sweep parameters.
 #[derive(Clone)]
@@ -38,6 +38,10 @@ pub struct SweepSpec {
     /// Chrome-trace JSON (each point overwrites the previous one, so the
     /// file ends up holding the last point of the sweep).
     pub trace: Option<std::path::PathBuf>,
+    /// Lossy-network profile; `None` models the perfect wire. Timed-out
+    /// requests enter the histograms at the timeout value (see
+    /// [`crate::synthetic::install_open_loop_net`]).
+    pub net: Option<NetProfile>,
 }
 
 impl SweepSpec {
@@ -58,6 +62,7 @@ impl SweepSpec {
             measure: Nanos::from_ms(300),
             seed: SKY_SEED,
             trace: trace_arg(),
+            net: None,
         }
     }
 }
@@ -94,7 +99,14 @@ pub fn run_point(
         spec.seed ^ (rate as u64),
     );
     let end = spec.warmup + spec.measure;
-    install_open_loop(&mut q, gen, spec.app, spec.placement.clone(), end);
+    install_open_loop_net(
+        &mut q,
+        gen,
+        spec.app,
+        spec.placement.clone(),
+        end,
+        spec.net.clone(),
+    );
     m.run(&mut q, spec.warmup);
     m.reset_stats(q.now());
     // Arrivals stop exactly at `end`; requests still in flight then are

@@ -9,7 +9,8 @@
 use skyloft::machine::{Call, Event, Machine};
 use skyloft::task::{OneShot, RequestMeta};
 use skyloft::SpawnOpts;
-use skyloft_net::loadgen::OpenLoop;
+use skyloft_net::loadgen::{NetProfile, OpenLoop};
+use skyloft_net::nic::PacketFate;
 use skyloft_net::rss::RssHasher;
 use skyloft_sim::{Distribution, EventQueue, Nanos};
 
@@ -53,14 +54,34 @@ pub fn install_open_loop(
     placement: Placement,
     until: Nanos,
 ) {
+    install_open_loop_net(q, gen, app, placement, until, None);
+}
+
+/// [`install_open_loop`] with an optional lossy network: each request
+/// datagram draws a fate from the profile's [`skyloft_net::LossModel`].
+/// Dropped requests never reach the server; the client times out and the
+/// request is *recorded at the timeout value* in the latency histograms
+/// (`stats.timeouts`, `stats.net_dropped`) — excluding it would understate
+/// the tail exactly when the system is misbehaving. Duplicated requests
+/// cost the server a second execution whose response is discarded
+/// (`stats.net_duplicated`).
+pub fn install_open_loop_net(
+    q: &mut EventQueue<Event>,
+    gen: OpenLoop,
+    app: usize,
+    placement: Placement,
+    until: Nanos,
+    net: Option<NetProfile>,
+) {
     let base = q.now();
     let rss = match &placement {
         Placement::Rss { n } => Some(RssHasher::new(*n)),
         Placement::Queue => None,
     };
-    schedule_next(q, gen, app, rss, base, until, 0);
+    schedule_next(q, gen, app, rss, base, until, 0, net);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn schedule_next(
     q: &mut EventQueue<Event>,
     mut gen: OpenLoop,
@@ -69,6 +90,7 @@ fn schedule_next(
     base: Nanos,
     until: Nanos,
     seq: u64,
+    net: Option<NetProfile>,
 ) {
     let Some(req) = gen.next() else { return };
     let at = base + req.at;
@@ -78,6 +100,11 @@ fn schedule_next(
     q.schedule(
         at,
         Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+            let mut net = net;
+            let fate = match net.as_mut() {
+                Some(p) => p.loss.fate(),
+                None => PacketFate::Deliver,
+            };
             let (pin, overhead) = match &rss {
                 Some(h) => {
                     // Model a distinct client flow per request (varying
@@ -88,23 +115,59 @@ fn schedule_next(
                 }
                 None => (None, Nanos::ZERO),
             };
-            let meta = RequestMeta {
-                arrival: q.now(),
-                service: req.service,
-                class: req.class,
-            };
-            m.spawn(
-                q,
-                Box::new(OneShot::new(req.service + overhead)),
-                SpawnOpts {
-                    app,
-                    pin,
-                    req: Some(meta),
-                    weight: 1024,
-                    record_wakeup: false,
-                },
-            );
-            schedule_next(q, gen, app, rss, base, until, seq + 1);
+            match fate {
+                PacketFate::Drop => {
+                    // The request never reaches the server; the client
+                    // learns at its timeout and the sample enters the
+                    // histograms at that value.
+                    m.stats.net_dropped += 1;
+                    let timeout = net.as_ref().expect("drop implies profile").timeout;
+                    let class = req.class;
+                    let service = req.service;
+                    q.schedule_after(
+                        timeout,
+                        Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
+                            m.stats.record_timeout(class, timeout, service);
+                        }))),
+                    );
+                }
+                PacketFate::Deliver | PacketFate::Duplicate => {
+                    let meta = RequestMeta {
+                        arrival: q.now(),
+                        service: req.service,
+                        class: req.class,
+                    };
+                    m.spawn(
+                        q,
+                        Box::new(OneShot::new(req.service + overhead)),
+                        SpawnOpts {
+                            app,
+                            pin,
+                            req: Some(meta),
+                            weight: 1024,
+                            record_wakeup: false,
+                        },
+                    );
+                    if fate == PacketFate::Duplicate {
+                        // The server does the work twice; the client keeps
+                        // the first response, so the copy carries no
+                        // request accounting.
+                        m.stats.net_duplicated += 1;
+                        m.spawn(
+                            q,
+                            Box::new(OneShot::new(req.service + overhead)),
+                            SpawnOpts {
+                                app,
+                                pin,
+                                req: None,
+                                weight: 1024,
+                                record_wakeup: false,
+                            },
+                        );
+                    }
+                }
+            }
+            schedule_next(q, gen, app, rss, base, until, seq + 1, net);
         }))),
     );
 }
@@ -153,6 +216,86 @@ mod tests {
             "completed {}",
             m.stats.completed
         );
+    }
+
+    #[test]
+    fn lossy_net_accounts_timeouts_in_the_tail() {
+        let build = || {
+            let cfg = MachineConfig {
+                plat: Platform::skyloft_centralized(Topology::single(5)),
+                n_workers: 4,
+                seed: 3,
+                core_alloc: None,
+                utimer_period: None,
+            };
+            let mut m = Machine::new(
+                cfg,
+                Box::new(CentralizedFcfs::new(Some(Nanos::from_us(30)))),
+            );
+            m.add_app("lc", AppKind::Lc);
+            let mut q = EventQueue::new();
+            m.start(&mut q);
+            (m, q)
+        };
+        let gen = || {
+            OpenLoop::new(
+                50_000.0,
+                Distribution::Constant(Nanos::from_us(10)),
+                Nanos::from_us(100),
+                9,
+            )
+        };
+        let timeout = Nanos::from_ms(1);
+        let (mut lossy, mut q) = build();
+        install_open_loop_net(
+            &mut q,
+            gen(),
+            0,
+            Placement::Queue,
+            Nanos::from_ms(20),
+            Some(NetProfile::lossy(4, 0.10, 0.05, timeout)),
+        );
+        lossy.run(&mut q, Nanos::from_ms(40));
+        assert!(
+            lossy.stats.net_dropped > 50,
+            "drops {}",
+            lossy.stats.net_dropped
+        );
+        assert!(
+            lossy.stats.net_duplicated > 20,
+            "dups {}",
+            lossy.stats.net_duplicated
+        );
+        assert_eq!(
+            lossy.stats.timeouts, lossy.stats.net_dropped,
+            "every drop surfaces as a timeout sample"
+        );
+        // Timeouts sit in the histogram at the timeout value, so the tail
+        // reflects the loss instead of silently excluding it.
+        let (mut clean, mut q2) = build();
+        install_open_loop_net(
+            &mut q2,
+            gen(),
+            0,
+            Placement::Queue,
+            Nanos::from_ms(20),
+            None,
+        );
+        clean.run(&mut q2, Nanos::from_ms(40));
+        assert_eq!(clean.stats.timeouts, 0);
+        let lossy_count = lossy.stats.resp_hist.count();
+        assert_eq!(
+            lossy_count,
+            lossy.stats.completed + lossy.stats.timeouts,
+            "histogram denominator = completions + timeouts"
+        );
+        assert!(
+            lossy.stats.resp_hist.percentile(99.0) >= timeout.0,
+            "p99 {} should be dominated by {} ns timeouts",
+            lossy.stats.resp_hist.percentile(99.0),
+            timeout.0
+        );
+        assert!(clean.stats.resp_hist.percentile(99.0) < timeout.0 / 2);
     }
 
     #[test]

@@ -1,0 +1,798 @@
+//! Deterministic fault injection and recovery (the "chaos" layer).
+//!
+//! Skyloft's correctness rests on fragile per-event disciplines: the §3.2
+//! SN-armed-PIR timer trick silently degrades to run-to-completion if a
+//! single self-IPI is lost, the Single Binding Rule dies with a stalled
+//! kernel thread, and §6's blocking events take a core out mid-request.
+//! This module makes those failure modes *first-class and reproducible*:
+//!
+//! * A seeded [`FaultPlan`] describes which faults to inject — dropped or
+//!   delayed timer-arming self-IPIs, dropped/delayed preempt and revoke
+//!   IPIs, page faults of running kernel threads, execution stalls of
+//!   whole cores. Plans draw from their own deterministic RNG
+//!   ([`ChaosEngine`]), so a `(machine seed, plan seed)` pair replays
+//!   bit-identically.
+//! * The recovery half ([`crate::conf::RecoveryConfig`]) is the framework
+//!   learning to survive them: a watchdog that re-arms a lost §3.2 arming
+//!   and migrates the runqueue of a stalled worker, bounded
+//!   retry-with-backoff on §5.2 revoke IPIs, and end-to-end wiring of the
+//!   §6 [`FaultMonitor`] so a page fault parks the thread and a substitute
+//!   application's thread takes the core mid-run.
+//!
+//! Injection happens at the existing `Machine::handle` choke points, and
+//! every recovery action flows through the `trace` layer, so the runtime
+//! invariant checker validates the machine *through* each fault, not just
+//! around it. The whole module sits behind the `chaos` cargo feature (on
+//! by default); `--no-default-features` compiles it out entirely, leaving
+//! zero cost on the event hot path. Even when compiled in, nothing fires
+//! until [`Machine::install_fault_plan`] is called — machines without a
+//! plan process exactly the same event stream as a chaos-free build.
+//!
+//! [`FaultMonitor`]: skyloft_kmod::FaultMonitor
+
+use skyloft_hw::CoreId;
+use skyloft_kmod::{KthreadState, Tid};
+use skyloft_sim::{Distribution, EventQueue, Nanos, Rng};
+
+use crate::conf::PreemptMechanism;
+use crate::machine::{CoreRole, Event, IpiPurpose, Machine};
+use crate::ops::{EnqueueFlags, PolicyKind};
+use crate::task::{AppId, TaskId, TaskState};
+#[cfg(feature = "trace")]
+use crate::trace::TraceKind;
+
+/// A recurring injected fault: occurrences arrive as a Poisson process
+/// with the given mean interval, each lasting `duration`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeriodicFault {
+    /// Mean gap between occurrences (exponentially distributed).
+    pub mean_interval: Nanos,
+    /// How long each occurrence lasts.
+    pub duration: Nanos,
+}
+
+/// A seeded, deterministic description of which faults to inject.
+///
+/// All probabilities are per-opportunity: `drop_arming_p` is evaluated at
+/// every delivered user-timer interrupt, the IPI knobs at every sent
+/// preempt/revoke notification. The default plan injects nothing (useful
+/// to enable the recovery machinery without faults).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injection RNG (independent of the machine seed).
+    pub seed: u64,
+    /// Probability that the §3.2 handler's re-arm self-IPI is lost before
+    /// reaching the PIR (evaluated per delivered timer interrupt).
+    pub drop_arming_p: f64,
+    /// Probability that a preempt IPI notification is lost in the fabric.
+    pub drop_preempt_p: f64,
+    /// With probability `.0`, delay a preempt IPI by `.1`.
+    pub delay_preempt: Option<(f64, Nanos)>,
+    /// Probability that a §5.2 revoke IPI notification is lost.
+    pub drop_revoke_p: f64,
+    /// With probability `.0`, delay a revoke IPI by `.1`.
+    pub delay_revoke: Option<(f64, Nanos)>,
+    /// Page-fault a running kernel thread on a random worker (§6).
+    pub page_fault: Option<PeriodicFault>,
+    /// Stall a random busy worker (SMI / host-interference model).
+    pub stall: Option<PeriodicFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the arming-drop probability.
+    pub fn drop_arming(mut self, p: f64) -> Self {
+        self.drop_arming_p = p;
+        self
+    }
+
+    /// Sets the preempt-IPI drop probability.
+    pub fn drop_preempt(mut self, p: f64) -> Self {
+        self.drop_preempt_p = p;
+        self
+    }
+
+    /// Delays preempt IPIs by `d` with probability `p`.
+    pub fn delay_preempt(mut self, p: f64, d: Nanos) -> Self {
+        self.delay_preempt = Some((p, d));
+        self
+    }
+
+    /// Sets the revoke-IPI drop probability.
+    pub fn drop_revoke(mut self, p: f64) -> Self {
+        self.drop_revoke_p = p;
+        self
+    }
+
+    /// Delays revoke IPIs by `d` with probability `p`.
+    pub fn delay_revoke(mut self, p: f64, d: Nanos) -> Self {
+        self.delay_revoke = Some((p, d));
+        self
+    }
+
+    /// Page-faults a random running kernel thread for `duration`, at mean
+    /// intervals of `mean_interval`.
+    pub fn page_faults(mut self, mean_interval: Nanos, duration: Nanos) -> Self {
+        self.page_fault = Some(PeriodicFault {
+            mean_interval,
+            duration,
+        });
+        self
+    }
+
+    /// Stalls a random busy worker for `duration`, at mean intervals of
+    /// `mean_interval`.
+    pub fn stalls(mut self, mean_interval: Nanos, duration: Nanos) -> Self {
+        self.stall = Some(PeriodicFault {
+            mean_interval,
+            duration,
+        });
+        self
+    }
+}
+
+/// Counters of faults actually injected while a plan ran.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosStats {
+    /// §3.2 re-arm self-IPIs dropped.
+    pub armings_dropped: u64,
+    /// Preempt IPI notifications dropped.
+    pub preempts_dropped: u64,
+    /// Preempt IPI notifications delayed.
+    pub preempts_delayed: u64,
+    /// Revoke IPI notifications dropped.
+    pub revokes_dropped: u64,
+    /// Revoke IPI notifications delayed.
+    pub revokes_delayed: u64,
+    /// Page faults injected into running kernel threads.
+    pub page_faults_injected: u64,
+    /// Core stalls injected.
+    pub stalls_injected: u64,
+}
+
+/// An installed [`FaultPlan`] plus its RNG and injection counters.
+#[derive(Clone, Debug)]
+pub struct ChaosEngine {
+    /// The plan being executed.
+    pub plan: FaultPlan,
+    /// What was injected so far.
+    pub stats: ChaosStats,
+    rng: Rng,
+}
+
+impl ChaosEngine {
+    /// Builds an engine for `plan`, seeding the injection RNG from it.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosEngine {
+            rng: Rng::seed_from_u64(plan.seed ^ 0xC4A0_5BAD),
+            plan,
+            stats: ChaosStats::default(),
+        }
+    }
+}
+
+/// Chaos-layer simulation events, wrapped as [`Event::Chaos`].
+#[derive(Clone, Copy, Debug)]
+pub enum ChaosEvent {
+    /// Periodic recovery scan: re-arm lost §3.2 armings, detect stalled
+    /// workers (models a monitor thread on a non-isolated core).
+    Watchdog,
+    /// Injector tick: page-fault a random running kernel thread.
+    PageFaultTick,
+    /// Injector tick: stall a random busy worker.
+    StallTick,
+    /// An injected page fault resolved (the userfaultfd monitor served the
+    /// page); the blocked thread becomes parked again.
+    FaultResolve {
+        /// Core the faulted thread is bound to.
+        core: CoreId,
+        /// The faulted kernel thread.
+        tid: Tid,
+    },
+    /// Bounded-retry timer for an in-flight §5.2 revoke.
+    RevokeRetry {
+        /// Core being revoked.
+        core: CoreId,
+        /// Revoke-cycle generation (stale retries are ignored).
+        epoch: u32,
+        /// Resends performed so far.
+        attempt: u32,
+    },
+}
+
+impl Machine {
+    /// Installs a fault plan. Must be called before [`Machine::start`];
+    /// starting a machine with a plan installed also activates the
+    /// recovery machinery configured in [`Machine::recovery`]
+    /// (set `recovery = RecoveryConfig::disabled()` to watch the faults
+    /// run their course).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install fault plans before start()");
+        self.chaos = Some(ChaosEngine::new(plan));
+    }
+
+    /// Whether core `core`'s §3.2 arming is currently known-lost to an
+    /// injected fault (the invariant checker tolerates an empty PIR only
+    /// in this state).
+    pub fn core_arming_lost(&self, core: CoreId) -> bool {
+        self.cores[core].arming_lost
+    }
+
+    /// Schedules the chaos machinery at start time. Nothing is scheduled
+    /// without an installed plan, so plan-free machines process exactly
+    /// the event stream a chaos-free build would.
+    pub(crate) fn chaos_start(&mut self, q: &mut EventQueue<Event>) {
+        if self.chaos.is_none() {
+            return;
+        }
+        let watchdog_useful = (self.recovery.rearm_timers
+            && matches!(self.plat.mech, PreemptMechanism::UserTimer { .. }))
+            || (self.recovery.migrate_on_stall && self.policy.kind() == PolicyKind::PerCpu);
+        if watchdog_useful {
+            q.schedule_after(
+                self.recovery.watchdog_period,
+                Event::Chaos(ChaosEvent::Watchdog),
+            );
+        }
+        let eng = self.chaos.as_mut().expect("plan installed");
+        if let Some(pf) = eng.plan.page_fault {
+            let gap = Distribution::Exponential(pf.mean_interval).sample(&mut eng.rng);
+            q.schedule_after(gap.max(Nanos(1)), Event::Chaos(ChaosEvent::PageFaultTick));
+        }
+        if let Some(st) = eng.plan.stall {
+            let gap = Distribution::Exponential(st.mean_interval).sample(&mut eng.rng);
+            q.schedule_after(gap.max(Nanos(1)), Event::Chaos(ChaosEvent::StallTick));
+        }
+    }
+
+    /// Dispatches a chaos event to its handler.
+    pub(crate) fn on_chaos_event(&mut self, ev: ChaosEvent, q: &mut EventQueue<Event>) {
+        match ev {
+            ChaosEvent::Watchdog => self.on_watchdog(q),
+            ChaosEvent::PageFaultTick => self.on_page_fault_tick(q),
+            ChaosEvent::StallTick => self.on_stall_tick(q),
+            ChaosEvent::FaultResolve { core, tid } => self.on_fault_resolve(q, core, tid),
+            ChaosEvent::RevokeRetry {
+                core,
+                epoch,
+                attempt,
+            } => self.on_revoke_retry(q, core, epoch, attempt),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Injection hooks (called from the machine's event handlers)
+    // ------------------------------------------------------------------
+
+    /// Whether the §3.2 handler's re-arm self-IPI should be dropped now.
+    /// Marks the core's arming as lost so the watchdog (and the invariant
+    /// checker's budget) know the empty PIR is an injected state.
+    pub(crate) fn chaos_drop_arming(&mut self, core: CoreId) -> bool {
+        let Some(eng) = self.chaos.as_mut() else {
+            return false;
+        };
+        if !eng.rng.chance(eng.plan.drop_arming_p) {
+            return false;
+        }
+        eng.stats.armings_dropped += 1;
+        self.cores[core].arming_lost = true;
+        true
+    }
+
+    /// Fate of a preempt/revoke notification: `None` means the fabric lost
+    /// it (any posted PIR bit stays set, but the core is never
+    /// interrupted); `Some(d)` adds `d` of extra delivery latency.
+    pub(crate) fn chaos_ipi_extra_delay(&mut self, purpose: IpiPurpose) -> Option<Nanos> {
+        let Some(eng) = self.chaos.as_mut() else {
+            return Some(Nanos::ZERO);
+        };
+        let (drop_p, delay) = match purpose {
+            IpiPurpose::Preempt => (eng.plan.drop_preempt_p, eng.plan.delay_preempt),
+            IpiPurpose::Revoke => (eng.plan.drop_revoke_p, eng.plan.delay_revoke),
+        };
+        if eng.rng.chance(drop_p) {
+            match purpose {
+                IpiPurpose::Preempt => eng.stats.preempts_dropped += 1,
+                IpiPurpose::Revoke => eng.stats.revokes_dropped += 1,
+            }
+            return None;
+        }
+        if let Some((p, d)) = delay {
+            if eng.rng.chance(p) {
+                match purpose {
+                    IpiPurpose::Preempt => eng.stats.preempts_delayed += 1,
+                    IpiPurpose::Revoke => eng.stats.revokes_delayed += 1,
+                }
+                return Some(d);
+            }
+        }
+        Some(Nanos::ZERO)
+    }
+
+    /// If `core` is inside an injected stall, the instant it resumes.
+    pub(crate) fn stall_resume_at(&self, core: CoreId, now: Nanos) -> Option<Nanos> {
+        let until = self.cores[core].stalled_until;
+        (until > now).then_some(until)
+    }
+
+    /// Records a progress heartbeat for `core` (tick processed, task
+    /// switched in, segment completed) — the watchdog's stall signal.
+    pub(crate) fn note_progress(&mut self, core: CoreId, now: Nanos) {
+        self.cores[core].last_progress = now;
+    }
+
+    /// Whether application `app` can take core `core` right now: either
+    /// its kernel thread is already active there, or it is parked and
+    /// wakeable/switchable (not fault-blocked).
+    pub(crate) fn kthread_ready(&self, core: CoreId, app: AppId) -> bool {
+        let c = &self.cores[core];
+        if c.cur_app == Some(app) {
+            return true;
+        }
+        match c.kthreads.get(app) {
+            Some(&tid) => matches!(
+                self.kmod.kthread(tid).map(|t| t.state),
+                Ok(KthreadState::Inactive)
+            ),
+            None => false,
+        }
+    }
+
+    /// Whether the centralized dispatcher may place work on `core`: cores
+    /// with an unresolved fault-blocked thread are skipped (conservative —
+    /// the §6 substitute may still run its own app's queued work through
+    /// the per-core loop).
+    pub(crate) fn core_usable(&self, core: CoreId) -> bool {
+        self.kmod.fault_blocked_on(core).is_none()
+    }
+
+    /// Dequeue-side readiness filter for the per-CPU loop: skips tasks
+    /// whose application cannot take `core` right now (its kernel thread
+    /// is fault-blocked), re-queueing them for after resolution. A no-op
+    /// without an installed plan.
+    pub(crate) fn filter_ready(
+        &mut self,
+        core: CoreId,
+        first: Option<TaskId>,
+        now: Nanos,
+    ) -> Option<TaskId> {
+        if self.chaos.is_none() {
+            return first;
+        }
+        let mut skipped = Vec::new();
+        let mut cand = first;
+        while let Some(t) = cand {
+            if self.kthread_ready(core, self.tasks.get(t).app) {
+                break;
+            }
+            skipped.push(t);
+            cand = self.policy.task_dequeue(&mut self.tasks, core, now);
+        }
+        for t in skipped {
+            self.policy
+                .task_enqueue(&mut self.tasks, t, Some(core), EnqueueFlags::Preempted, now);
+        }
+        cand
+    }
+
+    /// Arms the bounded revoke-retry timer after the §5.2 allocator sends
+    /// a revoke IPI. Retries only run while a fault plan is installed (the
+    /// only source of lost revokes in this simulated world).
+    pub(crate) fn after_revoke_sent(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
+        if self.chaos.is_none() || self.recovery.revoke_retry_budget == 0 {
+            return;
+        }
+        let epoch = self.cores[core].revoke_epoch.wrapping_add(1);
+        self.cores[core].revoke_epoch = epoch;
+        q.schedule_after(
+            self.recovery.revoke_retry_timeout,
+            Event::Chaos(ChaosEvent::RevokeRetry {
+                core,
+                epoch,
+                attempt: 0,
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Direct injection (also used by the periodic injector ticks)
+    // ------------------------------------------------------------------
+
+    /// Page-faults the kernel thread active on `core` (§6 blocking event):
+    /// the running task is frozen and re-enqueued, the thread blocks in
+    /// the kernel, and — if another application has a parked thread on the
+    /// core — the [`FaultMonitor`] wakes it as a substitute. The fault
+    /// resolves after `duration`. Returns whether a fault was injected
+    /// (`false` when the core has no active thread or is mid-stall).
+    ///
+    /// [`FaultMonitor`]: skyloft_kmod::FaultMonitor
+    pub fn inject_page_fault(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        duration: Nanos,
+    ) -> bool {
+        let now = q.now();
+        if core >= self.cores.len() || self.cores[core].role != CoreRole::Worker {
+            return false;
+        }
+        if self.stall_resume_at(core, now).is_some() {
+            return false;
+        }
+        let Some(app) = self.cores[core].cur_app else {
+            return false;
+        };
+        let tid = self.cores[core].kthreads[app];
+        if self.kmod.kthread(tid).map(|t| t.state) != Ok(KthreadState::Active) {
+            return false;
+        }
+
+        // Freeze whatever is running: the kernel thread is about to leave
+        // the runnable set mid-segment.
+        let stopped = self.cores[core].current.take();
+        if let Some(t) = stopped {
+            if let Some(tok) = self.cores[core].done_token.take() {
+                q.cancel(tok);
+            }
+            self.close_busy(now, core);
+            let remaining = self.cores[core].seg_end.saturating_sub(now);
+            let task = self.tasks.get_mut(t);
+            let executed = task.remaining.saturating_sub(remaining);
+            task.total_ran += executed;
+            task.remaining = remaining;
+            task.state = TaskState::Runnable;
+            task.preempt_count += 1;
+            task.runnable_since = now;
+        }
+
+        let sub = self
+            .fault_monitor
+            .on_fault(&mut self.kmod, tid)
+            .expect("fault preconditions checked above");
+        self.stats.fault_blocks += 1;
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), stopped, TraceKind::FaultBlock);
+        match sub {
+            Some(s) => {
+                let sub_app = self.kmod.kthread(s).expect("substitute exists").app;
+                self.cores[core].cur_app = Some(sub_app);
+                self.stats.fault_substitutions += 1;
+            }
+            None => self.cores[core].cur_app = None,
+        }
+        // The frozen task goes back to the queues; the readiness guards
+        // keep it from being run while its kernel thread is blocked.
+        if let Some(t) = stopped {
+            if Some(t) != self.cores[core].be_task {
+                self.enqueue_task(q, t, EnqueueFlags::Preempted, None);
+            }
+            // A BE spin task stays machine-managed and parked-in-place.
+        }
+        // Let the substitute look for runnable work of its own.
+        if sub.is_some() && self.cores[core].is_idle() {
+            self.schedule_loop(q, core, Nanos::ZERO);
+        }
+        q.schedule_after(
+            duration,
+            Event::Chaos(ChaosEvent::FaultResolve { core, tid }),
+        );
+        true
+    }
+
+    /// Stalls `core` for `duration`: the current segment is extended and
+    /// timer/IPI processing is suppressed until the stall ends (SMI or
+    /// host-interference model). Returns whether a stall was injected
+    /// (`false` on an idle or already-stalled core).
+    pub fn inject_stall(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        duration: Nanos,
+    ) -> bool {
+        let now = q.now();
+        if core >= self.cores.len() || self.cores[core].role != CoreRole::Worker {
+            return false;
+        }
+        if self.cores[core].current.is_none() || self.stall_resume_at(core, now).is_some() {
+            return false;
+        }
+        self.cores[core].stalled_until = now + duration;
+        self.delay_current(q, core, duration);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery handlers
+    // ------------------------------------------------------------------
+
+    /// The periodic recovery scan: re-arm workers whose PIR an injected
+    /// drop emptied, and migrate the runqueues of workers that stopped
+    /// making progress.
+    fn on_watchdog(&mut self, q: &mut EventQueue<Event>) {
+        q.schedule_after(
+            self.recovery.watchdog_period,
+            Event::Chaos(ChaosEvent::Watchdog),
+        );
+        let now = q.now();
+        if self.recovery.rearm_timers
+            && matches!(self.plat.mech, PreemptMechanism::UserTimer { .. })
+        {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
+                let Some(upid) = self.cores[core].upid else {
+                    continue;
+                };
+                if self.uintr.pir_armed(upid) {
+                    continue;
+                }
+                let arm = self.cores[core]
+                    .arm_entry
+                    .expect("UserTimer worker is configured");
+                self.uintr.senduipi(arm);
+                self.cores[core].arming_lost = false;
+                self.stats.timer_rearms += 1;
+                #[cfg(feature = "trace")]
+                self.trace_emit(
+                    now,
+                    Some(core),
+                    self.cores[core].current,
+                    TraceKind::TimerRearm,
+                );
+            }
+        }
+        if self.recovery.migrate_on_stall && self.policy.kind() == PolicyKind::PerCpu {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
+                let Some(threshold) = self.stall_threshold(core) else {
+                    continue;
+                };
+                if self.cores[core].current.is_none() {
+                    continue;
+                }
+                if now.saturating_sub(self.cores[core].last_progress) <= threshold {
+                    continue;
+                }
+                self.migrate_runqueue(q, core, now);
+            }
+        }
+    }
+
+    /// No-progress window after which a busy worker counts as stalled:
+    /// at least `stall_detect_after`, scaled up on slow-tick platforms so
+    /// a healthy worker between ticks is never misdiagnosed. `None` on
+    /// mechanisms without a periodic heartbeat.
+    fn stall_threshold(&self, core: CoreId) -> Option<Nanos> {
+        let tick = match self.plat.mech {
+            PreemptMechanism::UserTimer { .. } | PreemptMechanism::KernelTick { .. } => {
+                if !self.apic.timer_active(core) {
+                    return None;
+                }
+                self.apic.timer(core).period()
+            }
+            PreemptMechanism::UserIpi => self.utimer_period?,
+            _ => return None,
+        };
+        Some(
+            self.recovery
+                .stall_detect_after
+                .max(Nanos(tick.0.saturating_mul(8))),
+        )
+    }
+
+    /// Drains the runqueue of a stalled worker onto its healthy siblings.
+    fn migrate_runqueue(&mut self, q: &mut EventQueue<Event>, core: CoreId, now: Nanos) {
+        let n = self.worker_cores.len();
+        let mut migrated = 0u64;
+        let mut cursor = 0usize;
+        while let Some(t) = self.policy.task_dequeue(&mut self.tasks, core, now) {
+            let app = self.tasks.get(t).app;
+            let mut target = None;
+            for k in 0..n {
+                let cand = self.worker_cores[(core + 1 + cursor + k) % n];
+                if cand == core
+                    || self.stall_resume_at(cand, now).is_some()
+                    || !self.kthread_ready(cand, app)
+                {
+                    continue;
+                }
+                target = Some(cand);
+                cursor += k + 1;
+                break;
+            }
+            let Some(target) = target else {
+                // No healthy sibling can take it; put it back and stop.
+                self.policy.task_enqueue(
+                    &mut self.tasks,
+                    t,
+                    Some(core),
+                    EnqueueFlags::Preempted,
+                    now,
+                );
+                break;
+            };
+            self.policy.task_enqueue(
+                &mut self.tasks,
+                t,
+                Some(target),
+                EnqueueFlags::Preempted,
+                now,
+            );
+            self.tasks.get_mut(t).last_cpu = Some(target);
+            migrated += 1;
+            #[cfg(feature = "trace")]
+            self.trace_emit(now, Some(target), Some(t), TraceKind::TaskMigrated);
+            if self.cores[target].is_idle() {
+                self.cores[target].incoming = true;
+                q.schedule_after(self.plat.wake_latency, Event::StartCore { core: target });
+            }
+        }
+        if migrated > 0 {
+            self.stats.stalls_detected += 1;
+            self.stats.tasks_migrated += migrated;
+            #[cfg(feature = "trace")]
+            self.trace_emit(
+                now,
+                Some(core),
+                self.cores[core].current,
+                TraceKind::WorkerStalled,
+            );
+        }
+    }
+
+    /// An injected page fault resolved: the blocked thread becomes parked
+    /// again (it does *not* preempt the substitute), and an idle core is
+    /// kicked so queued work held back by the readiness guards can run.
+    fn on_fault_resolve(&mut self, q: &mut EventQueue<Event>, core: CoreId, tid: Tid) {
+        if self.fault_monitor.on_resolved(&mut self.kmod, tid).is_err() {
+            return;
+        }
+        self.stats.fault_resolves += 1;
+        #[cfg(feature = "trace")]
+        self.trace_emit(
+            q.now(),
+            Some(core),
+            self.cores[core].current,
+            TraceKind::FaultResolve,
+        );
+        if self.cores[core].is_idle() {
+            self.cores[core].incoming = true;
+            q.schedule_after(self.plat.wake_latency, Event::StartCore { core });
+        }
+    }
+
+    /// Bounded retry-with-backoff for a §5.2 revoke whose IPI never took
+    /// effect. Stale epochs (a newer cycle started) and completed revokes
+    /// are ignored; at budget exhaustion the in-flight marker clears so a
+    /// later congestion tick can start a fresh cycle.
+    fn on_revoke_retry(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        epoch: u32,
+        attempt: u32,
+    ) {
+        let c = &self.cores[core];
+        if c.revoke_epoch != epoch || !c.revoking || !c.granted_to_be {
+            return;
+        }
+        if attempt >= self.recovery.revoke_retry_budget {
+            self.cores[core].revoking = false;
+            return;
+        }
+        self.stats.ipi_retries += 1;
+        #[cfg(feature = "trace")]
+        self.trace_emit(
+            q.now(),
+            Some(core),
+            self.cores[core].be_task,
+            TraceKind::IpiRetry,
+        );
+        self.send_preempt_ipi(q, core, None, IpiPurpose::Revoke);
+        let backoff = Nanos(
+            self.recovery
+                .revoke_retry_timeout
+                .0
+                .saturating_mul(1u64 << (attempt + 1).min(16)),
+        );
+        q.schedule_after(
+            backoff,
+            Event::Chaos(ChaosEvent::RevokeRetry {
+                core,
+                epoch,
+                attempt: attempt + 1,
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic injector ticks
+    // ------------------------------------------------------------------
+
+    fn on_page_fault_tick(&mut self, q: &mut EventQueue<Event>) {
+        let (core, duration) = {
+            let Some(eng) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(pf) = eng.plan.page_fault else {
+                return;
+            };
+            let gap = Distribution::Exponential(pf.mean_interval).sample(&mut eng.rng);
+            q.schedule_after(gap.max(Nanos(1)), Event::Chaos(ChaosEvent::PageFaultTick));
+            let idx = eng.rng.next_below(self.worker_cores.len() as u64) as usize;
+            (self.worker_cores[idx], pf.duration)
+        };
+        if self.inject_page_fault(q, core, duration) {
+            self.chaos
+                .as_mut()
+                .expect("plan installed")
+                .stats
+                .page_faults_injected += 1;
+        }
+    }
+
+    fn on_stall_tick(&mut self, q: &mut EventQueue<Event>) {
+        let (core, duration) = {
+            let Some(eng) = self.chaos.as_mut() else {
+                return;
+            };
+            let Some(st) = eng.plan.stall else {
+                return;
+            };
+            let gap = Distribution::Exponential(st.mean_interval).sample(&mut eng.rng);
+            q.schedule_after(gap.max(Nanos(1)), Event::Chaos(ChaosEvent::StallTick));
+            let idx = eng.rng.next_below(self.worker_cores.len() as u64) as usize;
+            (self.worker_cores[idx], st.duration)
+        };
+        if self.inject_stall(q, core, duration) {
+            self.chaos
+                .as_mut()
+                .expect("plan installed")
+                .stats
+                .stalls_injected += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_value_types_with_builders() {
+        let p = FaultPlan::seeded(7)
+            .drop_arming(0.01)
+            .drop_preempt(0.05)
+            .delay_preempt(0.1, Nanos::from_us(3))
+            .drop_revoke(0.5)
+            .page_faults(Nanos::from_ms(2), Nanos::from_us(100))
+            .stalls(Nanos::from_ms(5), Nanos::from_us(50));
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.drop_arming_p, 0.01);
+        assert_eq!(
+            p.page_fault,
+            Some(PeriodicFault {
+                mean_interval: Nanos::from_ms(2),
+                duration: Nanos::from_us(100),
+            })
+        );
+        assert_eq!(p, p.clone());
+        assert_eq!(FaultPlan::default().drop_arming_p, 0.0);
+    }
+
+    #[test]
+    fn engines_draw_deterministically_from_the_plan_seed() {
+        let mut a = ChaosEngine::new(FaultPlan::seeded(11).drop_arming(0.5));
+        let mut b = ChaosEngine::new(FaultPlan::seeded(11).drop_arming(0.5));
+        let da: Vec<bool> = (0..64).map(|_| a.rng.chance(0.5)).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.rng.chance(0.5)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&x| x) && da.iter().any(|&x| !x));
+    }
+}

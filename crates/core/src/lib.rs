@@ -41,6 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod conf;
 pub mod machine;
 pub mod ops;
@@ -49,7 +51,9 @@ pub mod task;
 #[cfg(feature = "trace")]
 pub mod trace;
 
-pub use conf::{CoreAllocConfig, Platform, PreemptMechanism, SchedParams};
+#[cfg(feature = "chaos")]
+pub use chaos::FaultPlan;
+pub use conf::{CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, SchedParams};
 pub use machine::{AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, SpawnOpts};
 pub use ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 pub use stats::Stats;

@@ -20,9 +20,15 @@ use skyloft_hw::apic::TIMER_VECTOR;
 use skyloft_hw::costs::{self, CostModel};
 use skyloft_hw::uintr::{Recognition, UittEntry};
 use skyloft_hw::{Apic, CoreId, UintrFabric, UpidId};
+#[cfg(feature = "chaos")]
+use skyloft_kmod::FaultMonitor;
 use skyloft_kmod::{Kmod, Tid};
 use skyloft_sim::{EventQueue, Nanos, Rng, Token};
 
+#[cfg(feature = "chaos")]
+use crate::chaos::{ChaosEngine, ChaosEvent};
+#[cfg(feature = "chaos")]
+use crate::conf::RecoveryConfig;
 use crate::conf::{CoreAllocConfig, Platform, PreemptMechanism};
 use crate::ops::{EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use crate::stats::Stats;
@@ -104,6 +110,9 @@ pub enum Event {
     },
     /// Periodic core-allocator decision (§5.2 multi-application runs).
     CoreAllocTick,
+    /// Fault-injection or recovery machinery (see [`crate::chaos`]).
+    #[cfg(feature = "chaos")]
+    Chaos(ChaosEvent),
     /// External callback.
     Call(Call),
 }
@@ -171,6 +180,22 @@ pub struct CoreState {
     pub upid: Option<UpidId>,
     /// UITT entry used for the SN-self-post arming trick (§3.2).
     pub arm_entry: Option<UittEntry>,
+    /// An injected fault dropped this core's §3.2 re-arm; its PIR is
+    /// legitimately empty until the watchdog re-arms it.
+    #[cfg(feature = "chaos")]
+    pub arming_lost: bool,
+    /// Injected stall: the core processes no interrupts and makes no
+    /// progress until this instant.
+    #[cfg(feature = "chaos")]
+    pub stalled_until: Nanos,
+    /// Last progress heartbeat (tick processed, task switched in, segment
+    /// completed) — the watchdog's stall-detection signal.
+    #[cfg(feature = "chaos")]
+    pub last_progress: Nanos,
+    /// Generation counter of §5.2 revoke cycles; retries from a stale
+    /// cycle are ignored.
+    #[cfg(feature = "chaos")]
+    pub revoke_epoch: u32,
 }
 
 impl CoreState {
@@ -191,6 +216,14 @@ impl CoreState {
             idle_checks: 0,
             upid: None,
             arm_entry: None,
+            #[cfg(feature = "chaos")]
+            arming_lost: false,
+            #[cfg(feature = "chaos")]
+            stalled_until: Nanos::ZERO,
+            #[cfg(feature = "chaos")]
+            last_progress: Nanos::ZERO,
+            #[cfg(feature = "chaos")]
+            revoke_epoch: 0,
         }
     }
 
@@ -294,8 +327,18 @@ pub struct Machine {
     pub core_alloc: Option<CoreAllocConfig>,
     /// The registered best-effort application.
     pub be_app: Option<AppId>,
+    /// Recovery knobs for injected faults (see [`crate::chaos`]); the
+    /// machinery only activates while a fault plan is installed.
+    #[cfg(feature = "chaos")]
+    pub recovery: RecoveryConfig,
+    /// Installed fault-injection engine ([`Machine::install_fault_plan`]).
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<ChaosEngine>,
+    /// §6 userfaultfd-style blocking-event monitor.
+    #[cfg(feature = "chaos")]
+    pub fault_monitor: FaultMonitor,
     /// utimer emulation period.
-    utimer_period: Option<Nanos>,
+    pub(crate) utimer_period: Option<Nanos>,
     /// Round-robin cursor for queue placement.
     rr_cursor: usize,
     /// The dispatcher/agent core is a serialized resource: it is busy with
@@ -349,6 +392,12 @@ impl Machine {
             stats: Stats::new(),
             core_alloc: cfg.core_alloc,
             be_app: None,
+            #[cfg(feature = "chaos")]
+            recovery: RecoveryConfig::default(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
+            #[cfg(feature = "chaos")]
+            fault_monitor: FaultMonitor::new(),
             utimer_period: cfg.utimer_period,
             rr_cursor: 0,
             dispatcher_free_at: Nanos::ZERO,
@@ -475,6 +524,7 @@ impl Machine {
         if let (Some(alloc), Some(_)) = (&self.core_alloc, self.be_app) {
             q.schedule(alloc.interval, Event::CoreAllocTick);
         }
+        self.chaos_start(q);
     }
 
     /// Runs the machine until `deadline`. Returns events processed.
@@ -660,10 +710,26 @@ impl Machine {
                 if !self.tasks.contains(task) {
                     return;
                 }
+                // A fault may have blocked this core's kernel thread after
+                // the dispatcher committed the placement; re-queue instead
+                // of violating the Single Binding Rule.
+                if !self.kthread_ready(core, self.tasks.get(task).app) {
+                    let now = q.now();
+                    self.policy.task_enqueue(
+                        &mut self.tasks,
+                        task,
+                        None,
+                        EnqueueFlags::Preempted,
+                        now,
+                    );
+                    return;
+                }
                 debug_assert!(self.cores[core].current.is_none());
                 self.run_task(q, core, task, Nanos::ZERO);
             }
             Event::CoreAllocTick => self.on_core_alloc(q),
+            #[cfg(feature = "chaos")]
+            Event::Chaos(ev) => self.on_chaos_event(ev, q),
             Event::Call(call) => (call.0)(self, q),
         }
     }
@@ -687,6 +753,13 @@ impl Machine {
             _ => return,
         }
 
+        // An injected stall suppresses interrupt processing on this core;
+        // the periodic source keeps firing (re-armed above) and takes
+        // effect again once the stall ends.
+        if self.stall_resume_at(core, q.now()).is_some() {
+            return;
+        }
+
         match self.plat.mech {
             PreemptMechanism::UserTimer { .. } => {
                 // Mechanistic §3.2 path: the LAPIC raises TIMER_VECTOR; the
@@ -697,9 +770,13 @@ impl Machine {
                         if self.uintr.deliverable(core) {
                             self.uintr.begin_delivery(core);
                             // Handler body (Listing 1): re-arm the PIR with
-                            // a SN self-post, then run sched_timer_tick.
+                            // a SN self-post, then run sched_timer_tick. An
+                            // installed fault plan may eat the re-arm here —
+                            // the §3.2 single point of failure.
                             let arm = self.cores[core].arm_entry.expect("armed core");
-                            self.uintr.senduipi(arm);
+                            if !self.chaos_drop_arming(core) {
+                                self.uintr.senduipi(arm);
+                            }
                             self.uintr.uiret(core);
                             self.stats.timer_delivered += 1;
                             let cost = costs::USER_TIMER_RECEIVE.to_nanos()
@@ -709,6 +786,13 @@ impl Machine {
                     }
                     Recognition::Lost => {
                         self.stats.timer_lost += 1;
+                        // Losses caused by an injected arming drop are
+                        // expected; widen the checker's budget so only
+                        // *unexplained* losses trip the invariant.
+                        #[cfg(all(feature = "trace", feature = "chaos"))]
+                        if self.cores[core].arming_lost {
+                            self.tracer.checker.allowed_timer_lost += 1;
+                        }
                         #[cfg(feature = "trace")]
                         self.trace_emit(
                             q.now(),
@@ -749,6 +833,7 @@ impl Machine {
             return;
         };
         let now = q.now();
+        self.note_progress(core, now);
         let ran = now.saturating_sub(self.cores[core].run_start);
         let preempt = self
             .policy
@@ -768,6 +853,19 @@ impl Machine {
         purpose: IpiPurpose,
         expect: Option<TaskId>,
     ) {
+        // A stalled core recognizes nothing until the stall ends; the
+        // notification stays latched and is processed at resume time.
+        if let Some(resume) = self.stall_resume_at(core, q.now()) {
+            q.schedule(
+                resume,
+                Event::IpiArrive {
+                    core,
+                    purpose,
+                    expect,
+                },
+            );
+            return;
+        }
         // Mechanistic recognition for user-IPI platforms.
         if matches!(self.plat.mech, PreemptMechanism::UserIpi)
             && self.uintr.on_interrupt_arrival(core, PREEMPT_VECTOR) == Recognition::Pending
@@ -882,8 +980,14 @@ impl Machine {
             PreemptMechanism::Signal => self.costs.signal(from, core),
             PreemptMechanism::None => return,
         };
+        // An installed fault plan may lose the notification in the fabric
+        // (any posted PIR bit stays set, but the core is never interrupted)
+        // or delay its delivery.
+        let Some(extra) = self.chaos_ipi_extra_delay(purpose) else {
+            return;
+        };
         q.schedule_after(
-            mech.send_ns() + mech.delivery_ns(),
+            mech.send_ns() + mech.delivery_ns() + extra,
             Event::IpiArrive {
                 core,
                 purpose,
@@ -894,6 +998,7 @@ impl Machine {
 
     fn on_segment_done(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
         self.cores[core].done_token = None;
+        self.note_progress(core, q.now());
         let t = self.cores[core]
             .current
             .expect("segment completion on idle core");
@@ -917,6 +1022,14 @@ impl Machine {
         {
             self.stats.preemptions += 1;
             self.send_preempt_ipi(q, core, Some(task), IpiPurpose::Preempt);
+            // Recovery for lost preempt IPIs: keep checking; if the IPI
+            // landed the task is gone and the recheck returns early above.
+            #[cfg(feature = "chaos")]
+            if self.chaos.is_some() && self.recovery.preempt_recheck {
+                if let Some(quantum) = self.policy.quantum() {
+                    q.schedule_after(quantum, Event::QuantumCheck { core, task });
+                }
+            }
         } else if let Some(quantum) = self.policy.quantum() {
             q.schedule_after(quantum, Event::QuantumCheck { core, task });
         }
@@ -925,7 +1038,7 @@ impl Machine {
     fn on_core_alloc(&mut self, q: &mut EventQueue<Event>) {
         let Some(cfg) = self.core_alloc else { return };
         q.schedule_after(cfg.interval, Event::CoreAllocTick);
-        let Some(_be) = self.be_app else { return };
+        let Some(be) = self.be_app else { return };
         let now = q.now();
         let delay = self.policy.queue_delay(&self.tasks, now);
         let congested = delay.is_some_and(|d| d > cfg.congestion_delay);
@@ -938,6 +1051,7 @@ impl Machine {
                     self.cores[core].revoking = true;
                     self.cores[core].idle_checks = 0;
                     self.send_preempt_ipi(q, core, None, IpiPurpose::Revoke);
+                    self.after_revoke_sent(q, core);
                     break;
                 }
             }
@@ -948,13 +1062,16 @@ impl Machine {
             // Grant a persistently idle LC core to the BE app.
             let mut granted = false;
             for &core in &self.worker_cores.clone() {
-                let c = &mut self.cores[core];
-                if c.granted_to_be || !c.is_idle() {
-                    c.idle_checks = 0;
+                if self.cores[core].granted_to_be || !self.cores[core].is_idle() {
+                    self.cores[core].idle_checks = 0;
                     continue;
                 }
-                c.idle_checks += 1;
-                if !granted && c.idle_checks >= cfg.grant_after_idle_checks {
+                self.cores[core].idle_checks += 1;
+                if !granted
+                    && self.cores[core].idle_checks >= cfg.grant_after_idle_checks
+                    && self.kthread_ready(core, be)
+                {
+                    let c = &mut self.cores[core];
                     c.idle_checks = 0;
                     c.granted_to_be = true;
                     granted = true;
@@ -979,7 +1096,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Enqueues a runnable task and kicks the machinery that will run it.
-    fn enqueue_task(
+    pub(crate) fn enqueue_task(
         &mut self,
         q: &mut EventQueue<Event>,
         t: TaskId,
@@ -1024,32 +1141,51 @@ impl Machine {
     /// a message thread wakes would pile onto the waker's one queue —
     /// and round-robin for tasks that never ran.
     fn pick_enqueue_cpu(&mut self, t: TaskId, hint: Option<CoreId>) -> CoreId {
+        let app = self.tasks.get(t).app;
         let last = self.tasks.get(t).last_cpu;
         for c in [last, hint].into_iter().flatten() {
             if c < self.cores.len()
                 && self.cores[c].role == CoreRole::Worker
                 && self.cores[c].is_idle()
+                && self.can_queue_on(c, app)
             {
                 return c;
             }
         }
-        if let Some(&c) = self.worker_cores.iter().find(|&&c| self.cores[c].is_idle()) {
+        if let Some(&c) = self
+            .worker_cores
+            .iter()
+            .find(|&&c| self.cores[c].is_idle() && self.can_queue_on(c, app))
+        {
             return c;
         }
         if let Some(c) = last {
-            if c < self.cores.len() && self.cores[c].role == CoreRole::Worker {
+            if c < self.cores.len()
+                && self.cores[c].role == CoreRole::Worker
+                && self.can_queue_on(c, app)
+            {
                 return c;
             }
         }
         // Use the cursor before advancing it so the rotation starts at
         // worker 0 and visits every worker exactly once per lap.
-        let c = self.worker_cores[self.rr_cursor % self.worker_cores.len()];
-        self.rr_cursor = (self.rr_cursor + 1) % self.worker_cores.len();
+        let n = self.worker_cores.len();
+        for k in 0..n {
+            let c = self.worker_cores[(self.rr_cursor + k) % n];
+            if self.can_queue_on(c, app) {
+                self.rr_cursor = (self.rr_cursor + k + 1) % n;
+                return c;
+            }
+        }
+        // Every core vetoed (all kernel threads fault-blocked); fall back
+        // to the plain rotation — the resolve path will re-kick the queue.
+        let c = self.worker_cores[self.rr_cursor % n];
+        self.rr_cursor = (self.rr_cursor + 1) % n;
         c
     }
 
     /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
-    fn dispatch(&mut self, q: &mut EventQueue<Event>) {
+    pub(crate) fn dispatch(&mut self, q: &mut EventQueue<Event>) {
         if self.policy.kind() != PolicyKind::Centralized {
             return;
         }
@@ -1057,7 +1193,9 @@ impl Machine {
             .worker_cores
             .iter()
             .copied()
-            .filter(|&c| self.cores[c].is_idle() && !self.cores[c].granted_to_be)
+            .filter(|&c| {
+                self.cores[c].is_idle() && !self.cores[c].granted_to_be && self.core_usable(c)
+            })
             .collect();
         if idle.is_empty() {
             return;
@@ -1079,11 +1217,19 @@ impl Machine {
     }
 
     /// The per-core main scheduling loop (§4.1's idle user thread).
-    fn schedule_loop(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
+    pub(crate) fn schedule_loop(
+        &mut self,
+        q: &mut EventQueue<Event>,
+        core: CoreId,
+        overhead: Nanos,
+    ) {
         debug_assert!(self.cores[core].current.is_none());
         if self.cores[core].granted_to_be {
             if let Some(be) = self.cores[core].be_task {
-                if self.tasks.get(be).state == TaskState::Runnable {
+                let be_app = self.tasks.get(be).app;
+                if self.tasks.get(be).state == TaskState::Runnable
+                    && self.kthread_ready(core, be_app)
+                {
                     self.run_task(q, core, be, overhead);
                     return;
                 }
@@ -1100,6 +1246,8 @@ impl Machine {
                     .policy
                     .task_dequeue(&mut self.tasks, core, now)
                     .or_else(|| self.policy.sched_balance(&mut self.tasks, core, now));
+                #[cfg(feature = "chaos")]
+                let next = self.filter_ready(core, next, now);
                 if let Some(t) = next {
                     self.run_task(q, core, t, overhead);
                 }
@@ -1122,12 +1270,26 @@ impl Machine {
         let cur_app = self.cores[core].cur_app;
         if cur_app != Some(app) {
             // Inter-application switch through the kernel module (§3.3).
-            if let Some(prev) = cur_app {
-                let cur_tid = self.cores[core].kthreads[prev];
-                let tgt_tid = self.cores[core].kthreads[app];
-                self.kmod
-                    .switch_to(cur_tid, tgt_tid)
-                    .expect("single binding rule upheld by construction");
+            match cur_app {
+                Some(prev) => {
+                    let cur_tid = self.cores[core].kthreads[prev];
+                    let tgt_tid = self.cores[core].kthreads[app];
+                    self.kmod
+                        .switch_to(cur_tid, tgt_tid)
+                        .expect("single binding rule upheld by construction");
+                }
+                // The previous kernel thread fault-blocked with no
+                // substitute (§6), leaving the core free; wake the target
+                // application's parked thread onto it.
+                #[cfg(feature = "chaos")]
+                None => {
+                    let tgt_tid = self.cores[core].kthreads[app];
+                    self.kmod
+                        .wakeup(tgt_tid)
+                        .expect("readiness guards admit only wakeable threads");
+                }
+                #[cfg(not(feature = "chaos"))]
+                None => {}
             }
             overhead += self.plat.cross_app_switch;
             self.stats.app_switches += 1;
@@ -1151,6 +1313,7 @@ impl Machine {
         c.incoming = false;
         c.run_start = now;
         c.busy_since = Some((now, app));
+        self.note_progress(core, now);
         #[cfg(feature = "trace")]
         self.trace_emit(now, Some(core), Some(t), TraceKind::Switch);
         self.advance_task(q, core, overhead);
@@ -1323,7 +1486,7 @@ impl Machine {
         self.tasks.remove(t);
     }
 
-    fn close_busy(&mut self, now: Nanos, core: CoreId) {
+    pub(crate) fn close_busy(&mut self, now: Nanos, core: CoreId) {
         if let Some((since, app)) = self.cores[core].busy_since.take() {
             self.stats.busy_by_app[app] += now.saturating_sub(since).0;
         }
@@ -1331,7 +1494,7 @@ impl Machine {
 
     /// Applies an extra delay (interrupt handler, tick processing) to the
     /// currently running segment.
-    fn delay_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, cost: Nanos) {
+    pub(crate) fn delay_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, cost: Nanos) {
         if cost == Nanos::ZERO {
             return;
         }
@@ -1342,6 +1505,58 @@ impl Machine {
         q.cancel(tok);
         c.seg_end += cost;
         c.done_token = Some(q.schedule(c.seg_end, Event::SegmentDone { core }));
+    }
+
+    /// Whether a per-CPU enqueue may target `core` for a task of `app`:
+    /// with a fault plan installed, cores whose kernel thread for the app
+    /// is fault-blocked are vetoed.
+    #[cfg(feature = "chaos")]
+    fn can_queue_on(&self, core: CoreId, app: AppId) -> bool {
+        self.chaos.is_none() || self.kthread_ready(core, app)
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    fn can_queue_on(&self, _core: CoreId, _app: AppId) -> bool {
+        true
+    }
+}
+
+/// No-op stand-ins for the [`crate::chaos`] hooks, so the event handlers
+/// read identically whether or not the feature is compiled in. Everything
+/// here folds to a constant and vanishes at compile time.
+#[cfg(not(feature = "chaos"))]
+impl Machine {
+    fn chaos_start(&mut self, _q: &mut EventQueue<Event>) {}
+
+    fn chaos_drop_arming(&mut self, _core: CoreId) -> bool {
+        false
+    }
+
+    fn chaos_ipi_extra_delay(&mut self, _purpose: IpiPurpose) -> Option<Nanos> {
+        Some(Nanos::ZERO)
+    }
+
+    fn stall_resume_at(&self, _core: CoreId, _now: Nanos) -> Option<Nanos> {
+        None
+    }
+
+    fn note_progress(&mut self, _core: CoreId, _now: Nanos) {}
+
+    fn kthread_ready(&self, _core: CoreId, _app: AppId) -> bool {
+        true
+    }
+
+    fn core_usable(&self, _core: CoreId) -> bool {
+        true
+    }
+
+    fn after_revoke_sent(&mut self, _q: &mut EventQueue<Event>, _core: CoreId) {}
+
+    /// Whether core `core`'s §3.2 arming is currently known-lost to an
+    /// injected fault. Without the `chaos` feature there is no injection,
+    /// so the answer is always no.
+    pub fn core_arming_lost(&self, _core: CoreId) -> bool {
+        false
     }
 }
 

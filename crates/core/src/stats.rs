@@ -40,6 +40,28 @@ pub struct Stats {
     pub be_grants: u64,
     /// Core-allocator revocations back to the latency-critical application.
     pub be_revokes: u64,
+    /// Watchdog re-arms of a lost §3.2 timer arming (chaos recovery).
+    pub timer_rearms: u64,
+    /// Revoke-IPI resends by the §5.2 allocator's retry machinery.
+    pub ipi_retries: u64,
+    /// Kernel threads page-fault-blocked by injected faults (§6).
+    pub fault_blocks: u64,
+    /// Fault resolutions (the blocked thread became parked again).
+    pub fault_resolves: u64,
+    /// Faults where a substitute application's thread took the core.
+    pub fault_substitutions: u64,
+    /// Stalled workers detected by the watchdog.
+    pub stalls_detected: u64,
+    /// Tasks migrated off stalled workers.
+    pub tasks_migrated: u64,
+    /// Requests whose packet the (lossy) NIC model dropped; they are
+    /// recorded in the latency histograms at their client-side timeout.
+    pub net_dropped: u64,
+    /// Requests duplicated by the NIC model (the duplicate consumes
+    /// service time but is not counted as a completion).
+    pub net_duplicated: u64,
+    /// Timed-out requests recorded via [`Stats::record_timeout`].
+    pub timeouts: u64,
     /// Busy nanoseconds per application, accumulated when tasks stop.
     pub busy_by_app: Vec<u64>,
     /// Time at which measurement (re)started.
@@ -72,6 +94,16 @@ impl Stats {
             spurious_ipis: 0,
             be_grants: 0,
             be_revokes: 0,
+            timer_rearms: 0,
+            ipi_retries: 0,
+            fault_blocks: 0,
+            fault_resolves: 0,
+            fault_substitutions: 0,
+            stalls_detected: 0,
+            tasks_migrated: 0,
+            net_dropped: 0,
+            net_duplicated: 0,
+            timeouts: 0,
             busy_by_app: Vec::new(),
             since: Nanos::ZERO,
             last_completion: Nanos::ZERO,
@@ -85,6 +117,21 @@ impl Stats {
         let c = (class as usize).min(MAX_CLASSES - 1);
         self.resp_by_class[c].record(response.0);
         let slow = (skyloft_metrics::slowdown(response.0, service.0) * 1000.0) as u64;
+        self.slowdown_by_class[c].record(slow);
+        self.slowdown_hist.record(slow);
+    }
+
+    /// Records a request whose response never arrived: it enters the
+    /// latency histograms at its client-side timeout instead of silently
+    /// vanishing from the denominator (which would make a lossy run look
+    /// *faster* than a lossless one). Timed-out requests do not count as
+    /// completions.
+    pub fn record_timeout(&mut self, class: u8, timeout: Nanos, service: Nanos) {
+        self.timeouts += 1;
+        self.resp_hist.record(timeout.0);
+        let c = (class as usize).min(MAX_CLASSES - 1);
+        self.resp_by_class[c].record(timeout.0);
+        let slow = (skyloft_metrics::slowdown(timeout.0, service.0) * 1000.0) as u64;
         self.slowdown_by_class[c].record(slow);
         self.slowdown_hist.record(slow);
     }
@@ -126,6 +173,18 @@ mod tests {
         // Slowdown 2.0 stored as 2000.
         let p = s.slowdown_by_class[1].percentile(50.0);
         assert!((1_950..=2_050).contains(&p), "slowdown {p}");
+    }
+
+    #[test]
+    fn record_timeout_enters_histograms_without_completing() {
+        let mut s = Stats::new();
+        s.record_timeout(0, Nanos::from_ms(1), Nanos::from_us(10));
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.resp_hist.count(), 1);
+        // Slowdown 100.0 stored as 100_000 fixed-point.
+        let p = s.slowdown_hist.percentile(50.0);
+        assert!((95_000..=105_000).contains(&p), "slowdown {p}");
     }
 
     #[test]

@@ -78,6 +78,19 @@ pub enum TraceKind {
     Grant,
     /// A revoke took effect: the core returned to the LC application.
     Revoke,
+    /// A kernel thread page-faulted and blocked in the kernel (§6); the
+    /// running task was frozen (closes the run slice).
+    FaultBlock,
+    /// A blocked kernel thread's fault resolved; it is parked again.
+    FaultResolve,
+    /// The watchdog re-armed a worker whose §3.2 timer PIR was lost.
+    TimerRearm,
+    /// The recovery layer resent a revoke IPI that never took effect.
+    IpiRetry,
+    /// The watchdog declared a worker stalled and drained its runqueue.
+    WorkerStalled,
+    /// A task migrated off a stalled worker onto a healthy one.
+    TaskMigrated,
 }
 
 impl TraceKind {
@@ -105,6 +118,12 @@ impl TraceKind {
             TraceKind::Finish => "Finish",
             TraceKind::Grant => "Grant",
             TraceKind::Revoke => "Revoke",
+            TraceKind::FaultBlock => "FaultBlock",
+            TraceKind::FaultResolve => "FaultResolve",
+            TraceKind::TimerRearm => "TimerRearm",
+            TraceKind::IpiRetry => "IpiRetry",
+            TraceKind::WorkerStalled => "WorkerStalled",
+            TraceKind::TaskMigrated => "TaskMigrated",
         }
     }
 
@@ -118,6 +137,7 @@ impl TraceKind {
                 | TraceKind::Yield
                 | TraceKind::Block
                 | TraceKind::Finish
+                | TraceKind::FaultBlock
         )
     }
 }
@@ -369,6 +389,10 @@ fn push_instant(out: &mut String, first: &mut bool, tid: usize, ev: &TraceEvent)
 ///    `current` are mutually exclusive, dispatcher cores never run tasks,
 ///    a current task is live and `Running`, and a revoke can only be in
 ///    flight toward a core that is still granted to the BE application.
+/// 6. **Kernel-thread coherence** — each core's `cur_app` agrees with the
+///    kernel module's active-thread table, through §6 fault substitutions
+///    included (`cur_app == None` exactly when a fault vacated the core
+///    with no substitute available).
 pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
     let mut v = Vec::new();
 
@@ -435,6 +459,20 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
                 "core {core}: revoke in flight for a core not granted to the BE app"
             ));
         }
+        // 6. Kernel-thread coherence: the core's notion of the active
+        // application agrees with the kernel module — through fault
+        // substitutions included.
+        if !c.kthreads.is_empty() {
+            let active = m.kmod.active_thread(core);
+            let expected = c.cur_app.map(|a| c.kthreads[a]);
+            if active != expected {
+                v.push(format!(
+                    "core {core}: active kernel thread {active:?} disagrees with \
+                     cur_app {:?} (expected {expected:?})",
+                    c.cur_app
+                ));
+            }
+        }
     }
 
     // 3. Busy-time conservation across the whole machine.
@@ -465,7 +503,7 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
             if !u.sn {
                 v.push(format!("core {core}: timer UPID lost its SN bit"));
             }
-            if u.pir == 0 && m.tracer.checker.allowed_timer_lost == 0 {
+            if u.pir == 0 && !m.core_arming_lost(core) && m.tracer.checker.allowed_timer_lost == 0 {
                 v.push(format!(
                     "core {core}: timer PIR unarmed — the next timer interrupt will be lost"
                 ));
@@ -507,6 +545,10 @@ impl Machine {
             Event::StartCore { core } => (Some(*core), None, TraceKind::StartCore),
             Event::PlaceTask { core, task } => (Some(*core), Some(*task), TraceKind::PlaceTask),
             Event::CoreAllocTick => (None, None, TraceKind::CoreAllocTick),
+            // Chaos machinery traces through the specific fault/recovery
+            // kinds it emits while handling the event.
+            #[cfg(feature = "chaos")]
+            Event::Chaos(_) => return,
             // Callback bodies trace through the machine calls they make.
             Event::Call(_) => return,
         };

@@ -162,6 +162,13 @@ impl UintrFabric {
         &self.upids[id.0]
     }
 
+    /// Whether the UPID's PIR holds any pending vector — i.e. the §3.2
+    /// arming is in place and the next timer interrupt will be recognized.
+    /// Watchdog-style monitors poll this to detect a lost arming.
+    pub fn pir_armed(&self, id: UpidId) -> bool {
+        self.upids[id.0].pir != 0
+    }
+
     /// UPID of the receiver context currently bound to `core`, if any
     /// (invariant checkers verify bindings stay intact across events).
     pub fn receiver_upid(&self, core: CoreId) -> Option<UpidId> {

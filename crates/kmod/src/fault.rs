@@ -50,6 +50,8 @@ impl Kmod {
 #[derive(Debug, Default)]
 pub struct FaultMonitor {
     outstanding: Vec<Tid>,
+    faults_handled: u64,
+    substitutions: u64,
 }
 
 impl FaultMonitor {
@@ -65,9 +67,11 @@ impl FaultMonitor {
         let core = kmod.kthread(tid)?.core.ok_or(KmodError::InvalidState)?;
         kmod.fault_block(tid)?;
         self.outstanding.push(tid);
+        self.faults_handled += 1;
         let substitute = kmod.parked_thread_on(core);
         if let Some(sub) = substitute {
             kmod.wakeup(sub)?;
+            self.substitutions += 1;
         }
         Ok(substitute)
     }
@@ -83,6 +87,21 @@ impl FaultMonitor {
     /// Faults currently outstanding.
     pub fn outstanding(&self) -> &[Tid] {
         &self.outstanding
+    }
+
+    /// Whether `tid` has an unresolved fault.
+    pub fn is_outstanding(&self, tid: Tid) -> bool {
+        self.outstanding.contains(&tid)
+    }
+
+    /// Total faults this monitor has handled.
+    pub fn faults_handled(&self) -> u64 {
+        self.faults_handled
+    }
+
+    /// Faults where a substitute thread was woken onto the core.
+    pub fn substitutions(&self) -> u64 {
+        self.substitutions
     }
 }
 

@@ -297,6 +297,14 @@ impl Kmod {
             .position(|t| t.state == KthreadState::Inactive && t.core == Some(core))
     }
 
+    /// A fault-blocked thread bound to `core`, if any (§6). Dispatch paths
+    /// use this to keep work off cores with an unresolved blocking event.
+    pub fn fault_blocked_on(&self, core: CoreId) -> Option<Tid> {
+        self.threads
+            .iter()
+            .position(|t| t.state == KthreadState::FaultBlocked && t.core == Some(core))
+    }
+
     pub(crate) fn debug_rule(&self) {
         self.debug_check_rule();
     }

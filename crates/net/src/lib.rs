@@ -23,7 +23,8 @@ pub mod packet;
 pub mod ring;
 pub mod rss;
 
-pub use loadgen::OpenLoop;
+pub use loadgen::{NetProfile, OpenLoop};
+pub use nic::{LossModel, PacketFate};
 pub use packet::{KvOp, KvRequest, UdpHeader};
 pub use ring::Ring;
 pub use rss::RssHasher;

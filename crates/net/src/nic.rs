@@ -1,12 +1,19 @@
-//! NIC / DPDK path cost constants.
+//! NIC / DPDK path cost constants and the packet loss model.
 //!
 //! ESTIMATEs consistent with published DPDK figures on 10 GbE (82599ES,
 //! the paper's NIC): tens of nanoseconds of per-packet poll cost and a few
 //! hundred nanoseconds of stack processing. Both the Skyloft and Shenango
 //! configurations use the same kernel-bypass path, so these constants
 //! cancel in comparisons; they exist so absolute latencies stay plausible.
+//!
+//! [`LossModel`] is the seeded fault knob for the wire itself: real UDP
+//! memcached traffic loses and duplicates datagrams, and a load generator
+//! that silently forgets dropped requests *understates* tail latency (the
+//! "coordinated omission" of the denominator). Harnesses draw a
+//! [`PacketFate`] per request and account timed-out requests at their
+//! timeout value instead of excluding them.
 
-use skyloft_sim::Nanos;
+use skyloft_sim::{Nanos, Rng};
 
 /// Per-packet cost on the polling core (RX descriptor + mbuf handling).
 pub const RX_POLL_COST: Nanos = Nanos(80);
@@ -29,6 +36,72 @@ pub fn per_request_overhead() -> Nanos {
     RX_POLL_COST + STACK_RX_COST + STACK_TX_COST
 }
 
+/// What the wire did to one request datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the client only learns via its timeout.
+    Drop,
+    /// Delivered twice (UDP duplication); the server does the work twice,
+    /// the client keeps the first response.
+    Duplicate,
+}
+
+/// Seeded drop/duplication model for the client↔server path.
+///
+/// The default NIC model delivers every packet ([`LossModel::lossless`]);
+/// fault studies install per-packet drop/duplicate probabilities. The
+/// model owns its RNG so a `(seed, drop_p, dup_p)` triple replays the
+/// exact same fate sequence regardless of what else the machine draws.
+#[derive(Clone, Debug)]
+pub struct LossModel {
+    drop_p: f64,
+    dup_p: f64,
+    rng: Rng,
+}
+
+impl LossModel {
+    /// Creates a loss model drawing from `seed`. Probabilities are
+    /// per-request; `drop_p + dup_p` must not exceed 1.
+    pub fn new(seed: u64, drop_p: f64, dup_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_p), "drop_p out of range");
+        assert!((0.0..=1.0).contains(&dup_p), "dup_p out of range");
+        assert!(drop_p + dup_p <= 1.0, "drop_p + dup_p exceeds 1");
+        LossModel {
+            drop_p,
+            dup_p,
+            rng: Rng::seed_from_u64(seed ^ 0x001C_001C_001C_001C),
+        }
+    }
+
+    /// The perfect wire: every packet delivered exactly once.
+    pub fn lossless() -> Self {
+        LossModel::new(0, 0.0, 0.0)
+    }
+
+    /// Whether this model can never drop or duplicate (no RNG is consumed
+    /// per packet in that case, so a lossless model is also free).
+    pub fn is_lossless(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0
+    }
+
+    /// Draws the fate of the next request datagram.
+    pub fn fate(&mut self) -> PacketFate {
+        if self.is_lossless() {
+            return PacketFate::Deliver;
+        }
+        let x = self.rng.next_f64();
+        if x < self.drop_p {
+            PacketFate::Drop
+        } else if x < self.drop_p + self.dup_p {
+            PacketFate::Duplicate
+        } else {
+            PacketFate::Deliver
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +111,35 @@ mod tests {
         let o = per_request_overhead();
         assert!(o < Nanos::from_us(1), "net overhead {o:?}");
         assert_eq!(o, Nanos(530));
+    }
+
+    #[test]
+    fn lossless_model_always_delivers() {
+        let mut m = LossModel::lossless();
+        assert!(m.is_lossless());
+        for _ in 0..1000 {
+            assert_eq!(m.fate(), PacketFate::Deliver);
+        }
+    }
+
+    #[test]
+    fn fates_match_probabilities_and_seed() {
+        let draw = |seed| -> Vec<PacketFate> {
+            let mut m = LossModel::new(seed, 0.10, 0.05);
+            (0..20_000).map(|_| m.fate()).collect()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same fates");
+        assert_ne!(a, draw(8), "different seed, different fates");
+        let drops = a.iter().filter(|&&f| f == PacketFate::Drop).count();
+        let dups = a.iter().filter(|&&f| f == PacketFate::Duplicate).count();
+        assert!((1_600..2_400).contains(&drops), "drops {drops}/20000");
+        assert!((700..1_300).contains(&dups), "dups {dups}/20000");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1")]
+    fn rejects_impossible_probabilities() {
+        LossModel::new(0, 0.7, 0.4);
     }
 }

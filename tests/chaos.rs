@@ -1,0 +1,296 @@
+//! Chaos-layer regression tests (DESIGN.md §9): recovery survives each
+//! injected fault class, validated end to end through the invariant
+//! checker (enabled and panicking by default in debug builds, so every
+//! `m.run` below doubles as an invariant sweep through the faults).
+
+use skyloft::machine::{AppKind, Call, Event, Machine, MachineConfig};
+use skyloft::{CoreAllocConfig, FaultPlan, Platform, RecoveryConfig};
+use skyloft_apps::synthetic::{dispersive, dispersive_threshold, install_open_loop, Placement};
+use skyloft_hw::Topology;
+use skyloft_net::OpenLoop;
+use skyloft_policies::{RoundRobin, WorkStealing};
+use skyloft_sim::{EventQueue, Nanos};
+
+/// A per-CPU Skyloft machine (user timers at 100 kHz) with `apps`
+/// latency-critical applications; the plan, if any, is installed before
+/// start so the recovery machinery activates with it.
+fn percpu(
+    workers: usize,
+    apps: usize,
+    plan: Option<FaultPlan>,
+    recovery_on: bool,
+) -> (Machine, EventQueue<Event>) {
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(Topology::single(workers + 1), 100_000),
+        n_workers: workers,
+        seed: 42,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(WorkStealing::new(Some(Nanos::from_us(30)))));
+    for i in 0..apps {
+        m.add_app(&format!("app{i}"), AppKind::Lc);
+    }
+    if !recovery_on {
+        m.recovery = RecoveryConfig::disabled();
+    }
+    if let Some(p) = plan {
+        m.install_fault_plan(p);
+    }
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    (m, q)
+}
+
+/// Keeps every worker core busy so user timers keep firing.
+fn busy_all_cores(m: &mut Machine, q: &mut EventQueue<Event>, service: Nanos) {
+    let cores: Vec<_> = m.worker_cores.clone();
+    for core in cores {
+        m.spawn_request(q, 0, service, 1, Some(core));
+    }
+}
+
+#[test]
+fn watchdog_rearms_lost_timer_armings() {
+    // Every §3.2 re-arm self-IPI is dropped; the watchdog must restore
+    // delivery within one period, keeping `timer_lost` inside the
+    // checker's fault budget.
+    let plan = FaultPlan::seeded(7).drop_arming(1.0);
+    let (mut m, mut q) = percpu(2, 1, Some(plan), true);
+    busy_all_cores(&mut m, &mut q, Nanos::from_ms(10));
+    m.run(&mut q, Nanos::from_ms(5));
+    assert!(m.stats.timer_rearms > 0, "watchdog never re-armed");
+    // Far more deliveries than the one pre-drop fire per core: recovery
+    // keeps the timer alive at roughly one fire per watchdog period.
+    assert!(
+        m.stats.timer_delivered > 2 * 10,
+        "deliveries stopped: {}",
+        m.stats.timer_delivered
+    );
+    assert!(
+        m.stats.timer_lost <= m.tracer.checker.allowed_timer_lost,
+        "lost {} exceeds the injected-fault budget {}",
+        m.stats.timer_lost,
+        m.tracer.checker.allowed_timer_lost
+    );
+    // Each drop is recovered within one watchdog period (25 us = 2.5 tick
+    // periods), so losses are a bounded multiple of the drops.
+    let dropped = m.chaos.as_ref().unwrap().stats.armings_dropped;
+    assert!(
+        m.stats.timer_lost <= 4 * dropped,
+        "lost {} not bounded by one watchdog period per drop ({dropped} drops)",
+        m.stats.timer_lost
+    );
+}
+
+#[test]
+fn without_recovery_a_lost_arming_is_permanent() {
+    let plan = FaultPlan::seeded(7).drop_arming(1.0);
+    let (mut m, mut q) = percpu(2, 1, Some(plan), false);
+    busy_all_cores(&mut m, &mut q, Nanos::from_ms(10));
+    m.run(&mut q, Nanos::from_ms(5));
+    // One delivered fire per core, then silence: the handler's re-arm was
+    // dropped and nothing ever restores it.
+    assert_eq!(m.stats.timer_rearms, 0);
+    assert_eq!(
+        m.stats.timer_delivered, 2,
+        "run-to-completion degradation should freeze deliveries"
+    );
+    assert!(m.worker_cores.iter().any(|&c| m.core_arming_lost(c)));
+}
+
+#[test]
+fn fault_substitution_rotates_three_apps_on_one_core() {
+    // Three applications share one worker core; page faults knock out the
+    // active kernel thread three times. Each fault must wake a parked
+    // substitute (§6) without ever violating the Single Binding Rule —
+    // the debug-build invariant checker panics on any violation mid-run.
+    let (mut m, mut q) = percpu(1, 3, Some(FaultPlan::seeded(3)), true);
+    for app in 0..3 {
+        for _ in 0..20 {
+            m.spawn_request(&mut q, app, Nanos::from_us(20), 0, None);
+        }
+    }
+    for t in [100, 300, 500] {
+        q.schedule(
+            Nanos::from_us(t),
+            Event::Call(Call(Box::new(|m: &mut Machine, q| {
+                let injected = m.inject_page_fault(q, 0, Nanos::from_us(50));
+                assert!(injected, "core 0 had no active thread to fault");
+            }))),
+        );
+    }
+    m.run(&mut q, Nanos::from_ms(20));
+    assert!(
+        m.stats.fault_substitutions >= 3,
+        "substitutions {}",
+        m.stats.fault_substitutions
+    );
+    assert_eq!(m.stats.fault_blocks, 3);
+    assert_eq!(m.stats.fault_resolves, 3);
+    assert_eq!(m.stats.completed, 60, "all requests finish despite faults");
+    m.kmod.check_binding_rule().unwrap();
+}
+
+#[test]
+fn stalled_worker_runqueue_migrates_to_healthy_siblings() {
+    // RoundRobin keeps strictly per-core queues (no stealing), so work
+    // queued behind a stalled core is stuck unless the watchdog migrates
+    // it.
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(Topology::single(3), 100_000),
+        n_workers: 2,
+        seed: 42,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(cfg, Box::new(RoundRobin::new(Some(Nanos::from_us(30)))));
+    m.add_app("app0", AppKind::Lc);
+    m.install_fault_plan(FaultPlan::seeded(5));
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    m.spawn_request(&mut q, 0, Nanos::from_ms(3), 1, Some(0));
+    m.spawn_request(&mut q, 0, Nanos::from_ms(3), 1, Some(1));
+    for _ in 0..5 {
+        m.spawn_request(&mut q, 0, Nanos::from_us(100), 0, Some(0));
+    }
+    q.schedule(
+        Nanos::from_us(50),
+        Event::Call(Call(Box::new(|m: &mut Machine, q| {
+            assert!(m.inject_stall(q, 0, Nanos::from_ms(1)));
+        }))),
+    );
+    m.run(&mut q, Nanos::from_ms(10));
+    assert!(m.stats.stalls_detected >= 1, "stall never detected");
+    assert!(
+        m.stats.tasks_migrated >= 1,
+        "queued work stayed behind the stalled core"
+    );
+    assert_eq!(m.stats.completed, 7);
+}
+
+#[test]
+fn revoke_retries_survive_dropped_ipis() {
+    // Centralized policy + core allocator: when the LC app floods after an
+    // idle phase, the allocator revokes BE cores via IPIs — half of which
+    // the plan drops. Bounded retries must still complete the revokes.
+    let alloc = CoreAllocConfig {
+        interval: Nanos::from_us(5),
+        congestion_delay: Nanos::from_us(10),
+        grant_after_idle_checks: 2,
+    };
+    let cfg = MachineConfig {
+        plat: Platform::skyloft_centralized(Topology::single(3)),
+        n_workers: 2,
+        seed: 42,
+        core_alloc: Some(alloc),
+        utimer_period: None,
+    };
+    let mut m = Machine::new(
+        cfg,
+        Box::new(skyloft::builtin::CentralizedFcfs::new(Some(
+            Nanos::from_us(30),
+        ))),
+    );
+    m.add_app("lc", AppKind::Lc);
+    m.add_app("batch", AppKind::Be);
+    m.install_fault_plan(FaultPlan::seeded(9).drop_revoke(0.5));
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    // Idle LC: cores flow to the BE app.
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.stats.be_grants >= 1, "grants {}", m.stats.be_grants);
+    // Flood: cores must come back despite dropped revoke IPIs.
+    for _ in 0..500 {
+        m.spawn_request(&mut q, 0, Nanos::from_us(100), 0, None);
+    }
+    m.run(&mut q, Nanos::from_ms(60));
+    let dropped = m.chaos.as_ref().unwrap().stats.revokes_dropped;
+    assert!(dropped >= 1, "plan never dropped a revoke");
+    assert!(m.stats.ipi_retries >= 1, "no retries despite drops");
+    assert!(m.stats.be_revokes >= 1, "revokes never completed");
+    assert!(m.stats.completed >= 500, "completed {}", m.stats.completed);
+    m.kmod.check_binding_rule().unwrap();
+}
+
+/// Dispersive p99 of a short fig7a-shaped run; `faulty` installs the
+/// acceptance plan (1% arming loss + page faults) with a standby app for
+/// substitution.
+fn dispersive_p99(faulty: bool, recovery_on: bool) -> Nanos {
+    let plan = faulty.then(|| {
+        FaultPlan::seeded(0xFA_1175)
+            .drop_arming(0.01)
+            .page_faults(Nanos::from_ms(2), Nanos::from_us(100))
+    });
+    let (mut m, mut q) = percpu(8, 2, plan, recovery_on);
+    let warmup = Nanos::from_ms(10);
+    let end = warmup + Nanos::from_ms(40);
+    let gen = OpenLoop::new(100_000.0, dispersive(), dispersive_threshold(), 0x0D15);
+    install_open_loop(&mut q, gen, 0, Placement::Queue, end);
+    m.run(&mut q, warmup);
+    m.reset_stats(q.now());
+    m.run(&mut q, end);
+    assert!(m.stats.completed > 1_000, "completed {}", m.stats.completed);
+    Nanos(m.stats.resp_hist.percentile(99.0))
+}
+
+#[test]
+fn recovered_p99_stays_within_2x_of_fault_free() {
+    let base = dispersive_p99(false, true);
+    let faulted = dispersive_p99(true, true);
+    assert!(
+        faulted <= Nanos(base.0 * 2),
+        "p99 under recovered faults {} us vs fault-free {} us",
+        faulted.as_us(),
+        base.as_us()
+    );
+}
+
+mod random_plans {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// With recovery on, any plan drawn from the fault space leaves the
+        /// machine invariant-clean (the debug checker panics mid-run
+        /// otherwise) and all work completes. Probabilities are drawn in
+        /// basis points (the vendored proptest has integer strategies).
+        #[test]
+        fn machine_invariants_hold_under_random_fault_plans(
+            seed in 0u64..u64::MAX,
+            arming_bp in 0u32..500,
+            preempt_bp in 0u32..3_000,
+            revoke_bp in 0u32..3_000,
+            page_faults in prop::bool::ANY,
+            stalls in prop::bool::ANY,
+            workers in 2usize..5,
+            rate_krps in 40u64..120,
+        ) {
+            let mut plan = FaultPlan::seeded(seed)
+                .drop_arming(arming_bp as f64 / 10_000.0)
+                .drop_preempt(preempt_bp as f64 / 10_000.0)
+                .delay_preempt(0.2, Nanos::from_us(5))
+                .drop_revoke(revoke_bp as f64 / 10_000.0);
+            if page_faults {
+                plan = plan.page_faults(Nanos::from_ms(1), Nanos::from_us(80));
+            }
+            if stalls {
+                plan = plan.stalls(Nanos::from_ms(2), Nanos::from_us(150));
+            }
+            let (mut m, mut q) = percpu(workers, 2, Some(plan), true);
+            let end = Nanos::from_ms(6);
+            let gen = OpenLoop::new(
+                rate_krps as f64 * 1_000.0,
+                skyloft_sim::Distribution::Constant(Nanos::from_us(15)),
+                dispersive_threshold(),
+                seed ^ 0xABCD,
+            );
+            install_open_loop(&mut q, gen, 0, Placement::Queue, end);
+            m.run(&mut q, Nanos::from_ms(12));
+            prop_assert!(m.tracer.checker.checks_run() > 0, "checker never ran");
+            prop_assert!(m.tracer.checker.violations().is_empty());
+            prop_assert!(m.stats.completed > 0);
+            m.kmod.check_binding_rule().unwrap();
+        }
+    }
+}
