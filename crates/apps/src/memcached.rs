@@ -110,8 +110,12 @@ mod tests {
             key: Bytes::from_static(b"user:1"),
             value: Bytes::from_static(b"v1"),
         };
-        // Round-trip through the datagram codec, as the server would.
-        let (_, parsed) = KvRequest::decode_datagram(set.encode_datagram(9, 11211)).unwrap();
+        // Round-trip through the datagram codec via pooled buffers, as the
+        // server would.
+        let mut pool = skyloft_net::PacketPool::new(8);
+        let d = pool.encode(&set, 9, 11211);
+        let (_, parsed) = KvRequest::decode_datagram(d.clone()).unwrap();
+        pool.reclaim(d);
         s.execute(&parsed);
         let get = KvRequest {
             id: 2,
@@ -119,7 +123,10 @@ mod tests {
             key: Bytes::from_static(b"user:1"),
             value: Bytes::new(),
         };
-        let (_, parsed) = KvRequest::decode_datagram(get.encode_datagram(9, 11211)).unwrap();
+        let d = pool.encode(&get, 9, 11211);
+        let (_, parsed) = KvRequest::decode_datagram(d.clone()).unwrap();
+        pool.reclaim(d);
+        assert_eq!(pool.idle(), 1, "storage reclaimed once views dropped");
         assert_eq!(s.execute(&parsed), Some(Bytes::from_static(b"v1")));
         assert_eq!(s.hits, 1);
         assert_eq!(s.len(), 1);

@@ -123,7 +123,11 @@ mod tests {
             key: Bytes::from_static(b"key-000003"),
             value: Bytes::new(),
         };
-        let (_, parsed) = KvRequest::decode_datagram(req.encode_datagram(1, 2)).unwrap();
+        // Encode through the packet pool, as the server's TX path would.
+        let mut pool = skyloft_net::PacketPool::new(8);
+        let dgram = pool.encode(&req, 1, 2);
+        let (_, parsed) = KvRequest::decode_datagram(dgram.clone()).unwrap();
+        pool.reclaim(dgram);
         assert_eq!(s.execute(&parsed), 1);
         let missing = KvRequest {
             id: 8,

@@ -6,8 +6,8 @@
 //! machine; this module turns an [`OpenLoop`] generator into a
 //! self-rescheduling chain of simulation events.
 
-use skyloft::machine::{Call, Event, Machine};
-use skyloft::task::{OneShot, RequestMeta};
+use skyloft::machine::{Call, Event, Machine, Recur};
+use skyloft::task::RequestMeta;
 use skyloft::SpawnOpts;
 use skyloft_net::loadgen::{NetProfile, OpenLoop};
 use skyloft_net::nic::PacketFate;
@@ -78,10 +78,9 @@ pub fn install_open_loop_net(
         Placement::Rss { n } => Some(RssHasher::new(*n)),
         Placement::Queue => None,
     };
-    schedule_next(q, gen, app, rss, base, until, 0, net);
+    schedule_next(q, gen, app, rss, base, until, net);
 }
 
-#[allow(clippy::too_many_arguments)]
 fn schedule_next(
     q: &mut EventQueue<Event>,
     mut gen: OpenLoop,
@@ -89,87 +88,99 @@ fn schedule_next(
     rss: Option<RssHasher>,
     base: Nanos,
     until: Nanos,
-    seq: u64,
-    net: Option<NetProfile>,
+    mut net: Option<NetProfile>,
 ) {
-    let Some(req) = gen.next() else { return };
-    let at = base + req.at;
-    if at >= until {
+    let Some(first) = gen.next() else { return };
+    let first_at = base + first.at;
+    if first_at >= until {
         return;
     }
-    q.schedule(
-        at,
-        Event::Call(Call(Box::new(move |m: &mut Machine, q| {
-            let mut net = net;
-            let fate = match net.as_mut() {
-                Some(p) => p.loss.fate(),
-                None => PacketFate::Deliver,
-            };
-            let (pin, overhead) = match &rss {
-                Some(h) => {
-                    // Model a distinct client flow per request (varying
-                    // source port), hashed by the NIC onto a worker ring.
-                    let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
-                    let core = h.ring_for_flow(0x0a00_0001, 0x0a00_0002, src_port, 11_211);
-                    (Some(core), skyloft_net::nic::per_request_overhead())
-                }
-                None => (None, Nanos::ZERO),
-            };
-            match fate {
-                PacketFate::Drop => {
-                    // The request never reaches the server; the client
-                    // learns at its timeout and the sample enters the
-                    // histograms at that value.
-                    m.stats.net_dropped += 1;
-                    let timeout = net.as_ref().expect("drop implies profile").timeout;
-                    let class = req.class;
-                    let service = req.service;
-                    q.schedule_after(
-                        timeout,
-                        Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
-                            m.stats.record_timeout(class, timeout, service);
-                        }))),
-                    );
-                }
-                PacketFate::Deliver | PacketFate::Duplicate => {
-                    let meta = RequestMeta {
-                        arrival: q.now(),
-                        service: req.service,
-                        class: req.class,
-                    };
+    // One self-rescheduling closure carries the generator for the whole
+    // run: each firing delivers the pending request, draws the next
+    // arrival, and returns its time so the machine re-schedules the same
+    // box — the arrival chain allocates once, not once per request.
+    let mut pending = first;
+    let mut seq: u64 = 0;
+    let hook = move |m: &mut Machine, q: &mut EventQueue<Event>| {
+        let req = pending;
+        let fate = match net.as_mut() {
+            Some(p) => p.loss.fate(),
+            None => PacketFate::Deliver,
+        };
+        let (pin, overhead) = match &rss {
+            Some(h) => {
+                // Model a distinct client flow per request (varying
+                // source port), hashed by the NIC onto a worker ring.
+                let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
+                let core = h.ring_for_flow(0x0a00_0001, 0x0a00_0002, src_port, 11_211);
+                (Some(core), skyloft_net::nic::per_request_overhead())
+            }
+            None => (None, Nanos::ZERO),
+        };
+        seq += 1;
+        match fate {
+            PacketFate::Drop => {
+                // The request never reaches the server; the client
+                // learns at its timeout and the sample enters the
+                // histograms at that value.
+                m.stats.net_dropped += 1;
+                let timeout = net.as_ref().expect("drop implies profile").timeout;
+                let class = req.class;
+                let service = req.service;
+                q.schedule_after(
+                    timeout,
+                    Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
+                        m.stats.record_timeout(class, timeout, service);
+                    }))),
+                );
+            }
+            PacketFate::Deliver | PacketFate::Duplicate => {
+                let meta = RequestMeta {
+                    arrival: q.now(),
+                    service: req.service,
+                    class: req.class,
+                };
+                let body = m.pooled_oneshot(req.service + overhead);
+                m.spawn(
+                    q,
+                    body,
+                    SpawnOpts {
+                        app,
+                        pin,
+                        req: Some(meta),
+                        weight: 1024,
+                        record_wakeup: false,
+                    },
+                );
+                if fate == PacketFate::Duplicate {
+                    // The server does the work twice; the client keeps
+                    // the first response, so the copy carries no
+                    // request accounting.
+                    m.stats.net_duplicated += 1;
+                    let body = m.pooled_oneshot(req.service + overhead);
                     m.spawn(
                         q,
-                        Box::new(OneShot::new(req.service + overhead)),
+                        body,
                         SpawnOpts {
                             app,
                             pin,
-                            req: Some(meta),
+                            req: None,
                             weight: 1024,
                             record_wakeup: false,
                         },
                     );
-                    if fate == PacketFate::Duplicate {
-                        // The server does the work twice; the client keeps
-                        // the first response, so the copy carries no
-                        // request accounting.
-                        m.stats.net_duplicated += 1;
-                        m.spawn(
-                            q,
-                            Box::new(OneShot::new(req.service + overhead)),
-                            SpawnOpts {
-                                app,
-                                pin,
-                                req: None,
-                                weight: 1024,
-                                record_wakeup: false,
-                            },
-                        );
-                    }
                 }
             }
-            schedule_next(q, gen, app, rss, base, until, seq + 1, net);
-        }))),
-    );
+        }
+        let next = gen.next()?;
+        let at = base + next.at;
+        if at >= until {
+            return None;
+        }
+        pending = next;
+        Some(at)
+    };
+    q.schedule(first_at, Event::Recur(Recur(Box::new(hook))));
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! throughput self-stabilizes — it is the *tail*: without affordable
 //! preemption, head-of-line blocking returns and p99 explodes.
 
-use skyloft_apps::harness::{run_point, SweepSpec};
+use skyloft_apps::harness::{par_map, run_point, sweep_threads, SweepSpec};
 use skyloft_apps::synthetic::{dispersive, dispersive_threshold, Placement};
 use skyloft_bench::{build, out, scaled};
 use skyloft_metrics::Table;
@@ -36,7 +36,9 @@ fn main() {
     let mut ghost_eff = Vec::new();
     let mut ghost_p99 = Vec::new();
     let mut sky_disp_p99 = Vec::new();
-    for &w in &worker_counts {
+    // Each worker count's three systems are independent machines; fan
+    // the sweep across SKYLOFT_THREADS host threads.
+    let points = par_map(&worker_counts, sweep_threads(), &|&w| {
         let rate = PER_CORE_RPS * w as f64;
         let spec = SweepSpec {
             class_threshold: dispersive_threshold(),
@@ -56,6 +58,11 @@ fn main() {
         let percpu = run_point(&spec_rss, rate, &|| {
             build::skyloft_ws(w, Some(Nanos::from_us(30)))
         });
+        eprintln!("  workers={w} done");
+        (central, ghost, percpu)
+    });
+    for (&w, (central, ghost, percpu)) in worker_counts.iter().zip(&points) {
+        let rate = PER_CORE_RPS * w as f64;
         sky_disp_eff.push(central.achieved_rps / rate);
         percpu_eff.push(percpu.achieved_rps / rate);
         ghost_eff.push(ghost.achieved_rps / rate);
@@ -68,7 +75,6 @@ fn main() {
             format!("{:.3}", ghost.achieved_rps / rate),
             format!("{:.1}", ghost.p99_us),
         ]);
-        eprintln!("  workers={w} done");
     }
     out::emit(
         "ablate_dispatcher",

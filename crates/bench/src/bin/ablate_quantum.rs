@@ -13,7 +13,7 @@
 //! p99 falls as the quantum shrinks; long p99 (and hence sustainable load
 //! under any whole-distribution SLO) degrades.
 
-use skyloft_apps::harness::{run_point, SweepSpec};
+use skyloft_apps::harness::{par_map, run_point, sweep_threads, SweepSpec};
 use skyloft_apps::synthetic::{dispersive, dispersive_threshold, Placement};
 use skyloft_bench::setup::FIG7_WORKERS;
 use skyloft_bench::{build, out, scaled};
@@ -32,7 +32,9 @@ fn main() {
     ]);
     let mut short_tail = Vec::new();
     let mut long_tail = Vec::new();
-    for &q_us in &quanta_us {
+    // Each quantum's two load points are independent machines; fan the
+    // whole sweep across SKYLOFT_THREADS host threads.
+    let points = par_map(&quanta_us, sweep_threads(), &|&q_us| {
         let quantum = Nanos::from_us(q_us);
         let spec = |r: f64| SweepSpec {
             class_threshold: dispersive_threshold(),
@@ -47,6 +49,10 @@ fn main() {
         let hot = run_point(&spec(hot_rate), hot_rate, &|| {
             build::skyloft_shinjuku(FIG7_WORKERS, Some(quantum), false)
         });
+        eprintln!("  quantum={q_us}us done");
+        (mid, hot)
+    });
+    for (&q_us, (mid, hot)) in quanta_us.iter().zip(&points) {
         // Dispatcher interrupts per long request = 10 ms / quantum.
         let ipis_per_long = 10_000.0 / q_us as f64;
         short_tail.push(mid.p99_us);
@@ -59,7 +65,6 @@ fn main() {
             format!("{:.1}", hot.p999_us / 1000.0),
             format!("{:.0}", ipis_per_long),
         ]);
-        eprintln!("  quantum={q_us}us done");
     }
     out::emit(
         "ablate_quantum",

@@ -8,6 +8,7 @@
 //! μs while Linux's tick-limited schedulers blow up to around 10⁴ μs, and
 //! within each family EEVDF ≤ CFS ≤ RR.
 
+use skyloft_apps::harness::{par_map, sweep_threads};
 use skyloft_apps::schbench::DEFAULT_WORK;
 use skyloft_bench::setup::FIG5_CORES;
 use skyloft_bench::{build, out, schbench_util};
@@ -22,18 +23,31 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&header_refs);
 
+    // Every (workers, config) cell is an independent simulation; fan the
+    // grid across SKYLOFT_THREADS host threads in row-major order.
+    let cells: Vec<(usize, usize)> = (0..WORKER_COUNTS.len())
+        .flat_map(|wi| (0..configs.len()).map(move |ci| (wi, ci)))
+        .collect();
+    let stats = par_map(&cells, sweep_threads(), &|&(wi, ci)| {
+        schbench_util::run(
+            &|| configs[ci].1(FIG5_CORES),
+            WORKER_COUNTS[wi],
+            DEFAULT_WORK,
+        )
+    });
+
     let mut results = vec![vec![0.0f64; WORKER_COUNTS.len()]; configs.len()];
+    for (&(wi, ci), stats) in cells.iter().zip(&stats) {
+        let (name, workers) = (configs[ci].0, WORKER_COUNTS[wi]);
+        results[ci][wi] = stats.p99_us;
+        eprintln!(
+            "  [{name} workers={workers}] p50={:.0}us p99={:.0}us n={} preempt={} ticks={}",
+            stats.p50_us, stats.p99_us, stats.samples, stats.preemptions, stats.ticks
+        );
+    }
     for (wi, &workers) in WORKER_COUNTS.iter().enumerate() {
         let mut row = vec![workers.to_string()];
-        for (ci, (name, builder)) in configs.iter().enumerate() {
-            let stats = schbench_util::run(&|| builder(FIG5_CORES), workers, DEFAULT_WORK);
-            results[ci][wi] = stats.p99_us;
-            row.push(format!("{:.0}", stats.p99_us));
-            eprintln!(
-                "  [{name} workers={workers}] p50={:.0}us p99={:.0}us n={} preempt={} ticks={}",
-                stats.p50_us, stats.p99_us, stats.samples, stats.preemptions, stats.ticks
-            );
-        }
+        row.extend((0..configs.len()).map(|ci| format!("{:.0}", results[ci][wi])));
         t.row_owned(row);
     }
     out::emit(

@@ -6,6 +6,7 @@
 //! oversubscribe the cores, with FIFO worst (a woken worker waits for
 //! whole 2.3 ms requests).
 
+use skyloft_apps::harness::{par_map, sweep_threads};
 use skyloft_apps::schbench::DEFAULT_WORK;
 use skyloft_bench::setup::FIG5_CORES;
 use skyloft_bench::{build, out, schbench_util};
@@ -23,33 +24,60 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&header_refs);
 
-    let mut at64: Vec<(u64, f64)> = Vec::new();
-    let mut fifo64 = 0.0;
-    for &workers in WORKER_COUNTS {
-        let mut row = vec![workers.to_string()];
-        for &slice_us in SLICES_US {
-            let slice = Nanos::from_us(slice_us);
-            // The timer must tick at least as often as the slice.
-            let hz = 1_000_000_000 / slice.0.min(Nanos::from_us(10).0);
-            let stats = schbench_util::run(
-                &|| build::skyloft_percpu(FIG5_CORES, hz, Box::new(RoundRobin::new(Some(slice)))),
+    // (workers, slice) grid plus a FIFO column (`slice = None`): all
+    // independent simulations, fanned across SKYLOFT_THREADS threads.
+    let cells: Vec<(usize, Option<u64>)> = WORKER_COUNTS
+        .iter()
+        .flat_map(|&w| {
+            SLICES_US
+                .iter()
+                .map(move |&s| (w, Some(s)))
+                .chain(std::iter::once((w, None)))
+        })
+        .collect();
+    let stats = par_map(&cells, sweep_threads(), &|&(workers, slice_us)| {
+        match slice_us {
+            Some(slice_us) => {
+                let slice = Nanos::from_us(slice_us);
+                // The timer must tick at least as often as the slice.
+                let hz = 1_000_000_000 / slice.0.min(Nanos::from_us(10).0);
+                schbench_util::run(
+                    &|| {
+                        build::skyloft_percpu(
+                            FIG5_CORES,
+                            hz,
+                            Box::new(RoundRobin::new(Some(slice))),
+                        )
+                    },
+                    workers,
+                    DEFAULT_WORK,
+                )
+            }
+            None => schbench_util::run(
+                &|| build::skyloft_percpu(FIG5_CORES, 100_000, Box::new(RoundRobin::new(None))),
                 workers,
                 DEFAULT_WORK,
-            );
+            ),
+        }
+    });
+
+    let mut at64: Vec<(u64, f64)> = Vec::new();
+    let mut fifo64 = 0.0;
+    let per_row = SLICES_US.len() + 1;
+    for (wi, &workers) in WORKER_COUNTS.iter().enumerate() {
+        let mut row = vec![workers.to_string()];
+        for (&(_, slice_us), stats) in cells[wi * per_row..(wi + 1) * per_row]
+            .iter()
+            .zip(&stats[wi * per_row..])
+        {
             if workers == 64 {
-                at64.push((slice_us, stats.p99_us));
+                match slice_us {
+                    Some(s) => at64.push((s, stats.p99_us)),
+                    None => fifo64 = stats.p99_us,
+                }
             }
             row.push(format!("{:.0}", stats.p99_us));
         }
-        let fifo = schbench_util::run(
-            &|| build::skyloft_percpu(FIG5_CORES, 100_000, Box::new(RoundRobin::new(None))),
-            workers,
-            DEFAULT_WORK,
-        );
-        if workers == 64 {
-            fifo64 = fifo.p99_us;
-        }
-        row.push(format!("{:.0}", fifo.p99_us));
         t.row_owned(row);
         eprintln!("  workers={workers} done");
     }

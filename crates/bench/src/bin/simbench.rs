@@ -1,0 +1,259 @@
+//! Simulator self-benchmark: engine throughput (events/sec) and hot-path
+//! allocation pressure (allocs/event) on the two workloads that dominate
+//! every figure — the §5.2 dispersive open-loop sweep and schbench.
+//!
+//! Results go to `results/simbench.csv`; `--write` also records them as
+//! the `current` engine in the repo-root `BENCH_sim.json` (preserving the
+//! `pre_change` section so the perf trajectory vs the original
+//! `BinaryHeap` engine stays on record). `--check` compares the measured
+//! dispersive events/sec against `BENCH_sim.json`'s `current` entry and
+//! exits non-zero on a >30% regression — that is the CI smoke gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use skyloft_apps::harness::trace_arg;
+use skyloft_apps::schbench;
+use skyloft_apps::synthetic::{dispersive, dispersive_threshold, install_open_loop_net, Placement};
+use skyloft_bench::{build, out, scaled, setup::FIG7_QUANTUM};
+use skyloft_metrics::Table;
+use skyloft_net::loadgen::OpenLoop;
+use skyloft_policies::RoundRobin;
+use skyloft_sim::Nanos;
+
+/// Counts every heap allocation (alloc + realloc) made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+struct Sample {
+    events: u64,
+    wall_secs: f64,
+    allocs: u64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
+    }
+}
+
+fn measure(run: impl FnOnce() -> u64) -> Sample {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let events = run();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    Sample {
+        events,
+        wall_secs,
+        allocs,
+    }
+}
+
+/// Dispersive open-loop load on Skyloft-Shinjuku (the Figure 7a hot
+/// path): arrivals, placement, segment completions, quantum checks and
+/// user-IPIs all churn through the event queue.
+fn run_dispersive() -> Sample {
+    measure(|| {
+        let (mut m, mut q) = build::skyloft_shinjuku(8, Some(FIG7_QUANTUM), false);
+        let horizon = scaled(Nanos::from_ms(400));
+        let gen = OpenLoop::new(120_000.0, dispersive(), dispersive_threshold(), 0x51);
+        install_open_loop_net(&mut q, gen, 0, Placement::Queue, horizon, None);
+        m.run(&mut q, horizon + Nanos::from_ms(20))
+    })
+}
+
+/// schbench on a per-CPU round-robin Skyloft (the Figure 5/6 hot path):
+/// dominated by 100 kHz timer ticks and wakeup/preemption traffic.
+fn run_schbench() -> Sample {
+    measure(|| {
+        let (mut m, mut q) = build::skyloft_percpu(
+            24,
+            100_000,
+            Box::new(RoundRobin::new(Some(Nanos::from_us(50)))),
+        );
+        schbench::spawn(&mut m, &mut q, 0, 64, schbench::DEFAULT_WORK);
+        m.run(&mut q, scaled(Nanos::from_ms(400)))
+    })
+}
+
+fn best_of(n: usize, f: impl Fn() -> Sample) -> Sample {
+    (0..n)
+        .map(|_| f())
+        .max_by(|a, b| a.events_per_sec().total_cmp(&b.events_per_sec()))
+        .expect("at least one sample")
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(format!(
+        "{}/../../BENCH_sim.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+/// Pulls `"key": <number>` out of `section` of the hand-rolled baseline
+/// JSON. Good enough for the flat schema `simbench --write` emits.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{section}\""))?;
+    let rest = &json[at..];
+    let at = rest.find(&format!("\"{key}\""))?;
+    let rest = &rest[at..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn engine_json(disp: &Sample, sch: &Sample, indent: &str) -> String {
+    format!(
+        "{indent}\"dispersive_events_per_sec\": {:.0},\n\
+         {indent}\"dispersive_allocs_per_event\": {:.3},\n\
+         {indent}\"schbench_events_per_sec\": {:.0},\n\
+         {indent}\"schbench_allocs_per_event\": {:.3}",
+        disp.events_per_sec(),
+        disp.allocs_per_event(),
+        sch.events_per_sec(),
+        sch.allocs_per_event()
+    )
+}
+
+fn write_baseline(disp: &Sample, sch: &Sample) {
+    let path = baseline_path();
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    // Keep the recorded pre-change numbers if present; otherwise this IS
+    // the pre-change measurement.
+    let pre = [
+        "dispersive_events_per_sec",
+        "dispersive_allocs_per_event",
+        "schbench_events_per_sec",
+        "schbench_allocs_per_event",
+    ]
+    .iter()
+    .map(|k| {
+        let v = extract(&existing, "pre_change", k).unwrap_or_else(|| match *k {
+            "dispersive_events_per_sec" => disp.events_per_sec(),
+            "dispersive_allocs_per_event" => disp.allocs_per_event(),
+            "schbench_events_per_sec" => sch.events_per_sec(),
+            _ => sch.allocs_per_event(),
+        });
+        if k.ends_with("events_per_sec") {
+            format!("    \"{k}\": {v:.0}")
+        } else {
+            format!("    \"{k}\": {v:.3}")
+        }
+    })
+    .collect::<Vec<_>>()
+    .join(",\n");
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"bench\": \"simbench\",\n  \"pre_change\": {{\n{pre}\n  }},\n  \"current\": {{\n{cur}\n  }}\n}}\n",
+        cur = engine_json(disp, sch, "    ")
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("simbench: wrote {}", path.display()),
+        Err(e) => eprintln!("simbench: failed to write {}: {e}", path.display()),
+    }
+}
+
+fn check_baseline(disp: &Sample, sch: &Sample) -> bool {
+    let path = baseline_path();
+    let Ok(json) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "simbench: no baseline at {} — nothing to check against",
+            path.display()
+        );
+        return true;
+    };
+    let mut ok = true;
+    for (key, measured) in [
+        ("dispersive_events_per_sec", disp.events_per_sec()),
+        ("schbench_events_per_sec", sch.events_per_sec()),
+    ] {
+        let Some(base) = extract(&json, "current", key) else {
+            continue;
+        };
+        let floor = base * 0.7;
+        if measured < floor {
+            eprintln!(
+                "simbench: REGRESSION on {key}: measured {measured:.0} < 70% of baseline {base:.0}"
+            );
+            ok = false;
+        } else {
+            eprintln!("simbench: {key} {measured:.0} vs baseline {base:.0} — ok");
+        }
+    }
+    ok
+}
+
+fn main() {
+    // `--trace` is accepted (and ignored) for CLI uniformity with the
+    // figure binaries; consume it so flag parsing below stays simple.
+    let _ = trace_arg();
+    let args = skyloft_bench::positional_args();
+    let write = args.iter().any(|a| a == "--write");
+    let check = args.iter().any(|a| a == "--check");
+
+    eprintln!("simbench: measuring dispersive workload...");
+    let disp = best_of(2, run_dispersive);
+    eprintln!("simbench: measuring schbench workload...");
+    let sch = best_of(2, run_schbench);
+
+    let mut t = Table::new(&[
+        "workload",
+        "events",
+        "wall_ms",
+        "events_per_sec",
+        "allocs",
+        "allocs_per_event",
+    ]);
+    for (name, s) in [("dispersive", &disp), ("schbench", &sch)] {
+        t.row_owned(vec![
+            name.to_string(),
+            s.events.to_string(),
+            format!("{:.1}", s.wall_secs * 1e3),
+            format!("{:.0}", s.events_per_sec()),
+            s.allocs.to_string(),
+            format!("{:.3}", s.allocs_per_event()),
+        ]);
+    }
+    out::emit("simbench", "Simulator self-benchmark", &t);
+    println!(
+        "events/sec: dispersive={:.0} schbench={:.0}",
+        disp.events_per_sec(),
+        sch.events_per_sec()
+    );
+
+    if write {
+        write_baseline(&disp, &sch);
+    }
+    if check && !check_baseline(&disp, &sch) {
+        std::process::exit(1);
+    }
+}

@@ -207,7 +207,7 @@ pub fn shenango_ws(workers: usize) -> (Machine, EventQueue<Event>) {
 }
 
 /// A boxed machine builder keyed by worker-core count.
-pub type MachineBuilder = Box<dyn Fn(usize) -> (Machine, EventQueue<Event>)>;
+pub type MachineBuilder = Box<dyn Fn(usize) -> (Machine, EventQueue<Event>) + Sync>;
 
 /// The schbench scheduler configurations of Figure 5 (name, builder).
 pub fn fig5_configs() -> Vec<(&'static str, MachineBuilder)> {

@@ -13,14 +13,25 @@ pub mod schbench_util;
 use skyloft_sim::Nanos;
 
 /// Writes `m`'s scheduling trace (Chrome-trace JSON, loadable in
-/// Perfetto / `chrome://tracing`) to the path given by a `--trace <path>`
-/// argument on the command line, if any. `what` labels the dump in the
-/// notice printed to stderr. Binaries that run several machines call this
-/// once per machine; later calls overwrite earlier ones, so the file ends
-/// up holding the last machine's trace — the same "last point wins"
-/// convention the sweep harness uses.
+/// Perfetto / `chrome://tracing`) when a `--trace <path>` argument is on
+/// the command line. `what` labels the dump: each machine writes its own
+/// file, `<path>.<label>.json` (label = `what` sanitized to a slug), so a
+/// binary that runs several machines keeps every trace instead of the
+/// last machine overwriting the others — matching the sweep harness's
+/// per-point `<path>.<system>.<rate>.json` naming.
 pub fn dump_trace(m: &skyloft::machine::Machine, what: &str) {
-    if let Some(path) = skyloft_apps::harness::trace_arg() {
+    if let Some(base) = skyloft_apps::harness::trace_arg() {
+        let slug: String = what
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let path = std::path::PathBuf::from(format!("{}.{slug}.json", base.display()));
         match m.write_trace(&path) {
             Ok(()) => eprintln!("trace: wrote {} ({what})", path.display()),
             Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
@@ -30,13 +41,17 @@ pub fn dump_trace(m: &skyloft::machine::Machine, what: &str) {
 
 /// The binary's positional arguments (without the program name), with the
 /// shared `--trace <path>` / `--trace=<path>` flag filtered out so
-/// positional parsing is unaffected by it.
+/// positional parsing is unaffected by it. A trailing bare `--trace`
+/// (no path following it) is reported on stderr rather than silently
+/// swallowing the dump the user asked for.
 pub fn positional_args() -> Vec<String> {
     let mut out = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
-            let _ = args.next();
+            if args.next().is_none() {
+                eprintln!("warning: --trace given without a path; ignoring");
+            }
         } else if !a.starts_with("--trace=") {
             out.push(a);
         }

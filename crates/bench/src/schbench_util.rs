@@ -23,7 +23,7 @@ pub struct WakeupStats {
 
 /// Runs schbench with `workers` worker threads on a freshly built machine.
 pub fn run(
-    build: &dyn Fn() -> (Machine, EventQueue<Event>),
+    build: &(dyn Fn() -> (Machine, EventQueue<Event>) + Sync),
     workers: usize,
     work: Nanos,
 ) -> WakeupStats {

@@ -136,15 +136,14 @@ impl Policy for CentralizedFcfs {
         _tasks: &mut TaskTable,
         idle_workers: &[CoreId],
         _now: Nanos,
-    ) -> Vec<(CoreId, TaskId)> {
-        let mut out = Vec::new();
+        out: &mut Vec<(CoreId, TaskId)>,
+    ) {
         for &core in idle_workers {
             match self.queue.pop_front() {
                 Some((t, _)) => out.push((core, t)),
                 None => break,
             }
         }
-        out
     }
 
     fn sched_timer_tick(
@@ -230,7 +229,8 @@ mod tests {
         let b = mk(&mut tasks);
         p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos::ZERO);
         p.task_enqueue(&mut tasks, b, None, EnqueueFlags::New, Nanos::ZERO);
-        let placed = p.sched_poll(&mut tasks, &[3, 7, 9], Nanos(1));
+        let mut placed = Vec::new();
+        p.sched_poll(&mut tasks, &[3, 7, 9], Nanos(1), &mut placed);
         assert_eq!(placed, vec![(3, a), (7, b)]);
         assert_eq!(p.queue_len(), Some(0));
     }

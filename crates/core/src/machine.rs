@@ -57,6 +57,22 @@ impl std::fmt::Debug for Call {
     }
 }
 
+/// A reusable callback: invoked when its event fires; returning
+/// `Some(at)` re-schedules the *same* box at `at`.
+pub type RecurFn = Box<dyn FnMut(&mut Machine, &mut EventQueue<Event>) -> Option<Nanos>>;
+
+/// A self-rescheduling callback event. Unlike [`Call`], the closure box is
+/// carried from firing to firing, so periodic or chained hooks (open-loop
+/// arrival generators, measurement phases) cost one allocation for the
+/// whole chain instead of one per link.
+pub struct Recur(pub RecurFn);
+
+impl std::fmt::Debug for Recur {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Recur(..)")
+    }
+}
+
 /// Why a preemption IPI was sent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IpiPurpose {
@@ -115,6 +131,8 @@ pub enum Event {
     Chaos(ChaosEvent),
     /// External callback.
     Call(Call),
+    /// Self-rescheduling external callback (see [`Recur`]).
+    Recur(Recur),
 }
 
 /// Role of a core.
@@ -341,6 +359,17 @@ pub struct Machine {
     pub(crate) utimer_period: Option<Nanos>,
     /// Round-robin cursor for queue placement.
     rr_cursor: usize,
+    /// Scratch buffer of idle workers, reused across [`Machine::dispatch`]
+    /// calls so the hot path does not allocate.
+    idle_scratch: Vec<CoreId>,
+    /// Scratch buffer for `sched_poll` placements (same reuse).
+    poll_scratch: Vec<(CoreId, TaskId)>,
+    /// Free list of recycled [`OneShot`] request bodies (see
+    /// [`Machine::pooled_oneshot`]); bounded so a burst cannot pin memory.
+    /// The boxes themselves are the pooled resource — each is handed back
+    /// out as a `Box<dyn Behavior>` without reallocating.
+    #[allow(clippy::vec_box)]
+    oneshot_pool: Vec<Box<crate::task::OneShot>>,
     /// The dispatcher/agent core is a serialized resource: it is busy with
     /// earlier placements until this time (ghOSt's transaction commits make
     /// this the throughput bottleneck, §5.2).
@@ -400,6 +429,9 @@ impl Machine {
             fault_monitor: FaultMonitor::new(),
             utimer_period: cfg.utimer_period,
             rr_cursor: 0,
+            idle_scratch: Vec::new(),
+            poll_scratch: Vec::new(),
+            oneshot_pool: Vec::new(),
             dispatcher_free_at: Nanos::ZERO,
             plat: cfg.plat,
             started: false,
@@ -626,6 +658,20 @@ impl Machine {
         id
     }
 
+    /// Returns a [`crate::task::OneShot`] behavior box for `service`,
+    /// reusing a recycled box from the machine's free list when one is
+    /// available. Completed one-shot requests flow back into the list, so
+    /// steady-state RPC workloads allocate no behavior boxes at all.
+    pub fn pooled_oneshot(&mut self, service: Nanos) -> Box<dyn Behavior> {
+        match self.oneshot_pool.pop() {
+            Some(mut b) => {
+                b.reset(service);
+                b
+            }
+            None => Box::new(crate::task::OneShot::new(service)),
+        }
+    }
+
     /// Spawns a one-shot request of the given service time and class.
     pub fn spawn_request(
         &mut self,
@@ -640,9 +686,10 @@ impl Machine {
             service,
             class,
         };
+        let behavior = self.pooled_oneshot(service);
         self.spawn(
             q,
-            Box::new(crate::task::OneShot::new(service)),
+            behavior,
             SpawnOpts {
                 app,
                 pin,
@@ -731,6 +778,11 @@ impl Machine {
             #[cfg(feature = "chaos")]
             Event::Chaos(ev) => self.on_chaos_event(ev, q),
             Event::Call(call) => (call.0)(self, q),
+            Event::Recur(mut r) => {
+                if let Some(at) = (r.0)(self, q) {
+                    q.schedule(at, Event::Recur(r));
+                }
+            }
         }
     }
 
@@ -1042,10 +1094,13 @@ impl Machine {
         let now = q.now();
         let delay = self.policy.queue_delay(&self.tasks, now);
         let congested = delay.is_some_and(|d| d > cfg.congestion_delay);
+        // Index loops: `worker_cores` is never mutated here, so iterating
+        // by position avoids cloning the core list on every alloc tick.
         if congested {
             // Reclaim one BE core per decision (Shenango revokes
             // incrementally).
-            for &core in &self.worker_cores.clone() {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
                 let c = &self.cores[core];
                 if c.granted_to_be && !c.revoking {
                     self.cores[core].revoking = true;
@@ -1055,13 +1110,15 @@ impl Machine {
                     break;
                 }
             }
-            for &core in &self.worker_cores.clone() {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
                 self.cores[core].idle_checks = 0;
             }
         } else if self.policy.queue_len().unwrap_or(0) == 0 {
             // Grant a persistently idle LC core to the BE app.
             let mut granted = false;
-            for &core in &self.worker_cores.clone() {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
                 if self.cores[core].granted_to_be || !self.cores[core].is_idle() {
                     self.cores[core].idle_checks = 0;
                     continue;
@@ -1085,7 +1142,8 @@ impl Machine {
                 }
             }
         } else {
-            for &core in &self.worker_cores.clone() {
+            for i in 0..self.worker_cores.len() {
+                let core = self.worker_cores[i];
                 self.cores[core].idle_checks = 0;
             }
         }
@@ -1185,26 +1243,31 @@ impl Machine {
     }
 
     /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
+    ///
+    /// Runs at dispatch rate on the hot path, so the idle list and the
+    /// placement list live in machine-owned scratch buffers instead of
+    /// fresh allocations.
     pub(crate) fn dispatch(&mut self, q: &mut EventQueue<Event>) {
         if self.policy.kind() != PolicyKind::Centralized {
             return;
         }
-        let idle: Vec<CoreId> = self
-            .worker_cores
-            .iter()
-            .copied()
-            .filter(|&c| {
-                self.cores[c].is_idle() && !self.cores[c].granted_to_be && self.core_usable(c)
-            })
-            .collect();
+        let mut idle = std::mem::take(&mut self.idle_scratch);
+        idle.clear();
+        idle.extend(self.worker_cores.iter().copied().filter(|&c| {
+            self.cores[c].is_idle() && !self.cores[c].granted_to_be && self.core_usable(c)
+        }));
         if idle.is_empty() {
+            self.idle_scratch = idle;
             return;
         }
         let now = q.now();
-        let placements = self.policy.sched_poll(&mut self.tasks, &idle, now);
+        let mut placements = std::mem::take(&mut self.poll_scratch);
+        placements.clear();
+        self.policy
+            .sched_poll(&mut self.tasks, &idle, now, &mut placements);
         // Placements serialize on the dispatcher core.
         let mut busy_until = self.dispatcher_free_at.max(now);
-        for (core, task) in placements {
+        for &(core, task) in &placements {
             debug_assert!(self.cores[core].is_idle());
             self.cores[core].incoming = true;
             busy_until += self.plat.dispatch_cost;
@@ -1214,6 +1277,8 @@ impl Machine {
             );
         }
         self.dispatcher_free_at = busy_until;
+        self.idle_scratch = idle;
+        self.poll_scratch = placements;
     }
 
     /// The per-core main scheduling loop (§4.1's idle user thread).
@@ -1362,7 +1427,9 @@ impl Machine {
                         return;
                     }
                     Step::Exit => {
-                        drop(behavior);
+                        // Hand the box back so finish_current can recycle
+                        // one-shot bodies into the pool.
+                        self.tasks.get_mut(t).behavior = Some(behavior);
                         self.finish_current(q, core);
                         self.schedule_loop(q, core, overhead);
                         return;
@@ -1483,7 +1550,17 @@ impl Machine {
         self.policy.task_terminate(&mut self.tasks, t, now);
         let app = self.tasks.get(t).app;
         self.apps[app].live_tasks -= 1;
-        self.tasks.remove(t);
+        let mut task = self.tasks.remove(t);
+        // Recycle one-shot request bodies for pooled_oneshot; the bound
+        // keeps a pathological burst from pinning memory forever.
+        const ONESHOT_POOL_CAP: usize = 1024;
+        if self.oneshot_pool.len() < ONESHOT_POOL_CAP {
+            if let Some(b) = task.behavior.take() {
+                if let Some(os) = b.recycle() {
+                    self.oneshot_pool.push(os);
+                }
+            }
+        }
     }
 
     pub(crate) fn close_busy(&mut self, now: Nanos, core: CoreId) {

@@ -122,14 +122,16 @@ pub trait Policy {
     }
 
     /// `sched_poll`: centralized only; the dispatcher distributes tasks
-    /// from the global queue to `idle_workers`. Returns the placements.
+    /// from the global queue to `idle_workers`, appending the chosen
+    /// placements to `out`. The caller provides (and reuses) the output
+    /// buffer so polling at dispatch rate stays allocation-free.
     fn sched_poll(
         &mut self,
         _tasks: &mut TaskTable,
         _idle_workers: &[CoreId],
         _now: Nanos,
-    ) -> Vec<(CoreId, TaskId)> {
-        Vec::new()
+        _out: &mut Vec<(CoreId, TaskId)>,
+    ) {
     }
 
     /// The preemption quantum for centralized policies; the dispatcher
@@ -236,7 +238,9 @@ mod tests {
             Nanos(1)
         ));
         assert!(p.sched_balance(&mut tasks, 0, Nanos(1)).is_none());
-        assert!(p.sched_poll(&mut tasks, &[0], Nanos(1)).is_empty());
+        let mut placements = Vec::new();
+        p.sched_poll(&mut tasks, &[0], Nanos(1), &mut placements);
+        assert!(placements.is_empty());
         assert_eq!(p.quantum(), None);
         assert_eq!(p.queue_delay(&tasks, Nanos(1)), None);
     }

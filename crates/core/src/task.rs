@@ -65,6 +65,16 @@ pub trait Behavior {
     /// Produces the task's next action. `now` is virtual time;
     /// `self_id` the task's own handle.
     fn step(&mut self, now: Nanos, self_id: TaskId) -> Step;
+
+    /// Hands the behavior box back for reuse if it is a plain [`OneShot`].
+    ///
+    /// RPC workloads create and destroy a `OneShot` per request — the
+    /// machine keeps a free list of these boxes so the request hot path
+    /// does not allocate (see `Machine::pooled_oneshot`). Other behaviors
+    /// return `None` and are dropped as before.
+    fn recycle(self: Box<Self>) -> Option<Box<OneShot>> {
+        None
+    }
 }
 
 /// A one-shot request body: compute for the service time, then exit. This is
@@ -80,6 +90,11 @@ impl OneShot {
             service: Some(service),
         }
     }
+
+    /// Re-arms a recycled request body with a fresh service time.
+    pub fn reset(&mut self, service: Nanos) {
+        self.service = Some(service);
+    }
 }
 
 impl Behavior for OneShot {
@@ -88,6 +103,10 @@ impl Behavior for OneShot {
             Some(s) => Step::Compute(s),
             None => Step::Exit,
         }
+    }
+
+    fn recycle(self: Box<Self>) -> Option<Box<OneShot>> {
+        Some(self)
     }
 }
 

@@ -22,7 +22,6 @@
 //! tracer field and every emission site, leaving zero overhead on the
 //! event hot path.
 
-use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 use skyloft_sim::Nanos;
@@ -160,9 +159,60 @@ pub struct TraceEvent {
 }
 
 /// A bounded FIFO of trace events.
+///
+/// Stored as a flat circular buffer: once full, `push` overwrites in
+/// place at a rotating write index. Recording an event at steady state is
+/// one indexed store — this runs on every simulation event, so it must
+/// not shift, reallocate, or branch on capacity growth.
 #[derive(Debug, Default)]
 struct Ring {
-    buf: VecDeque<TraceEvent>,
+    buf: Vec<TraceEvent>,
+    /// Oldest entry (and next overwrite target) once the buffer is full.
+    head: usize,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Appends `ev`, evicting the oldest entry when at `cap`. Returns
+    /// whether an entry was evicted.
+    #[inline]
+    fn push(&mut self, ev: TraceEvent, cap: usize) -> bool {
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == cap {
+                self.head = 0;
+            }
+            true
+        }
+    }
+
+    /// Buffered events, oldest first.
+    fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// The newest buffered event.
+    fn last(&self) -> Option<&TraceEvent> {
+        if self.buf.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.buf.last()
+        } else {
+            Some(&self.buf[self.head - 1])
+        }
+    }
 }
 
 /// Records machine state validated (or violated) after each event.
@@ -228,10 +278,15 @@ impl Tracer {
     }
 
     /// Creates a tracer with an explicit per-ring capacity.
+    ///
+    /// Rings are allocated to full capacity up front so steady-state
+    /// recording never grows a buffer on the event hot path.
     pub fn with_capacity(n_cores: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
         Tracer {
-            rings: (0..n_cores + 1).map(|_| Ring::default()).collect(),
+            rings: (0..n_cores + 1)
+                .map(|_| Ring::with_capacity(capacity))
+                .collect(),
             capacity,
             dropped: 0,
             checker: InvariantChecker::default(),
@@ -240,15 +295,13 @@ impl Tracer {
 
     /// Appends an event to its core's ring (machine-wide events go to the
     /// last ring), evicting the oldest event when the ring is full.
+    #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
         let last = self.rings.len() - 1;
         let idx = ev.core.map_or(last, |c| c.min(last));
-        let ring = &mut self.rings[idx];
-        if ring.buf.len() == self.capacity {
-            ring.buf.pop_front();
+        if self.rings[idx].push(ev, self.capacity) {
             self.dropped += 1;
         }
-        ring.buf.push_back(ev);
     }
 
     /// Total events currently buffered.
@@ -268,7 +321,7 @@ impl Tracer {
 
     /// All buffered events, core by core, oldest first within a core.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.rings.iter().flat_map(|r| r.buf.iter())
+        self.rings.iter().flat_map(|r| r.iter())
     }
 
     /// Serializes the buffered events to Chrome trace event format
@@ -282,7 +335,7 @@ impl Tracer {
         let mut first = true;
         for (tid, ring) in self.rings.iter().enumerate() {
             let mut open: Option<TraceEvent> = None;
-            for ev in &ring.buf {
+            for ev in ring.iter() {
                 if ev.kind == TraceKind::Switch {
                     // A Switch while a slice is open can only come from a
                     // ring that lost its closing event to eviction; start
@@ -299,7 +352,7 @@ impl Tracer {
             }
             // Close a slice still running at the end of the recording.
             if let Some(start) = open {
-                let end = ring.buf.back().map_or(start.ts, |e| e.ts.max(start.ts));
+                let end = ring.last().map_or(start.ts, |e| e.ts.max(start.ts));
                 push_slice(&mut out, &mut first, tid, &start, end);
             }
         }
@@ -550,7 +603,7 @@ impl Machine {
             #[cfg(feature = "chaos")]
             Event::Chaos(_) => return,
             // Callback bodies trace through the machine calls they make.
-            Event::Call(_) => return,
+            Event::Call(_) | Event::Recur(_) => return,
         };
         self.trace_emit(now, core, task, kind);
     }

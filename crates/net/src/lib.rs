@@ -25,6 +25,6 @@ pub mod rss;
 
 pub use loadgen::{NetProfile, OpenLoop};
 pub use nic::{LossModel, PacketFate};
-pub use packet::{KvOp, KvRequest, UdpHeader};
+pub use packet::{KvOp, KvRequest, PacketPool, UdpHeader};
 pub use ring::Ring;
 pub use rss::RssHasher;

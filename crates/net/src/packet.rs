@@ -85,22 +85,33 @@ pub struct KvRequest {
 impl KvRequest {
     /// Serializes a full datagram: UDP header + request body.
     pub fn encode_datagram(&self, src_port: u16, dst_port: u16) -> Bytes {
-        let body_len = 8 + 1 + 2 + self.key.len() + 2 + self.value.len();
-        let mut buf = BytesMut::with_capacity(UdpHeader::SIZE + body_len);
+        let mut buf = BytesMut::with_capacity(UdpHeader::SIZE + self.body_len());
+        self.encode_datagram_into(src_port, dst_port, &mut buf);
+        buf.freeze()
+    }
+
+    /// [`Self::encode_datagram`] into a caller-owned buffer: clears `buf`
+    /// and writes the datagram, so a pooled buffer is reused instead of
+    /// allocating per packet (see [`crate::PacketPool`]).
+    pub fn encode_datagram_into(&self, src_port: u16, dst_port: u16, buf: &mut BytesMut) {
+        buf.clear();
         let hdr = UdpHeader {
             src_port,
             dst_port,
-            length: (UdpHeader::SIZE + body_len) as u16,
+            length: (UdpHeader::SIZE + self.body_len()) as u16,
             checksum: 0,
         };
-        hdr.encode(&mut buf);
+        hdr.encode(buf);
         buf.put_u64(self.id);
         buf.put_u8(self.op as u8);
         buf.put_u16(self.key.len() as u16);
         buf.put_slice(&self.key);
         buf.put_u16(self.value.len() as u16);
         buf.put_slice(&self.value);
-        buf.freeze()
+    }
+
+    fn body_len(&self) -> usize {
+        8 + 1 + 2 + self.key.len() + 2 + self.value.len()
     }
 
     /// Parses a datagram produced by [`Self::encode_datagram`]. Returns the
@@ -123,6 +134,68 @@ impl KvRequest {
         }
         let value = data.copy_to_bytes(vlen);
         Some((hdr, KvRequest { id, op, key, value }))
+    }
+}
+
+/// A free list of datagram buffers.
+///
+/// `buffer()` hands out a cleared [`BytesMut`] (recycled when one is
+/// available); after the consumer is done with the frozen [`Bytes`],
+/// `reclaim()` recovers the backing storage if no other view holds it.
+/// Steady-state encode/decode traffic then runs without per-packet
+/// allocation.
+#[derive(Default)]
+pub struct PacketPool {
+    free: Vec<BytesMut>,
+    capacity: usize,
+}
+
+impl PacketPool {
+    /// Default MTU-ish size for fresh buffers.
+    const BUF_SIZE: usize = 256;
+
+    /// Creates a pool that retains at most `capacity` idle buffers.
+    pub fn new(capacity: usize) -> PacketPool {
+        PacketPool {
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Returns an empty buffer, reusing a reclaimed one when possible.
+    pub fn buffer(&mut self) -> BytesMut {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => BytesMut::with_capacity(Self::BUF_SIZE),
+        }
+    }
+
+    /// Encodes `req` as a datagram using a pooled buffer.
+    pub fn encode(&mut self, req: &KvRequest, src_port: u16, dst_port: u16) -> Bytes {
+        let mut buf = self.buffer();
+        req.encode_datagram_into(src_port, dst_port, &mut buf);
+        buf.freeze()
+    }
+
+    /// Returns a spent datagram's storage to the pool. A no-op (the buffer
+    /// is simply dropped) if other `Bytes` views are still alive or the
+    /// pool is full.
+    pub fn reclaim(&mut self, b: Bytes) {
+        if self.free.len() >= self.capacity {
+            return;
+        }
+        if let Ok(mut v) = b.try_unwrap() {
+            v.clear();
+            self.free.push(BytesMut::from(v));
+        }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -177,6 +250,49 @@ mod tests {
         let (_, parsed) = KvRequest::decode_datagram(req.encode_datagram(1, 2)).unwrap();
         assert_eq!(parsed.op, KvOp::Scan);
         assert!(parsed.value.is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_buffers() {
+        let mut pool = PacketPool::new(4);
+        let req = KvRequest {
+            id: 7,
+            op: KvOp::Get,
+            key: Bytes::from_static(b"user:7"),
+            value: Bytes::new(),
+        };
+        let d1 = pool.encode(&req, 9, 11211);
+        assert_eq!(
+            KvRequest::decode_datagram(d1.clone()).unwrap().1,
+            req,
+            "pooled encoding must match the allocating path"
+        );
+        // A second view keeps the storage alive: reclaim must not steal it.
+        let alias = d1.clone();
+        pool.reclaim(d1);
+        assert_eq!(pool.idle(), 0);
+        drop(alias);
+
+        let d2 = pool.encode(&req, 9, 11211);
+        pool.reclaim(d2);
+        assert_eq!(pool.idle(), 1);
+        // The recycled buffer round-trips identically.
+        let d3 = pool.encode(&req, 9, 11211);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(KvRequest::decode_datagram(d3).unwrap().1, req);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let req = KvRequest {
+            id: 3,
+            op: KvOp::Set,
+            key: Bytes::from_static(b"k"),
+            value: Bytes::from_static(b"v"),
+        };
+        let mut buf = BytesMut::new();
+        req.encode_datagram_into(1, 2, &mut buf);
+        assert_eq!(&buf[..], &req.encode_datagram(1, 2)[..]);
     }
 
     #[test]

@@ -77,15 +77,14 @@ impl Policy for Shinjuku {
         _tasks: &mut TaskTable,
         idle_workers: &[CoreId],
         _now: Nanos,
-    ) -> Vec<(CoreId, TaskId)> {
-        let mut placements = Vec::new();
+        out: &mut Vec<(CoreId, TaskId)>,
+    ) {
         for &core in idle_workers {
             match self.queue.pop_front() {
-                Some((t, _)) => placements.push((core, t)),
+                Some((t, _)) => out.push((core, t)),
                 None => break,
             }
         }
-        placements
     }
 
     fn sched_timer_tick(
@@ -170,7 +169,8 @@ mod tests {
         p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(10));
         p.task_enqueue(&mut tasks, b, None, EnqueueFlags::New, Nanos(20));
         assert_eq!(p.queue_delay(&tasks, Nanos(110)), Some(Nanos(100)));
-        let placed = p.sched_poll(&mut tasks, &[5, 6, 7], Nanos(110));
+        let mut placed = Vec::new();
+        p.sched_poll(&mut tasks, &[5, 6, 7], Nanos(110), &mut placed);
         assert_eq!(placed, vec![(5, a), (6, b)]);
         assert_eq!(p.queue_delay(&tasks, Nanos(110)), None);
     }

@@ -83,8 +83,9 @@ impl Policy for ShinjukuShenango {
         tasks: &mut TaskTable,
         idle_workers: &[CoreId],
         now: Nanos,
-    ) -> Vec<(CoreId, TaskId)> {
-        self.inner.sched_poll(tasks, idle_workers, now)
+        out: &mut Vec<(CoreId, TaskId)>,
+    ) {
+        self.inner.sched_poll(tasks, idle_workers, now, out);
     }
 
     fn sched_timer_tick(

@@ -1,4 +1,5 @@
-//! Cancellable, deterministic event queue.
+//! Cancellable, deterministic event queue backed by a hierarchical timing
+//! wheel.
 //!
 //! Events are ordered by `(time, sequence)`. The sequence number is a
 //! monotonically increasing counter assigned at scheduling time, so two
@@ -6,14 +7,55 @@
 //! run with the same seed bit-identical, which the experiment harness relies
 //! on.
 //!
+//! # Why a wheel
+//!
+//! Almost every event a Skyloft machine schedules is near-future: quantum
+//! checks and §3.2 self-IPI re-arms land ~30 μs out, NIC arrivals a few μs
+//! out, timer ticks 10 μs out. A binary heap pays `O(log n)` twice per
+//! event for what is effectively insertion into a short sliding window. The
+//! wheel makes `schedule` an `O(1)` bucket push and amortizes ordering into
+//! one small sort per bucket drain:
+//!
+//! * time is divided into **granules** of 2^[`GSHIFT`] ns (512 ns);
+//! * [`LEVELS`] levels of [`SLOTS`] buckets each cover granule deltas of
+//!   `64^(l+1)`, giving the wheel a total span of 2^24 granules (~8.6 s of
+//!   virtual time) — events beyond the span park in an overflow heap;
+//! * a drained bucket is sorted by the unique `(time, seq)` key into `cur`
+//!   (descending, so popping from the back yields ascending order), which
+//!   makes the pop order independent of bucket insertion order and keeps
+//!   the old heap's deterministic contract bit-for-bit.
+//!
 //! Cancellation is O(1): [`EventQueue::cancel`] marks the event's slot dead;
-//! dead heap entries are skipped on pop. Slots are recycled with a
-//! generation counter so a stale [`Token`] can never cancel a later event.
+//! dead wheel entries are skipped (and their slots recycled) when their
+//! bucket drains. Slots are recycled with a generation counter so a stale
+//! [`Token`] can never cancel a later event.
+//!
+//! The previous `BinaryHeap` implementation survives as
+//! [`crate::reference::ReferenceQueue`] (test builds and the
+//! `reference-queue` feature) and serves as the differential oracle for the
+//! wheel's property tests.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
+
+/// log2 of the granule size in nanoseconds (512 ns granules).
+const GSHIFT: u32 = 9;
+/// log2 of the slot count per level.
+const LSHIFT: u32 = 6;
+/// Buckets per level.
+const SLOTS: u64 = 1 << LSHIFT;
+/// Wheel levels; level `l` buckets granule deltas below `64^(l+1)`.
+const LEVELS: usize = 4;
+/// Total wheel span in granules; events further out go to the overflow
+/// heap.
+const SPAN: u64 = 1 << (LSHIFT * LEVELS as u32);
+
+#[inline]
+fn granule(at: Nanos) -> u64 {
+    at.0 >> GSHIFT
+}
 
 /// Handle to a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -27,11 +69,41 @@ struct Slot<E> {
     payload: Option<E>,
 }
 
+/// A parked `(time, seq)` key plus the payload slot it refers to.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    at: Nanos,
+    seq: u64,
+    slot: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn key(&self) -> (Nanos, u64) {
+        (self.at, self.seq)
+    }
+}
+
 /// A time-ordered queue of events of type `E`.
 pub struct EventQueue<E> {
     now: Nanos,
     seq: u64,
-    heap: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
+    /// Granule watermark: every pending entry with `granule < focus` has
+    /// been moved into `cur`. The focus only ever advances; it may run
+    /// ahead of `now` (peeking materializes the next bucket), which is why
+    /// `schedule` must accept times below the focus and sort them into
+    /// `cur` directly.
+    focus: u64,
+    /// The materialized near-future window, sorted by `(time, seq)`
+    /// descending so `pop` is a `Vec::pop` from the back.
+    cur: Vec<Entry>,
+    /// `LEVELS × SLOTS` buckets, flattened level-major.
+    buckets: Vec<Vec<Entry>>,
+    /// Entries parked per level (including cancelled ones not yet
+    /// reclaimed).
+    counts: [usize; LEVELS],
+    /// Events beyond the wheel span.
+    overflow: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
     live: usize,
@@ -49,7 +121,11 @@ impl<E> EventQueue<E> {
         EventQueue {
             now: Nanos::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            focus: 0,
+            cur: Vec::new(),
+            buckets: (0..LEVELS * SLOTS as usize).map(|_| Vec::new()).collect(),
+            counts: [0; LEVELS],
+            overflow: BinaryHeap::new(),
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
@@ -99,9 +175,14 @@ impl<E> EventQueue<E> {
             }
         };
         let generation = self.slots[slot as usize].generation;
-        self.heap.push(Reverse((at, self.seq, slot)));
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            slot,
+        };
         self.seq += 1;
         self.live += 1;
+        self.insert_entry(entry);
         Token { slot, generation }
     }
 
@@ -126,27 +207,64 @@ impl<E> EventQueue<E> {
 
     /// Returns the timestamp of the next live event without removing it.
     pub fn peek_time(&mut self) -> Option<Nanos> {
-        self.skim_dead();
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+        loop {
+            while let Some(e) = self.cur.last().copied() {
+                if self.slots[e.slot as usize].payload.is_some() {
+                    return Some(e.at);
+                }
+                self.cur.pop();
+                self.recycle(e.slot);
+            }
+            if !self.refill() {
+                return None;
+            }
+        }
     }
 
     /// Removes and returns the next live event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
         loop {
-            let Reverse((t, _, slot)) = self.heap.pop()?;
-            let sl = &mut self.slots[slot as usize];
-            if let Some(ev) = sl.payload.take() {
-                sl.generation = sl.generation.wrapping_add(1);
-                self.free.push(slot);
-                self.live -= 1;
-                debug_assert!(t >= self.now);
-                self.now = t;
-                return Some((t, ev));
+            while let Some(e) = self.cur.pop() {
+                let payload = self.slots[e.slot as usize].payload.take();
+                self.recycle(e.slot);
+                if let Some(ev) = payload {
+                    self.live -= 1;
+                    debug_assert!(e.at >= self.now);
+                    self.now = e.at;
+                    return Some((e.at, ev));
+                }
             }
-            // Cancelled entry: recycle its slot and keep looking.
-            sl.generation = sl.generation.wrapping_add(1);
-            self.free.push(slot);
+            if !self.refill() {
+                return None;
+            }
+        }
+    }
+
+    /// [`EventQueue::pop`], but only if the next live event fires strictly
+    /// before `deadline` — the single-pass form of peek-compare-pop that
+    /// the [`crate::run_until`] driver loop runs per event.
+    pub fn pop_before(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
+        loop {
+            while let Some(e) = self.cur.last().copied() {
+                if self.slots[e.slot as usize].payload.is_some() {
+                    if e.at >= deadline {
+                        return None;
+                    }
+                    self.cur.pop();
+                    let ev = self.slots[e.slot as usize].payload.take().expect("live");
+                    self.recycle(e.slot);
+                    self.live -= 1;
+                    debug_assert!(e.at >= self.now);
+                    self.now = e.at;
+                    return Some((e.at, ev));
+                }
+                self.cur.pop();
+                self.recycle(e.slot);
+            }
+            if !self.refill() {
+                return None;
+            }
         }
     }
 
@@ -158,17 +276,188 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Drops cancelled entries from the top of the heap so `peek_time` sees
-    /// a live event.
-    fn skim_dead(&mut self) {
-        while let Some(Reverse((_, _, slot))) = self.heap.peek() {
-            let sl = &mut self.slots[*slot as usize];
-            if sl.payload.is_some() {
+    /// Bumps a slot's generation and returns it to the free list.
+    #[inline]
+    fn recycle(&mut self, slot: u32) {
+        let sl = &mut self.slots[slot as usize];
+        sl.generation = sl.generation.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Parks an entry at the right place for its distance from the focus:
+    /// into `cur` (sorted) when its granule is already below the focus,
+    /// into the wheel level whose span covers the delta, or into the
+    /// overflow heap beyond the wheel span.
+    fn insert_entry(&mut self, e: Entry) {
+        let g = granule(e.at);
+        if g < self.focus {
+            let key = e.key();
+            let idx = self.cur.partition_point(|x| x.key() > key);
+            self.cur.insert(idx, e);
+            return;
+        }
+        let delta = g - self.focus;
+        if delta >= SPAN {
+            self.overflow.push(Reverse((e.at, e.seq, e.slot)));
+            return;
+        }
+        let level = match delta {
+            d if d < SLOTS => 0,
+            d if d < SLOTS * SLOTS => 1,
+            d if d < SLOTS * SLOTS * SLOTS => 2,
+            _ => 3,
+        };
+        let idx = ((g >> (LSHIFT * level as u32)) & (SLOTS - 1)) as usize;
+        self.buckets[level * SLOTS as usize + idx].push(e);
+        self.counts[level] += 1;
+    }
+
+    /// Drains level-0 bucket `b` into `cur` and sorts it descending by
+    /// `(time, seq)`, recycling cancelled entries on the way.
+    fn drain_level0(&mut self, b: usize) {
+        let mut bucket = std::mem::take(&mut self.buckets[b]);
+        self.counts[0] -= bucket.len();
+        for e in bucket.drain(..) {
+            if self.slots[e.slot as usize].payload.is_some() {
+                self.cur.push(e);
+            } else {
+                self.recycle(e.slot);
+            }
+        }
+        self.buckets[b] = bucket;
+        self.cur
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+    }
+
+    /// Re-places every entry parked in bucket `b` of `level` relative to
+    /// the (just advanced) focus.
+    fn cascade(&mut self, level: usize, idx: usize) {
+        let b = level * SLOTS as usize + idx;
+        if self.buckets[b].is_empty() {
+            return;
+        }
+        let mut bucket = std::mem::take(&mut self.buckets[b]);
+        self.counts[level] -= bucket.len();
+        for e in bucket.drain(..) {
+            if self.slots[e.slot as usize].payload.is_some() {
+                self.insert_entry(e);
+            } else {
+                self.recycle(e.slot);
+            }
+        }
+        self.buckets[b] = bucket;
+    }
+
+    /// Moves the focus forward to `new`, cascading the destination's
+    /// higher-level buckets (top level first, so re-placed entries land in
+    /// buckets that are themselves cascaded next).
+    fn enter(&mut self, new: u64) {
+        let old = self.focus;
+        debug_assert!(new > old);
+        self.focus = new;
+        for level in (1..LEVELS).rev() {
+            let sh = LSHIFT * level as u32;
+            if (old >> sh) != (new >> sh) {
+                self.cascade(level, ((new >> sh) & (SLOTS - 1)) as usize);
+            }
+        }
+    }
+
+    /// Scans `level`'s buckets within its parent window, strictly after the
+    /// bucket holding the focus (that one was cascaded on entry). On a hit
+    /// the focus enters the found window; returns whether anything was
+    /// found.
+    fn scan_upper(&mut self, level: usize) -> bool {
+        let sh = LSHIFT * level as u32;
+        let cur_slot = self.focus >> sh;
+        let end = cur_slot | (SLOTS - 1);
+        for s in (cur_slot + 1)..=end {
+            let b = level * SLOTS as usize + (s & (SLOTS - 1)) as usize;
+            if !self.buckets[b].is_empty() {
+                self.enter(s << sh);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Refills `cur` with the next non-empty granule's entries, advancing
+    /// the focus across wheel levels and the overflow heap as needed.
+    /// Returns `false` when nothing is pending anywhere.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.cur.is_empty());
+        loop {
+            // Overflow entries the advancing focus has brought within the
+            // wheel span must re-enter the wheel *before* any same-range
+            // wheel entry is chosen, or they would fire out of order.
+            while let Some(&Reverse((at, _, _))) = self.overflow.peek() {
+                if granule(at) >= self.focus.saturating_add(SPAN) {
+                    break;
+                }
+                let Reverse((at, seq, slot)) = self.overflow.pop().expect("peeked");
+                self.insert_entry(Entry { at, seq, slot });
+            }
+            if !self.cur.is_empty() {
+                // An overflow entry landed below the focus.
+                return true;
+            }
+            if self.counts[0] > 0 {
+                let end = self.focus | (SLOTS - 1);
+                let mut g = self.focus;
+                while g <= end {
+                    let b = (g & (SLOTS - 1)) as usize;
+                    if !self.buckets[b].is_empty() {
+                        // Drain before advancing: `enter(g + 1)` may cross
+                        // into the next l1 window and cascade next-window
+                        // entries into this same bucket index.
+                        self.drain_level0(b);
+                        self.enter(g + 1);
+                        if !self.cur.is_empty() {
+                            return true;
+                        }
+                        // Bucket held only cancelled entries; keep looking.
+                        if self.counts[0] == 0 {
+                            break;
+                        }
+                    }
+                    g += 1;
+                }
+                if self.counts[0] > 0 {
+                    // Level-0 entries can sit at most one window ahead of
+                    // the focus that placed them (delta < 64).
+                    if self.focus <= end {
+                        self.enter(end + 1);
+                    }
+                    continue;
+                }
+            }
+            let mut advanced = false;
+            for level in 1..LEVELS {
+                if self.counts[level] == 0 {
+                    continue;
+                }
+                if !self.scan_upper(level) {
+                    // All of this level's entries are past the parent
+                    // window; step into the next one (the entry cascade
+                    // will pull them down).
+                    let sh = LSHIFT * (level + 1) as u32;
+                    self.enter(((self.focus >> sh) + 1) << sh);
+                }
+                advanced = true;
                 break;
             }
-            sl.generation = sl.generation.wrapping_add(1);
-            self.free.push(*slot);
-            self.heap.pop();
+            if advanced {
+                continue;
+            }
+            // Wheel fully empty: jump to the overflow's horizon, if any.
+            match self.overflow.peek() {
+                Some(&Reverse((at, _, _))) => {
+                    // No cascade needed: every wheel bucket is empty.
+                    self.focus = granule(at).max(self.focus);
+                    debug_assert!(self.counts.iter().all(|&c| c == 0));
+                }
+                None => return false,
+            }
         }
     }
 }
@@ -289,5 +578,126 @@ mod tests {
         }
         // Slot storage should be bounded by the max in-flight count.
         assert!(q.slots.len() <= 128);
+    }
+
+    #[test]
+    fn pop_before_stops_at_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        q.schedule(Nanos(30), 3);
+        assert_eq!(q.pop_before(Nanos(25)), Some((Nanos(10), 1)));
+        assert_eq!(q.pop_before(Nanos(25)), Some((Nanos(20), 2)));
+        assert_eq!(q.pop_before(Nanos(25)), None);
+        // The deadline event is untouched and the clock did not jump.
+        assert_eq!(q.now(), Nanos(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Nanos(30), 3)));
+    }
+
+    #[test]
+    fn pop_before_skips_cancelled_at_head() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        q.cancel(t);
+        assert_eq!(q.pop_before(Nanos(100)), Some((Nanos(20), 2)));
+        assert_eq!(q.pop_before(Nanos(100)), None);
+    }
+
+    #[test]
+    fn order_holds_across_wheel_levels_and_overflow() {
+        // One event per decade from 1 μs to ~20 s: levels 0–3 plus the
+        // overflow heap all participate.
+        let times: Vec<u64> = vec![
+            1_000,          // level 0
+            100_000,        // level 0/1
+            1_000_000,      // level 1
+            40_000_000,     // level 2
+            1_000_000_000,  // level 3
+            8_000_000_000,  // level 3 (near span edge)
+            20_000_000_000, // overflow
+            30_000_000_000, // overflow
+        ];
+        let mut q = EventQueue::new();
+        // Schedule in reverse so wheel placement happens far from pop
+        // order.
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.0, i));
+        }
+        let want: Vec<(u64, usize)> = times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn schedule_below_advanced_focus_still_fires_in_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(1_000_000), 'z');
+        // Peeking materializes the far event, advancing the focus well
+        // past granule 0 while `now` stays 0.
+        assert_eq!(q.peek_time(), Some(Nanos(1_000_000)));
+        assert_eq!(q.now(), Nanos(0));
+        // New near events must still fire first.
+        q.schedule(Nanos(500), 'a');
+        q.schedule(Nanos(800), 'b');
+        let mut out = String::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, "abz");
+    }
+
+    #[test]
+    fn cancel_while_parked_in_high_level_bucket() {
+        let mut q = EventQueue::new();
+        let far = q.schedule(Nanos(50_000_000), 1); // level 2/3
+        q.schedule(Nanos(60_000_000), 2);
+        assert_eq!(q.cancel(far), Some(1));
+        assert_eq!(q.pop(), Some((Nanos(60_000_000), 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_pop_and_reschedule_chain() {
+        // The self-rescheduling pattern every periodic timer uses.
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10_000), 0u64);
+        let mut fired = 0u64;
+        while let Some((t, n)) = q.pop() {
+            fired += 1;
+            if fired < 1000 {
+                q.schedule(t + Nanos(10_000), n + 1);
+            }
+        }
+        assert_eq!(fired, 1000);
+        assert_eq!(q.now(), Nanos(10_000_000));
+    }
+
+    #[test]
+    fn dense_same_granule_ties_across_refills() {
+        let mut q = EventQueue::new();
+        // Two dense batches in distinct granules plus a far batch that
+        // cascades down later.
+        for i in 0..50 {
+            q.schedule(Nanos(100 + i % 3), i);
+            q.schedule(Nanos(700_000 + i % 3), 100 + i);
+        }
+        let mut prev = (Nanos(0), -1i64);
+        let mut n = 0;
+        while let Some((t, e)) = q.pop() {
+            // (time, schedule order) must be strictly increasing within a
+            // timestamp.
+            if t == prev.0 {
+                assert!((e as i64) > prev.1, "tie broken out of order");
+            }
+            assert!(t >= prev.0);
+            prev = (t, e as i64);
+            n += 1;
+        }
+        assert_eq!(n, 100);
     }
 }

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod event;
+#[cfg(any(test, feature = "reference-queue"))]
+pub mod reference;
 pub mod rng;
 pub mod time;
 
@@ -34,11 +36,7 @@ pub fn run_until<S, E>(
     mut handle: impl FnMut(&mut S, E, &mut EventQueue<E>),
 ) -> u64 {
     let mut n = 0;
-    while let Some(at) = q.peek_time() {
-        if at >= deadline {
-            break;
-        }
-        let (_, ev) = q.pop().expect("peeked event must pop");
+    while let Some((_, ev)) = q.pop_before(deadline) {
         handle(state, ev, q);
         n += 1;
     }

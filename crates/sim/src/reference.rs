@@ -1,0 +1,294 @@
+//! The original `BinaryHeap`-backed event queue, kept as a differential
+//! oracle for the timing-wheel [`crate::EventQueue`].
+//!
+//! This is the seed implementation, bit-for-bit: events are totally
+//! ordered by `(time, seq)`, cancellation marks a generation-checked slot
+//! dead, and dead heap entries are skipped on pop. It is compiled only for
+//! tests and under the `reference-queue` feature, where property tests
+//! drive identical operation sequences through both queues and assert the
+//! observable streams match (see `crates/sim` unit tests and the CI
+//! feature matrix).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// Handle to an event scheduled on a [`ReferenceQueue`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RefToken {
+    slot: u32,
+    generation: u32,
+}
+
+struct Slot<E> {
+    generation: u32,
+    payload: Option<E>,
+}
+
+/// A time-ordered queue of events of type `E`, heap-backed.
+pub struct ReferenceQueue<E> {
+    now: Nanos,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<E> Default for ReferenceQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReferenceQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        ReferenceQueue {
+            now: Nanos::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule(&mut self, at: Nanos, event: E) -> RefToken {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.payload = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    generation: 0,
+                    payload: Some(event),
+                });
+                s
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+        self.live += 1;
+        RefToken { slot, generation }
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: Nanos, event: E) -> RefToken {
+        let at = self.now + delay;
+        self.schedule(at, event)
+    }
+
+    /// Cancels a scheduled event; `None` if already fired/cancelled/stale.
+    pub fn cancel(&mut self, token: RefToken) -> Option<E> {
+        let sl = self.slots.get_mut(token.slot as usize)?;
+        if sl.generation != token.generation {
+            return None;
+        }
+        let payload = sl.payload.take()?;
+        self.live -= 1;
+        Some(payload)
+    }
+
+    /// Returns the timestamp of the next live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.skim_dead();
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Removes and returns the next live event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        loop {
+            let Reverse((t, _, slot)) = self.heap.pop()?;
+            let sl = &mut self.slots[slot as usize];
+            if let Some(ev) = sl.payload.take() {
+                sl.generation = sl.generation.wrapping_add(1);
+                self.free.push(slot);
+                self.live -= 1;
+                debug_assert!(t >= self.now);
+                self.now = t;
+                return Some((t, ev));
+            }
+            // Cancelled entry: recycle its slot and keep looking.
+            sl.generation = sl.generation.wrapping_add(1);
+            self.free.push(slot);
+        }
+    }
+
+    /// [`ReferenceQueue::pop`], but only if the next live event fires
+    /// strictly before `deadline` (mirrors
+    /// [`crate::EventQueue::pop_before`]).
+    pub fn pop_before(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
+        match self.peek_time() {
+            Some(t) if t < deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `t` if it is in the future.
+    pub fn advance_to(&mut self, t: Nanos) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Drops cancelled entries from the top of the heap so `peek_time` sees
+    /// a live event.
+    fn skim_dead(&mut self) {
+        while let Some(Reverse((_, _, slot))) = self.heap.peek() {
+            let sl = &mut self.slots[*slot as usize];
+            if sl.payload.is_some() {
+                break;
+            }
+            sl.generation = sl.generation.wrapping_add(1);
+            self.free.push(*slot);
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential_tests {
+    //! Differential property tests: the timing-wheel
+    //! [`crate::EventQueue`] must be observationally identical to this
+    //! reference queue under arbitrary interleavings of `schedule`,
+    //! `schedule_after`, `cancel`, `pop`, `pop_before` and `peek_time` —
+    //! same `(time, payload)` stream, same `len`, same clock, same cancel
+    //! results (token semantics included).
+
+    use super::*;
+    use crate::{EventQueue, Token};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn wheel_matches_reference_heap(
+            ops in prop::collection::vec(
+                (0u64..8, 0u64..30_000_000_000, 0usize..1024),
+                1..250,
+            ),
+        ) {
+            let mut wheel: EventQueue<u64> = EventQueue::new();
+            let mut heap: ReferenceQueue<u64> = ReferenceQueue::new();
+            let mut tokens: Vec<(Token, RefToken)> = Vec::new();
+            let mut payload = 0u64;
+
+            for &(kind, delta, k) in &ops {
+                match kind {
+                    // Absolute schedule; deltas span every wheel level
+                    // plus the overflow heap.
+                    0 => {
+                        let at = Nanos(wheel.now().0 + delta);
+                        let tw = wheel.schedule(at, payload);
+                        let th = heap.schedule(at, payload);
+                        tokens.push((tw, th));
+                        payload += 1;
+                    }
+                    // Near-future absolute schedule (the common case).
+                    1 | 2 => {
+                        let at = Nanos(wheel.now().0 + delta % 100_000);
+                        let tw = wheel.schedule(at, payload);
+                        let th = heap.schedule(at, payload);
+                        tokens.push((tw, th));
+                        payload += 1;
+                    }
+                    // Relative schedule.
+                    3 => {
+                        let d = Nanos(delta % 5_000);
+                        let tw = wheel.schedule_after(d, payload);
+                        let th = heap.schedule_after(d, payload);
+                        tokens.push((tw, th));
+                        payload += 1;
+                    }
+                    // Cancel an arbitrary issued token, possibly stale.
+                    4 => {
+                        if tokens.is_empty() {
+                            continue;
+                        }
+                        let (tw, th) = tokens[k % tokens.len()];
+                        prop_assert_eq!(wheel.cancel(tw), heap.cancel(th));
+                    }
+                    5 => {
+                        prop_assert_eq!(wheel.pop(), heap.pop());
+                    }
+                    // Deadline-bounded pop.
+                    6 => {
+                        let deadline = Nanos(wheel.now().0 + 1 + delta % 1_000_000);
+                        prop_assert_eq!(
+                            wheel.pop_before(deadline),
+                            heap.pop_before(deadline)
+                        );
+                    }
+                    _ => {
+                        prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+                prop_assert_eq!(wheel.now(), heap.now());
+            }
+
+            // Drain both to the end: the remaining streams must match.
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(wheel.is_empty());
+        }
+
+        #[test]
+        fn wheel_stream_is_sorted_and_complete(
+            times in prop::collection::vec(0u64..20_000_000_000, 1..300),
+        ) {
+            let mut q: EventQueue<usize> = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(Nanos(t), i);
+            }
+            let mut got = Vec::new();
+            let mut prev: Option<(Nanos, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((pt, pi)) = prev {
+                    // Total (time, seq) order; payload == schedule seq here.
+                    prop_assert!(t > pt || (t == pt && i > pi));
+                }
+                prev = Some((t, i));
+                got.push(i);
+            }
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -222,9 +222,15 @@ proptest! {
     /// emulation) run with the runtime invariant checker validating the
     /// machine after every event: zero violations, zero lost timer
     /// interrupts, and every request still completes exactly once.
+    ///
+    /// Arrivals are staggered across a 140 ms window and the run spans
+    /// 150 ms of virtual time, so the event queue's timing wheel crosses
+    /// many level-1/level-2 refills and a level-3 cascade boundary
+    /// (2^24 granules span ≈ 8.6 s; level boundaries at ~33 μs, ~2.1 ms,
+    /// ~134 ms) while the checker watches every event.
     #[test]
     fn machine_invariants_hold_on_random_workloads(
-        reqs in prop::collection::vec((1u64..150_000, 0usize..4), 1..30),
+        reqs in prop::collection::vec((1u64..150_000, 0usize..4, 0u64..140_000_000), 1..30),
         shape in 0u8..4,
         seed in 0u64..1_000,
     ) {
@@ -278,11 +284,18 @@ proptest! {
         let mut q = EventQueue::new();
         m.start(&mut q);
         let n = reqs.len() as u64;
-        for (i, (svc, pin)) in reqs.into_iter().enumerate() {
+        for (i, (svc, pin, arrive)) in reqs.into_iter().enumerate() {
+            use skyloft::machine::Call;
             let pin = (pin < workers).then_some(pin);
-            m.spawn_request(&mut q, 0, Nanos(svc), (i % 4) as u8, pin);
+            let class = (i % 4) as u8;
+            q.schedule(
+                Nanos(arrive),
+                skyloft::machine::Event::Call(Call(Box::new(move |m: &mut Machine, q: &mut EventQueue<skyloft::machine::Event>| {
+                    m.spawn_request(q, 0, Nanos(svc), class, pin);
+                }))),
+            );
         }
-        m.run(&mut q, Nanos::from_ms(10));
+        m.run(&mut q, Nanos::from_ms(150));
         prop_assert_eq!(m.stats.completed, n);
         prop_assert_eq!(m.stats.timer_lost, 0);
         prop_assert!(m.tracer.checker.checks_run() > 0);

@@ -69,6 +69,17 @@ impl Bytes {
         assert!(n <= self.len(), "advance past end");
         self.start += n;
     }
+
+    /// Recovers the backing `Vec` if this is the only view of it (no other
+    /// `Bytes` clones alive), else returns the buffer unchanged. Lets
+    /// buffer pools reclaim storage without copying.
+    pub fn try_unwrap(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -188,6 +199,12 @@ impl BytesMut {
         let v = self.data.split_off(self.read);
         Bytes::from(v)
     }
+
+    /// Empties the buffer, keeping its capacity (for buffer reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.read = 0;
+    }
 }
 
 impl From<&[u8]> for BytesMut {
@@ -196,6 +213,12 @@ impl From<&[u8]> for BytesMut {
             data: b.to_vec(),
             read: 0,
         }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data, read: 0 }
     }
 }
 
