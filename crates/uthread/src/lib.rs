@@ -45,6 +45,7 @@ compile_error!(
 );
 
 mod context;
+mod park;
 mod sync;
 mod task;
 

@@ -5,9 +5,26 @@
 //! 16-byte-aligned heap regions and takes them back on thread exit.
 
 use std::alloc::{alloc, dealloc, Layout};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Stack size per user thread (64 KiB, ample for the workloads here).
 pub const STACK_SIZE: usize = 64 * 1024;
+
+/// Stacks a [`StackPool`] retains before dropping returns outright, so a
+/// spawn burst cannot pin unbounded freed memory (64 MiB at the default
+/// 64 KiB stacks).
+pub const DEFAULT_POOL_CAP: usize = 1024;
+
+/// Total fresh stack allocations made by this process (see
+/// [`fresh_stack_count`]).
+static FRESH_STACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of stacks ever allocated (as opposed to recycled). Steady-state
+/// spawn with a warm pool must not move this counter — the
+/// `recycled_spawns_allocate_no_stacks` test pins that property.
+pub fn fresh_stack_count() -> u64 {
+    FRESH_STACKS.load(Ordering::Relaxed)
+}
 
 /// An owned, aligned stack region.
 pub struct Stack {
@@ -26,6 +43,7 @@ impl Stack {
 
     /// Allocates a fresh stack.
     pub fn new() -> Stack {
+        FRESH_STACKS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: the layout is valid and non-zero-sized.
         let base = unsafe { alloc(Self::layout()) };
         assert!(!base.is_null(), "stack allocation failed");
@@ -52,16 +70,36 @@ impl Drop for Stack {
     }
 }
 
-/// A lock-protected free list of stacks.
-#[derive(Default)]
+/// The shared overflow free list of stacks: a hard cap bounds retained
+/// memory (excess returns drop their stack), and a high-water mark
+/// records the worst case actually reached. This is the *cold* path —
+/// in steady state workers recycle stacks through their private caches
+/// (see `runtime::WorkerCtx`) and never take this lock.
 pub struct StackPool {
     free: parking_lot::Mutex<Vec<Stack>>,
+    cap: usize,
+    high_water: AtomicUsize,
+}
+
+impl Default for StackPool {
+    fn default() -> Self {
+        StackPool::with_cap(DEFAULT_POOL_CAP)
+    }
 }
 
 impl StackPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the default cap.
     pub fn new() -> Self {
         StackPool::default()
+    }
+
+    /// Creates an empty pool retaining at most `cap` free stacks.
+    pub fn with_cap(cap: usize) -> Self {
+        StackPool {
+            free: parking_lot::Mutex::new(Vec::new()),
+            cap,
+            high_water: AtomicUsize::new(0),
+        }
     }
 
     /// Takes a stack from the pool, allocating if empty.
@@ -69,13 +107,25 @@ impl StackPool {
         self.free.lock().pop().unwrap_or_default()
     }
 
-    /// Returns a stack for reuse.
+    /// Returns a stack for reuse; at the cap the stack is freed instead,
+    /// so the pool shrinks back after a burst.
     pub fn put(&self, s: Stack) {
         let mut free = self.free.lock();
-        // Bound the pool so bursty spawns don't pin memory forever.
-        if free.len() < 1024 {
+        if free.len() < self.cap {
             free.push(s);
+            self.high_water.fetch_max(free.len(), Ordering::Relaxed);
         }
+        // Else: `s` drops here, returning the memory.
+    }
+
+    /// Retention cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Most stacks ever retained at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Number of pooled stacks.
@@ -110,6 +160,26 @@ mod tests {
         let b = pool.take();
         assert_eq!(b.base, a_base, "stack should be recycled");
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn pool_growth_is_bounded_with_high_water_stat() {
+        let pool = StackPool::with_cap(4);
+        // A burst of 10 frees: only `cap` may be retained; the rest must
+        // be dropped immediately (the pool "shrinks back to the cap").
+        for _ in 0..10 {
+            pool.put(Stack::new());
+        }
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.high_water(), 4);
+        assert_eq!(pool.cap(), 4);
+        // Draining and re-filling below the cap leaves high-water alone.
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.len(), 2);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.high_water(), 4);
     }
 
     #[test]

@@ -9,16 +9,26 @@
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::runtime::{current_task, switch_to_sched, wake_task};
 use crate::task::{state, UTask};
 
 /// A green-thread mutex.
+///
+/// The `n_waiters` mirror of the wait-list length lets the *uncontended*
+/// unlock skip the wait-list lock entirely: one store + one load. The
+/// SeqCst pairing closes the enqueue/unlock race — a waiter publishes
+/// its count increment before re-trying the lock CAS, an unlocker
+/// publishes the unlocked state before reading the count, so either the
+/// unlocker sees the waiter (and pops it) or the waiter's retry CAS sees
+/// the lock free (and cancels its block).
 pub struct Mutex<T> {
     locked: AtomicBool,
     waiters: parking_lot::Mutex<VecDeque<Arc<UTask>>>,
+    /// Mirror of `waiters.len()`, maintained under the waiters lock.
+    n_waiters: AtomicUsize,
     data: UnsafeCell<T>,
 }
 
@@ -38,13 +48,17 @@ impl<T> Mutex<T> {
         Mutex {
             locked: AtomicBool::new(false),
             waiters: parking_lot::Mutex::new(VecDeque::new()),
+            n_waiters: AtomicUsize::new(0),
             data: UnsafeCell::new(value),
         }
     }
 
+    // SeqCst so the acquire attempt participates in the total order that
+    // the unlock fast path's count check relies on (see the type docs);
+    // on x86-64 this compiles to the same `lock cmpxchg` as AcqRel.
     fn try_acquire(&self) -> bool {
         self.locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
     }
 
@@ -66,12 +80,20 @@ impl<T> Mutex<T> {
             }
             let me = current_task();
             me.state.store(state::BLOCKING, Ordering::Release);
-            self.waiters.lock().push_back(Arc::clone(&me));
+            {
+                let mut w = self.waiters.lock();
+                w.push_back(Arc::clone(&me));
+                self.n_waiters.store(w.len(), Ordering::SeqCst);
+            }
+            fence(Ordering::SeqCst);
             // Re-check after enqueuing: the holder may have unlocked in
             // between (its pop would otherwise be our only wake).
             if self.try_acquire() {
                 // Cancel the block: take ourselves out of the wait list.
-                self.waiters.lock().retain(|t| !Arc::ptr_eq(t, &me));
+                let mut w = self.waiters.lock();
+                w.retain(|t| !Arc::ptr_eq(t, &me));
+                self.n_waiters.store(w.len(), Ordering::SeqCst);
+                drop(w);
                 me.state.store(state::RUNNING, Ordering::Release);
                 return MutexGuard { mutex: self };
             }
@@ -81,8 +103,20 @@ impl<T> Mutex<T> {
     }
 
     fn unlock(&self) {
-        self.locked.store(false, Ordering::Release);
-        let next = self.waiters.lock().pop_front();
+        self.locked.store(false, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Uncontended fast path: no waiter count published, so skip the
+        // wait-list lock — this is what keeps Table 7's mutex row at
+        // "one CAS + one store + one load".
+        if self.n_waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let next = {
+            let mut w = self.waiters.lock();
+            let next = w.pop_front();
+            self.n_waiters.store(w.len(), Ordering::SeqCst);
+            next
+        };
         if let Some(t) = next {
             wake_task(t);
         }
@@ -111,9 +145,19 @@ impl<T> Drop for MutexGuard<'_, T> {
 }
 
 /// A green-thread condition variable.
+///
+/// Like [`Mutex`], a `n_waiters` mirror lets a notify with nobody
+/// waiting return after a single atomic load. This fast path is sound
+/// under the standard condvar contract (the awaited predicate is only
+/// changed under the associated mutex): a waiter publishes its count
+/// increment *before* releasing the mutex inside `wait`, so any notifier
+/// whose predicate change the waiter missed must have acquired the mutex
+/// after that release — and therefore observes the count.
 #[derive(Default)]
 pub struct Condvar {
     waiters: parking_lot::Mutex<VecDeque<Arc<UTask>>>,
+    /// Mirror of `waiters.len()`, maintained under the waiters lock.
+    n_waiters: AtomicUsize,
 }
 
 impl Condvar {
@@ -127,7 +171,11 @@ impl Condvar {
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         let me = current_task();
         me.state.store(state::BLOCKING, Ordering::Release);
-        self.waiters.lock().push_back(Arc::clone(&me));
+        {
+            let mut w = self.waiters.lock();
+            w.push_back(Arc::clone(&me));
+            self.n_waiters.store(w.len(), Ordering::SeqCst);
+        }
         let mutex = guard.mutex;
         drop(guard); // Unlock; wakers can now make progress.
         switch_to_sched();
@@ -136,7 +184,15 @@ impl Condvar {
 
     /// Wakes one waiter (Table 7's `Condvar` operation).
     pub fn notify_one(&self) {
-        let next = self.waiters.lock().pop_front();
+        if self.n_waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let next = {
+            let mut w = self.waiters.lock();
+            let next = w.pop_front();
+            self.n_waiters.store(w.len(), Ordering::SeqCst);
+            next
+        };
         if let Some(t) = next {
             wake_task(t);
         }
@@ -144,7 +200,15 @@ impl Condvar {
 
     /// Wakes all waiters.
     pub fn notify_all(&self) {
-        let drained: Vec<_> = self.waiters.lock().drain(..).collect();
+        if self.n_waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let drained: Vec<_> = {
+            let mut w = self.waiters.lock();
+            let drained = w.drain(..).collect();
+            self.n_waiters.store(0, Ordering::SeqCst);
+            drained
+        };
         for t in drained {
             wake_task(t);
         }

@@ -42,7 +42,9 @@ pub struct UTask {
 // ownership discipline — a task is manipulated either by the single worker
 // currently running it or, while switched out, by the single worker that
 // dequeued it; the state machine's atomics provide the happens-before
-// edges.
+// edges. The lock-free runqueues preserve this: a Chase-Lev deque or
+// injector shard hands each task to exactly one dequeuer (steals settle
+// ownership with a CAS on `top` / the slot sequence number).
 unsafe impl Send for UTask {}
 unsafe impl Sync for UTask {}
 
@@ -60,11 +62,13 @@ impl UTask {
     }
 
     /// Current state.
+    #[inline]
     pub fn state(&self) -> u8 {
         self.state.load(Ordering::Acquire)
     }
 
     /// Whether the task has finished.
+    #[inline]
     pub fn is_done(&self) -> bool {
         self.state() == state::DONE
     }

@@ -1,0 +1,317 @@
+//! Differential + stress tests for the lock-free runqueue substrate
+//! (ISSUE 4, satellite 1).
+//!
+//! Both substrates always compile (`crossbeam::deque::lockfree` and
+//! `crossbeam::deque::reference`), so these tests drive the *same* scripted
+//! operation sequences through the Chase-Lev deque and the mutex-backed
+//! oracle side by side and demand identical answers. Single-threaded, the
+//! lock-free deque is deterministic (no CAS can fail), so the comparison
+//! is exact — any divergence is a real semantics bug, not a tolerance
+//! issue.
+//!
+//! The multi-thread stress tests then check the property the runtime
+//! actually depends on: every pushed task is observed by exactly one
+//! dequeuer — no loss, no duplication — under concurrent owner pops and
+//! stealer steals (and, for the injector, concurrent producers too).
+
+use proptest::prelude::*;
+
+use crossbeam::deque::{lockfree, reference, Steal};
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------------
+// Differential: scripted single-threaded interleavings, exact equality.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// FIFO worker deque: push / owner-pop / steal / len agree op-for-op
+    /// with the mutex oracle.
+    #[test]
+    fn fifo_deque_matches_oracle(ops in prop::collection::vec((0u8..4, 0u64..1_000_000), 1..400)) {
+        let lf = lockfree::Worker::new_fifo();
+        let lf_s = lf.stealer();
+        let rf = reference::Worker::new_fifo();
+        let rf_s = rf.stealer();
+        for (op, val) in ops {
+            match op {
+                0 => {
+                    lf.push(val);
+                    rf.push(val);
+                }
+                1 => prop_assert_eq!(lf.pop(), rf.pop()),
+                2 => {
+                    // Single-threaded: no CAS contention, so the lock-free
+                    // steal never returns Retry here.
+                    let a = match lf_s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("uncontended steal retried"),
+                    };
+                    let b = match rf_s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => unreachable!("oracle never retries"),
+                    };
+                    prop_assert_eq!(a, b);
+                }
+                _ => {
+                    prop_assert_eq!(lf.len(), rf.len());
+                    prop_assert_eq!(lf.is_empty(), rf.is_empty());
+                    prop_assert_eq!(lf_s.len(), rf_s.len());
+                }
+            }
+        }
+        // Drain both and compare the tails element-for-element.
+        loop {
+            let (a, b) = (lf.pop(), rf.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// LIFO worker deque: same script, owner takes from the bottom.
+    #[test]
+    fn lifo_deque_matches_oracle(ops in prop::collection::vec((0u8..3, 0u64..1_000_000), 1..400)) {
+        let lf = lockfree::Worker::new_lifo();
+        let lf_s = lf.stealer();
+        let rf = reference::Worker::new_lifo();
+        let rf_s = rf.stealer();
+        for (op, val) in ops {
+            match op {
+                0 => {
+                    lf.push(val);
+                    rf.push(val);
+                }
+                1 => prop_assert_eq!(lf.pop(), rf.pop()),
+                _ => {
+                    let a = match lf_s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => panic!("uncontended steal retried"),
+                    };
+                    let b = match rf_s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => unreachable!("oracle never retries"),
+                    };
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+        loop {
+            let (a, b) = (lf.pop(), rf.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Injector: the sharded rings make dequeue *order* legitimately differ
+    /// from the single mutexed FIFO, so the oracle comparison is multiset
+    /// equality — both substrates must surface exactly the pushed elements.
+    #[test]
+    fn injector_matches_oracle_as_multiset(vals in prop::collection::vec(0u64..1_000_000, 1..600)) {
+        let lf = lockfree::Injector::new();
+        let rf = reference::Injector::new();
+        for &v in &vals {
+            lf.push(v);
+            rf.push(v);
+        }
+        let mut got_lf = drain_injector_lockfree(&lf);
+        let mut got_rf = drain_injector_reference(&rf);
+        let mut want = vals.clone();
+        got_lf.sort_unstable();
+        got_rf.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(&got_lf, &want);
+        prop_assert_eq!(&got_rf, &want);
+        prop_assert!(lf.is_empty());
+        prop_assert!(rf.is_empty());
+    }
+}
+
+fn drain_injector_lockfree(inj: &lockfree::Injector<u64>) -> Vec<u64> {
+    let w = lockfree::Worker::new_fifo();
+    let mut out = Vec::new();
+    loop {
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(v) => {
+                out.push(v);
+                while let Some(v) = w.pop() {
+                    out.push(v);
+                }
+            }
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    out
+}
+
+fn drain_injector_reference(inj: &reference::Injector<u64>) -> Vec<u64> {
+    let w = reference::Worker::new_fifo();
+    let mut out = Vec::new();
+    loop {
+        match inj.steal_batch_and_pop(&w) {
+            Steal::Success(v) => {
+                out.push(v);
+                while let Some(v) = w.pop() {
+                    out.push(v);
+                }
+            }
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Stress: real concurrency, exactly-once delivery.
+// ---------------------------------------------------------------------------
+
+/// 1 owner pushing + popping its Chase-Lev deque while N stealers hammer
+/// the top end. Every element must be observed exactly once across all
+/// participants.
+#[test]
+fn chase_lev_owner_vs_stealers_exactly_once() {
+    const STEALERS: usize = 4;
+    const ITEMS: u64 = 40_000;
+
+    let worker = lockfree::Worker::new_fifo();
+    let done = AtomicBool::new(false);
+
+    fn thief(s: lockfree::Stealer<u64>, done: &AtomicBool) -> Vec<u64> {
+        let mut got = Vec::new();
+        loop {
+            match s.steal() {
+                Steal::Success(v) => got.push(v),
+                Steal::Retry => continue,
+                Steal::Empty => {
+                    // Empty is only final once the owner has stopped
+                    // pushing; until then, spin.
+                    if done.load(Ordering::Acquire) && s.is_empty() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        got
+    }
+
+    let mut all: Vec<u64> = std::thread::scope(|scope| {
+        let d = &done;
+        let handles: Vec<_> = (0..STEALERS)
+            .map(|_| {
+                let s = worker.stealer();
+                scope.spawn(move || thief(s, d))
+            })
+            .collect();
+
+        // Owner: interleave pushes with occasional pops so the bottom end
+        // is contended too.
+        let mut mine = Vec::new();
+        for i in 0..ITEMS {
+            worker.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = worker.pop() {
+                    mine.push(v);
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+        // Owner helps drain the rest.
+        while let Some(v) = worker.pop() {
+            mine.push(v);
+        }
+
+        for h in handles {
+            mine.extend(h.join().unwrap());
+        }
+        mine
+    });
+
+    assert_eq!(all.len() as u64, ITEMS, "lost or duplicated elements");
+    all.sort_unstable();
+    let unique: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(unique.len() as u64, ITEMS, "duplicate delivery detected");
+    assert_eq!(all.first(), Some(&0));
+    assert_eq!(all.last(), Some(&(ITEMS - 1)));
+}
+
+/// M producers pushing disjoint ranges into the sharded injector while N
+/// consumers batch-steal into local workers: exactly-once across the
+/// rings *and* the overflow spillover path (the item count is far above
+/// ring capacity, so overflow is exercised).
+#[test]
+fn injector_mpmc_exactly_once() {
+    const PRODUCERS: u64 = 4;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: u64 = 20_000;
+
+    let inj = lockfree::Injector::new();
+    let done = AtomicBool::new(false);
+
+    let mut all: Vec<u64> = std::thread::scope(|scope| {
+        let (inj, done) = (&inj, &done);
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let w = lockfree::Worker::new_fifo();
+                    let mut got = Vec::new();
+                    loop {
+                        match inj.steal_batch_and_pop(&w) {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                while let Some(v) = w.pop() {
+                                    got.push(v);
+                                }
+                            }
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                if done.load(Ordering::Acquire) && inj.is_empty() {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                scope.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        inj.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+
+        let mut all = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all
+    });
+
+    let total = PRODUCERS * PER_PRODUCER;
+    assert_eq!(all.len() as u64, total, "lost or duplicated elements");
+    all.sort_unstable();
+    for (i, v) in all.iter().enumerate() {
+        assert_eq!(*v, i as u64, "exactly-once violated at index {i}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Stack-recycling properties that depend on the process-global
+//! fresh-stack counter. Kept as ONE test in its own binary: the counter
+//! is global, so assertions on its deltas must not race other tests
+//! allocating stacks in parallel.
+
+use skyloft_uthread::stack::{fresh_stack_count, Stack, StackPool};
+use skyloft_uthread::{spawn, Runtime};
+
+#[test]
+fn recycled_spawns_allocate_no_stacks() {
+    // --- Pool level: takes from a warm pool allocate nothing. ---
+    let pool = StackPool::with_cap(8);
+    let before = fresh_stack_count();
+    pool.put(Stack::new());
+    pool.put(Stack::new());
+    assert_eq!(fresh_stack_count() - before, 2);
+    let mid = fresh_stack_count();
+    for _ in 0..10 {
+        let s = pool.take();
+        pool.put(s);
+    }
+    assert_eq!(fresh_stack_count(), mid, "recycled takes must not allocate");
+    // Taking past the free list allocates again.
+    let _a = pool.take();
+    let _b = pool.take();
+    let _c = pool.take();
+    assert_eq!(fresh_stack_count() - mid, 1);
+    drop((_a, _b, _c));
+
+    // --- Runtime level: steady-state spawn reuses stacks through the
+    // per-worker cache; after warm-up the counter must not move. ---
+    let counted = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let c2 = counted.clone();
+    Runtime::run(1, move || {
+        // Warm-up: these may allocate fresh stacks.
+        for _ in 0..32 {
+            spawn(|| {}).join();
+        }
+        let warm = fresh_stack_count();
+        // Steady state: every spawn must reuse a cached stack.
+        for _ in 0..200 {
+            spawn(|| {}).join();
+        }
+        c2.store(
+            fresh_stack_count() - warm,
+            std::sync::atomic::Ordering::Release,
+        );
+    });
+    assert_eq!(
+        counted.load(std::sync::atomic::Ordering::Acquire),
+        0,
+        "steady-state spawn allocated fresh stacks instead of recycling"
+    );
+}

@@ -1,0 +1,1021 @@
+//! Work-stealing deques and a shared injector, in two substrates:
+//!
+//! * [`lockfree`] (the default) — a real Chase–Lev work-stealing deque
+//!   (atomic `top`/`bottom`, growable circular buffer, the published
+//!   SeqCst fence discipline) and a sharded MPMC injector whose push/pop
+//!   hot paths are a single CAS each. This is what the uthread runtime's
+//!   Table 7 claims rest on.
+//! * [`reference`] — the original mutex-guarded `VecDeque` structures,
+//!   kept as a differential-testing oracle: identical ownership semantics
+//!   (every task observed exactly once), trivially correct, slow under
+//!   contention.
+//!
+//! Both substrates are always compiled so tests and `thrbench` can drive
+//! them side by side; the `reference-deque` cargo feature only selects
+//! which one this module re-exports as `Worker`/`Stealer`/`Injector`.
+//! The memory-ordering argument for the lock-free substrate is written
+//! out in DESIGN.md §11.
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// A task was stolen.
+    Success(T),
+    /// The queue was empty.
+    Empty,
+    /// A race was lost; try again.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Whether the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// Whether a task was obtained.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+#[cfg(not(feature = "reference-deque"))]
+pub use lockfree::{Injector, Stealer, Worker};
+#[cfg(feature = "reference-deque")]
+pub use reference::{Injector, Stealer, Worker};
+
+pub mod lockfree {
+    //! The lock-free substrate: Chase–Lev deque + sharded MPMC injector.
+
+    use std::cell::{Cell, UnsafeCell};
+    use std::collections::VecDeque;
+    use std::marker::PhantomData;
+    use std::mem::{self, MaybeUninit};
+    use std::ptr;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    use super::Steal;
+
+    /// Initial circular-buffer capacity (power of two).
+    const MIN_CAP: usize = 64;
+
+    /// A fixed-capacity circular buffer of possibly-uninitialized slots.
+    /// Indexed by the *logical* deque index; the power-of-two capacity
+    /// turns the modulo into a mask.
+    struct Buffer<T> {
+        ptr: *mut MaybeUninit<T>,
+        cap: usize,
+    }
+
+    impl<T> Buffer<T> {
+        fn alloc(cap: usize) -> *mut Buffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let mut v: Vec<MaybeUninit<T>> = Vec::with_capacity(cap);
+            let ptr = v.as_mut_ptr();
+            mem::forget(v);
+            Box::into_raw(Box::new(Buffer { ptr, cap }))
+        }
+
+        /// Frees the buffer *without* dropping any slot contents.
+        ///
+        /// # Safety
+        ///
+        /// `b` must come from [`Buffer::alloc`] and not be freed twice.
+        unsafe fn dealloc(b: *mut Buffer<T>) {
+            // SAFETY: per contract, `b` is a live Box from `alloc`.
+            let buf = unsafe { Box::from_raw(b) };
+            // SAFETY: (ptr, cap) are the raw parts of the forgotten Vec;
+            // length 0 skips dropping the (possibly uninit) slots.
+            unsafe { drop(Vec::from_raw_parts(buf.ptr, 0, buf.cap)) };
+        }
+
+        /// Pointer to the slot for logical index `i`.
+        ///
+        /// # Safety
+        ///
+        /// The buffer must be live.
+        unsafe fn at(&self, i: isize) -> *mut MaybeUninit<T> {
+            // `cap` is a power of two, so the mask is the cheap modulo.
+            // SAFETY: masked index is in-bounds.
+            unsafe { self.ptr.offset(i & (self.cap as isize - 1)) }
+        }
+
+        /// Writes `value` into the slot for logical index `i`.
+        ///
+        /// # Safety
+        ///
+        /// Only the owner writes, and never to a slot in `[top, bottom)`.
+        unsafe fn write(&self, i: isize, value: T) {
+            // SAFETY: slot pointer is valid; the old contents (if any)
+            // were already moved out, so a plain write is correct.
+            unsafe { ptr::write((*self.at(i)).as_mut_ptr(), value) }
+        }
+
+        /// Reads a bitwise copy of the slot for logical index `i`.
+        ///
+        /// The caller must `mem::forget` the value if it subsequently
+        /// loses the `top` CAS (the element still logically belongs to
+        /// the deque in that case).
+        ///
+        /// # Safety
+        ///
+        /// `i` must have been observed inside `[top, bottom)`.
+        unsafe fn read(&self, i: isize) -> T {
+            // SAFETY: see above; this is the Chase–Lev "read, then
+            // validate with a CAS" step.
+            unsafe { ptr::read(self.at(i) as *const T) }
+        }
+    }
+
+    /// Shared state of one Chase–Lev deque.
+    struct ClInner<T> {
+        /// Steal end. Only ever incremented, via CAS.
+        top: AtomicIsize,
+        /// Owner end. Written only by the owner.
+        bottom: AtomicIsize,
+        buffer: AtomicPtr<Buffer<T>>,
+        /// Buffers replaced by a grow. In-flight steals may still read
+        /// them, so they are only freed when the deque itself drops
+        /// (total retired memory is bounded by ~2x the final buffer:
+        /// capacities double). Locked only on grow and drop — never on
+        /// the push/pop/steal hot path.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    // SAFETY: the algorithm's atomics provide the cross-thread ordering;
+    // `T: Send` values move between threads by being stolen.
+    unsafe impl<T: Send> Send for ClInner<T> {}
+    unsafe impl<T: Send> Sync for ClInner<T> {}
+
+    impl<T> ClInner<T> {
+        fn new() -> Arc<ClInner<T>> {
+            Arc::new(ClInner {
+                top: AtomicIsize::new(0),
+                bottom: AtomicIsize::new(0),
+                buffer: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+                retired: Mutex::new(Vec::new()),
+            })
+        }
+
+        /// Steals the element at `top` (used by thieves, and by the
+        /// owner in FIFO flavor). `owner` elides the SeqCst fence: the
+        /// owner reads its own `bottom` exactly, so it never needs the
+        /// fence that orders a thief's `top` load before its `bottom`
+        /// load.
+        fn steal_top(&self, owner: bool) -> Steal<T> {
+            let t = self.top.load(Ordering::Acquire);
+            if !owner {
+                fence(Ordering::SeqCst);
+            }
+            let b = self.bottom.load(if owner {
+                Ordering::Relaxed
+            } else {
+                Ordering::Acquire
+            });
+            if t >= b {
+                return Steal::Empty;
+            }
+            let buf = self.buffer.load(Ordering::Acquire);
+            // SAFETY: `t < b` was observed, so slot `t` was written (the
+            // Release store of `bottom` orders the write before our
+            // Acquire load of `bottom`); the buffer is live for the
+            // deque's whole lifetime (grow retires, never frees).
+            let value = unsafe { (*buf).read(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(value)
+            } else {
+                // Lost the race: the bitwise copy must not be dropped —
+                // the element still belongs to whoever won.
+                mem::forget(value);
+                Steal::Retry
+            }
+        }
+
+        fn len(&self) -> usize {
+            let b = self.bottom.load(Ordering::Relaxed);
+            let t = self.top.load(Ordering::Relaxed);
+            (b - t).max(0) as usize
+        }
+    }
+
+    impl<T> Drop for ClInner<T> {
+        fn drop(&mut self) {
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf = *self.buffer.get_mut();
+            // SAFETY: exclusive access (last Arc dropping); `[t, b)` are
+            // the live elements.
+            unsafe {
+                for i in t..b {
+                    ptr::drop_in_place((*(*buf).at(i)).as_mut_ptr());
+                }
+                Buffer::dealloc(buf);
+                for p in self.retired.get_mut().unwrap().drain(..) {
+                    Buffer::dealloc(p);
+                }
+            }
+        }
+    }
+
+    /// Which end the owner pops from.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        /// Owner pops the steal end (oldest first) — what the runtime
+        /// uses, for yield fairness.
+        Fifo,
+        /// Owner pops its own end (classic Chase–Lev `take`).
+        Lifo,
+    }
+
+    /// The owner side of a per-worker deque. `!Sync`: exactly one thread
+    /// may push/pop.
+    pub struct Worker<T> {
+        inner: Arc<ClInner<T>>,
+        flavor: Flavor,
+        /// The single-owner discipline is what makes the unfenced
+        /// `bottom` accesses sound.
+        _not_sync: PhantomData<Cell<()>>,
+    }
+
+    // SAFETY: the Worker can move to another thread (the runtime spawns
+    // workers with their deques); it just cannot be shared.
+    unsafe impl<T: Send> Send for Worker<T> {}
+
+    /// The thief side of a per-worker deque.
+    pub struct Stealer<T> {
+        inner: Arc<ClInner<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    // SAFETY: steals are fully synchronized by the algorithm.
+    unsafe impl<T: Send> Send for Stealer<T> {}
+    unsafe impl<T: Send> Sync for Stealer<T> {}
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO deque (owner pops oldest-first, like the
+        /// thieves).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: ClInner::new(),
+                flavor: Flavor::Fifo,
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// Creates a LIFO deque (owner pops newest-first; the classic
+        /// Chase–Lev `take`).
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                inner: ClInner::new(),
+                flavor: Flavor::Lifo,
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// Creates the thief handle.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Pushes a task onto the owner end. Lock-free and wait-free
+        /// except when the buffer must double.
+        pub fn push(&self, value: T) {
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            let t = self.inner.top.load(Ordering::Acquire);
+            let mut buf = self.inner.buffer.load(Ordering::Relaxed);
+            // SAFETY: only the owner loads `buffer` relaxed — it is the
+            // only writer of it.
+            if b - t >= unsafe { (*buf).cap } as isize {
+                buf = self.grow(t, b, buf);
+            }
+            // SAFETY: slot `b` is outside `[t, b)`, so no thief reads it
+            // until the Release store below publishes it.
+            unsafe { (*buf).write(b, value) };
+            self.inner.bottom.store(b + 1, Ordering::Release);
+        }
+
+        /// Doubles the buffer, copying the live window `[t, b)`.
+        /// Owner-only; the old buffer is retired, not freed, because
+        /// in-flight steals may still be reading it (they then fail
+        /// their `top` CAS or read the identical bytes the copy
+        /// preserved).
+        fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+            // SAFETY: `old` is live; we are the only grower.
+            let new = Buffer::alloc(unsafe { (*old).cap } * 2);
+            unsafe {
+                for i in t..b {
+                    ptr::copy_nonoverlapping((*old).at(i), (*new).at(i), 1);
+                }
+            }
+            self.inner.buffer.store(new, Ordering::Release);
+            self.inner.retired.lock().unwrap().push(old);
+            new
+        }
+
+        /// Pops a task from the owner end (per the deque's flavor).
+        pub fn pop(&self) -> Option<T> {
+            match self.flavor {
+                Flavor::Fifo => loop {
+                    match self.inner.steal_top(true) {
+                        Steal::Success(v) => return Some(v),
+                        Steal::Empty => return None,
+                        Steal::Retry => continue,
+                    }
+                },
+                Flavor::Lifo => self.pop_lifo(),
+            }
+        }
+
+        /// The classic Chase–Lev `take`: decrement `bottom`, fence, then
+        /// race thieves for the last element only.
+        fn pop_lifo(&self) -> Option<T> {
+            let b = self.inner.bottom.load(Ordering::Relaxed) - 1;
+            let buf = self.inner.buffer.load(Ordering::Relaxed);
+            self.inner.bottom.store(b, Ordering::Relaxed);
+            // Order our `bottom` write before our `top` read against
+            // thieves' `top` CAS / `bottom` read (the heart of the
+            // algorithm — see DESIGN.md §11).
+            fence(Ordering::SeqCst);
+            let t = self.inner.top.load(Ordering::Relaxed);
+            if t > b {
+                // Deque was empty; undo.
+                self.inner.bottom.store(b + 1, Ordering::Relaxed);
+                return None;
+            }
+            if t == b {
+                // Exactly one element left: settle with thieves via CAS.
+                let won = self
+                    .inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.inner.bottom.store(b + 1, Ordering::Relaxed);
+                // SAFETY: winning the CAS grants exclusive ownership of
+                // slot `b`.
+                return won.then(|| unsafe { (*buf).read(b) });
+            }
+            // More than one element: slot `b` is unreachable by thieves
+            // (they contend at `top` only).
+            // SAFETY: exclusive ownership per the above.
+            Some(unsafe { (*buf).read(b) })
+        }
+
+        /// Whether the deque is empty (advisory under concurrency).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Number of queued tasks (advisory under concurrency).
+        pub fn len(&self) -> usize {
+            self.inner.len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's steal end.
+        pub fn steal(&self) -> Steal<T> {
+            self.inner.steal_top(false)
+        }
+
+        /// Number of queued tasks (advisory under concurrency).
+        pub fn len(&self) -> usize {
+            self.inner.len()
+        }
+
+        /// Whether the deque looks empty (advisory under concurrency).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Injector: sharded bounded MPMC rings + mutexed overflow.
+    // ---------------------------------------------------------------
+
+    /// Number of independent shards (power of two). Pushers spread over
+    /// shards by a per-thread rotating cursor, so concurrent spawners
+    /// CAS on different cache lines instead of serializing.
+    const SHARDS: usize = 8;
+    /// Slots per shard ring (power of two): 2048 buffered tasks before
+    /// the overflow list's mutex is ever touched.
+    const RING_CAP: usize = 256;
+    /// Max tasks moved to the caller's deque per `steal_batch_and_pop`.
+    const BATCH: usize = 16;
+
+    /// One slot of a bounded MPMC ring (Vyukov's scheme): `seq` encodes
+    /// which lap the slot is on and whether it holds a value.
+    struct RingSlot<T> {
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// Bounded MPMC ring: per-push and per-pop cost is one CAS on the
+    /// position counter plus a Release store on the slot's `seq`.
+    struct Ring<T> {
+        slots: Box<[RingSlot<T>]>,
+        enq: AtomicUsize,
+        deq: AtomicUsize,
+    }
+
+    // SAFETY: slots are handed off via the `seq` Acquire/Release
+    // protocol; a value is written by exactly one producer and read by
+    // exactly one consumer.
+    unsafe impl<T: Send> Send for Ring<T> {}
+    unsafe impl<T: Send> Sync for Ring<T> {}
+
+    impl<T> Ring<T> {
+        fn new() -> Ring<T> {
+            let slots: Box<[RingSlot<T>]> = (0..RING_CAP)
+                .map(|i| RingSlot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            Ring {
+                slots,
+                enq: AtomicUsize::new(0),
+                deq: AtomicUsize::new(0),
+            }
+        }
+
+        /// Attempts to enqueue; gives the value back when the ring is
+        /// full (the caller then tries another shard or the overflow).
+        fn push(&self, value: T) -> Result<(), T> {
+            let mask = RING_CAP - 1;
+            let mut pos = self.enq.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[pos & mask];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let dif = seq as isize - pos as isize;
+                if dif == 0 {
+                    match self.enq.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS claimed this slot for this
+                            // lap exclusively.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(cur) => pos = cur,
+                    }
+                } else if dif < 0 {
+                    // A full lap behind: ring is full.
+                    return Err(value);
+                } else {
+                    pos = self.enq.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Attempts to dequeue. `None` means "empty as far as completed
+        /// pushes go" — an in-flight push that has claimed a slot but
+        /// not yet published it reads as empty, which is fine for the
+        /// runtime because the pusher always notifies *after* its push
+        /// completes.
+        fn pop(&self) -> Option<T> {
+            let mask = RING_CAP - 1;
+            let mut pos = self.deq.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.slots[pos & mask];
+                let seq = slot.seq.load(Ordering::Acquire);
+                let dif = seq as isize - (pos + 1) as isize;
+                if dif == 0 {
+                    match self.deq.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS claimed this slot's value
+                            // exclusively; `seq` Acquire saw the write.
+                            let v = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(pos + mask + 1, Ordering::Release);
+                            return Some(v);
+                        }
+                        Err(cur) => pos = cur,
+                    }
+                } else if dif < 0 {
+                    return None;
+                } else {
+                    pos = self.deq.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Advisory emptiness.
+        fn is_empty(&self) -> bool {
+            let deq = self.deq.load(Ordering::Acquire);
+            let enq = self.enq.load(Ordering::Acquire);
+            deq >= enq
+        }
+    }
+
+    impl<T> Drop for Ring<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    /// Per-thread rotating shard cursor: seeds each thread at a
+    /// different shard, then advances per push so bursts spread out.
+    fn shard_cursor() -> usize {
+        static SEED: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static CURSOR: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        CURSOR.with(|c| {
+            let mut v = c.get();
+            if v == usize::MAX {
+                v = SEED.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9e37);
+            }
+            c.set(v.wrapping_add(1));
+            v
+        })
+    }
+
+    /// A shared injector queue feeding all workers: `SHARDS` bounded
+    /// MPMC rings (lock-free hot path, one CAS per push) with a mutexed
+    /// overflow list that is only touched when every ring is full —
+    /// i.e. with > `SHARDS * RING_CAP` tasks parked in the injector.
+    pub struct Injector<T> {
+        rings: [Ring<T>; SHARDS],
+        overflow: Mutex<VecDeque<T>>,
+        /// Mirror of `overflow.len()`, so the empty hot path never locks.
+        overflow_len: AtomicUsize,
+        /// Rotates consumers' scan start so they don't all hammer shard 0.
+        scan: AtomicUsize,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                rings: std::array::from_fn(|_| Ring::new()),
+                overflow: Mutex::new(VecDeque::new()),
+                overflow_len: AtomicUsize::new(0),
+                scan: AtomicUsize::new(0),
+            }
+        }
+
+        /// Enqueues a task: one CAS into a shard ring; falls back to the
+        /// next shard (then the overflow mutex) only when full.
+        pub fn push(&self, value: T) {
+            let start = shard_cursor();
+            let mut v = value;
+            for i in 0..SHARDS {
+                match self.rings[(start + i) & (SHARDS - 1)].push(v) {
+                    Ok(()) => return,
+                    Err(back) => v = back,
+                }
+            }
+            let mut g = self.overflow.lock().unwrap();
+            g.push_back(v);
+            self.overflow_len.store(g.len(), Ordering::Release);
+        }
+
+        /// Whether the injector looks empty (advisory under concurrency).
+        pub fn is_empty(&self) -> bool {
+            self.overflow_len.load(Ordering::Acquire) == 0
+                && self.rings.iter().all(|r| r.is_empty())
+        }
+
+        /// Moves a batch of tasks into `dest` and pops one for the
+        /// caller. The caller must be `dest`'s owner thread.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let start = self.scan.fetch_add(1, Ordering::Relaxed);
+            for i in 0..SHARDS {
+                let ring = &self.rings[(start + i) & (SHARDS - 1)];
+                if let Some(first) = ring.pop() {
+                    for _ in 1..BATCH {
+                        match ring.pop() {
+                            Some(v) => dest.push(v),
+                            None => break,
+                        }
+                    }
+                    return Steal::Success(first);
+                }
+            }
+            if self.overflow_len.load(Ordering::Acquire) > 0 {
+                let mut g = self.overflow.lock().unwrap();
+                if let Some(first) = g.pop_front() {
+                    for _ in 1..BATCH {
+                        match g.pop_front() {
+                            Some(v) => dest.push(v),
+                            None => break,
+                        }
+                    }
+                    self.overflow_len.store(g.len(), Ordering::Release);
+                    return Steal::Success(first);
+                }
+            }
+            Steal::Empty
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_owner_pop() {
+            let w = Worker::new_fifo();
+            for i in 0..10 {
+                w.push(i);
+            }
+            assert_eq!(w.len(), 10);
+            for i in 0..10 {
+                assert_eq!(w.pop(), Some(i));
+            }
+            assert_eq!(w.pop(), None);
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn lifo_order_owner_pop() {
+            let w = Worker::new_lifo();
+            for i in 0..10 {
+                w.push(i);
+            }
+            for i in (0..10).rev() {
+                assert_eq!(w.pop(), Some(i));
+            }
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealer_takes_oldest() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(2));
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn buffer_grows_past_min_cap() {
+            let w = Worker::new_fifo();
+            let n = (MIN_CAP * 5) as u64;
+            for i in 0..n {
+                w.push(i);
+            }
+            assert_eq!(w.len(), n as usize);
+            for i in 0..n {
+                assert_eq!(w.pop(), Some(i));
+            }
+        }
+
+        #[test]
+        fn grow_with_wrapped_window() {
+            // Advance top/bottom so the live window wraps the buffer
+            // boundary, then force a grow: the copy must preserve order.
+            let w = Worker::new_lifo();
+            for i in 0..(MIN_CAP as u64 / 2) {
+                w.push(i);
+                w.pop();
+            }
+            let n = (MIN_CAP * 3) as u64;
+            for i in 0..n {
+                w.push(i);
+            }
+            let s = w.stealer();
+            for i in 0..n {
+                let Steal::Success(v) = s.steal() else {
+                    panic!("missing element {i}");
+                };
+                assert_eq!(v, i);
+            }
+        }
+
+        #[test]
+        fn drops_unconsumed_elements() {
+            let x = Arc::new(());
+            let w = Worker::new_fifo();
+            for _ in 0..(MIN_CAP * 2 + 3) {
+                w.push(Arc::clone(&x));
+            }
+            w.pop();
+            drop(w);
+            assert_eq!(Arc::strong_count(&x), 1);
+        }
+
+        #[test]
+        fn injector_roundtrip_and_batch() {
+            let inj = Injector::new();
+            let n = 1000u64;
+            for i in 0..n {
+                inj.push(i);
+            }
+            assert!(!inj.is_empty());
+            let w = Worker::new_fifo();
+            let mut seen = Vec::new();
+            loop {
+                match inj.steal_batch_and_pop(&w) {
+                    Steal::Success(v) => {
+                        seen.push(v);
+                        while let Some(v) = w.pop() {
+                            seen.push(v);
+                        }
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+            assert!(inj.is_empty());
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn injector_overflow_spills_and_recovers() {
+            let inj = Injector::new();
+            // More than SHARDS * RING_CAP: must spill to overflow.
+            let n = (SHARDS * RING_CAP + 500) as u64;
+            for i in 0..n {
+                inj.push(i);
+            }
+            assert!(inj.overflow_len.load(Ordering::Acquire) > 0);
+            let w = Worker::new_fifo();
+            let mut count = 0u64;
+            loop {
+                match inj.steal_batch_and_pop(&w) {
+                    Steal::Success(_) => {
+                        count += 1;
+                        while w.pop().is_some() {
+                            count += 1;
+                        }
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+            assert_eq!(count, n);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_steal_exactly_once_smoke() {
+            use std::sync::atomic::AtomicBool;
+            let w = Worker::new_fifo();
+            let s1 = w.stealer();
+            let s2 = w.stealer();
+            let n = 20_000u64;
+            let done = AtomicBool::new(false);
+            fn thief(s: Stealer<u64>, done: &AtomicBool) -> Vec<u64> {
+                let mut got = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => continue,
+                        // No pushes happen after `done`, so an Empty
+                        // observed then is final for this thief (the
+                        // owner drains any remainder itself).
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                got
+            }
+            let all = std::thread::scope(|scope| {
+                let d = &done;
+                let h1 = scope.spawn(move || thief(s1, d));
+                let h2 = scope.spawn(move || thief(s2, d));
+                let mut mine = Vec::new();
+                for i in 0..n {
+                    w.push(i);
+                    if i % 3 == 0 {
+                        if let Some(v) = w.pop() {
+                            mine.push(v);
+                        }
+                    }
+                }
+                done.store(true, Ordering::Release);
+                while let Some(v) = w.pop() {
+                    mine.push(v);
+                }
+                mine.extend(h1.join().unwrap());
+                mine.extend(h2.join().unwrap());
+                mine
+            });
+            let mut all = all;
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), n as usize, "lost or duplicated elements");
+        }
+    }
+}
+
+pub mod reference {
+    //! The original mutex-guarded substrate, kept as a differential
+    //! oracle: correctness (each task popped exactly once) is identical
+    //! to [`super::lockfree`]; contention behaviour is coarser.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    use super::Steal;
+
+    /// The owner side of a per-worker deque.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    /// The thief side of a per-worker deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO deque (push-back, pop-front).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// Creates a LIFO deque (push-back, pop-back).
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// Creates the thief handle.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, t: T) {
+            self.q.lock().unwrap().push_back(t);
+        }
+
+        /// Pops a task from the owner end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.q.lock().unwrap();
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Whether the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim (oldest first).
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+
+        /// Whether the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// A shared injector queue feeding all workers.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, t: T) {
+            self.q.lock().unwrap().push_back(t);
+        }
+
+        /// Whether the injector is empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// Moves a batch of tasks into `dest` and pops one for the caller.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the remainder over, like the real crate.
+            let take = q.len().div_ceil(2).min(16);
+            if take > 0 {
+                let mut dq = dest.q.lock().unwrap();
+                dq.extend(q.drain(..take));
+            }
+            Steal::Success(first)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn steal_batch_pops_and_transfers() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            let Steal::Success(first) = inj.steal_batch_and_pop(&w) else {
+                panic!("expected success");
+            };
+            assert_eq!(first, 0);
+            assert!(!w.is_empty());
+            let mut seen = vec![first];
+            while let Some(t) = w.pop() {
+                seen.push(t);
+            }
+            while let Steal::Success(t) = inj.steal_batch_and_pop(&w) {
+                seen.push(t);
+                while let Some(t) = w.pop() {
+                    seen.push(t);
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn stealer_takes_from_worker() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+    }
+}

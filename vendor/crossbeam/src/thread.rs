@@ -1,0 +1,83 @@
+//! Scoped threads with the `crossbeam_utils::thread` API shape,
+//! backed by `std::thread::scope` (the std feature that superseded
+//! it). The spawn closure receives the scope, so spawned threads can
+//! spawn further siblings, and `scope` returns `Err` instead of
+//! unwinding when a child panics — both matching the real crate.
+
+/// Outcome of a scope or a joined thread; `Err` carries the panic
+/// payload of a panicked child.
+pub type Result<T> = std::thread::Result<T>;
+
+/// Handle to the scope, passed to the closure and to every spawned
+/// thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; it is joined before `scope` returns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let s = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&s)),
+        }
+    }
+}
+
+/// Owned permission to join a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result (`Err`
+    /// if it panicked).
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope: every thread spawned in it is joined (and its
+/// panic converted into the returned `Err`) before this returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -124,6 +124,53 @@ mod tests {
         assert_eq!(*m.lock(), 6);
     }
 
+    /// `wait_for` with nobody notifying must come back with
+    /// `timed_out() == true`, and only after the timeout actually
+    /// elapsed. The uthread eventcount's parking backstop depends on
+    /// this distinction being truthful.
+    #[test]
+    fn wait_for_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let timeout = Duration::from_millis(20);
+        let mut g = m.lock();
+        let t0 = std::time::Instant::now();
+        let res = cv.wait_for(&mut g, timeout);
+        assert!(res.timed_out(), "no notifier, so the wait must time out");
+        assert!(
+            t0.elapsed() >= timeout,
+            "timed-out wait returned before the timeout elapsed"
+        );
+    }
+
+    /// `wait_for` woken by a real `notify_one` must come back with
+    /// `timed_out() == false`, well before a generous timeout.
+    #[test]
+    fn wait_for_reports_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let generous = Duration::from_secs(5);
+        let t0 = std::time::Instant::now();
+        let mut g = m.lock();
+        let mut res = WaitTimeoutResult(true);
+        while !*g {
+            res = cv.wait_for(&mut g, generous);
+        }
+        h.join().unwrap();
+        assert!(!res.timed_out(), "notified wait must not report a timeout");
+        assert!(
+            t0.elapsed() < generous,
+            "notified wait must return well before the timeout"
+        );
+    }
+
     #[test]
     fn condvar_wakes() {
         let pair = Arc::new((Mutex::new(false), Condvar::new()));
