@@ -5,14 +5,37 @@
 //! arriving as a Poisson process. Requests run as one-shot tasks on the
 //! machine; this module turns an [`OpenLoop`] generator into a
 //! self-rescheduling chain of simulation events.
+//!
+//! Two ingress paths exist:
+//!
+//! * **The NIC data plane** ([`Placement::Rss`]): datagrams transit the
+//!   wire (a [`wire_draw`] each), are RSS-steered into the bounded
+//!   per-core RX rings of a [`MultiQueueNic`], and a polling core drains
+//!   them in bursts toward workers with room in their in-service window.
+//!   Overload tail-drops at the rings (client times out) instead of
+//!   accumulating unbounded queues inside the simulator.
+//! * **The teleport path** ([`Placement::Queue`],
+//!   [`Placement::RssDirect`]): requests spawn directly at their arrival
+//!   instant, with wire and stack costs folded in as accounting. Queues
+//!   are unbounded — fine below saturation, unphysical above it. Kept for
+//!   policy-comparison studies where the NIC must not be a variable, and
+//!   as the pre-data-plane baseline in `netbench`.
+//!
+//! Both paths charge [`WIRE_LATENCY`] on *both* directions of every
+//! delivered request: a client measures request→response round trip, and
+//! omitting the wire understated every latency figure by ~2 μs.
 
-use skyloft::machine::{Call, Event, Machine, Recur};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use skyloft::machine::{Call, Event, Machine, NetTrace, Recur};
 use skyloft::task::RequestMeta;
 use skyloft::SpawnOpts;
+use skyloft_net::dataplane::{MultiQueueNic, NicConfig};
 use skyloft_net::loadgen::{NetProfile, OpenLoop};
-use skyloft_net::nic::PacketFate;
+use skyloft_net::nic::{stack_overhead, wire_draw, PacketFate, WIRE_LATENCY};
 use skyloft_net::rss::RssHasher;
-use skyloft_sim::{Distribution, EventQueue, Nanos};
+use skyloft_sim::{Distribution, EventQueue, Nanos, Rng};
 
 /// The §5.2 dispersive service-time distribution.
 pub fn dispersive() -> Distribution {
@@ -29,17 +52,36 @@ pub fn dispersive_threshold() -> Nanos {
     Nanos::from_us(100)
 }
 
+/// The client and server endpoints every synthetic flow runs between; the
+/// varying source port is what spreads flows across rings.
+const CLIENT_IP: u32 = 0x0a00_0001;
+const SERVER_IP: u32 = 0x0a00_0002;
+const SERVER_PORT: u16 = 11_211;
+
+/// Seed of the wire-transit jitter RNG. A fixed constant, not wall-clock
+/// derived: a sweep point must replay identically whether it runs on the
+/// serial or the threaded harness.
+const WIRE_SEED: u64 = 0x57A6_6E12_D1CE_0001;
+
 /// How arriving requests are placed onto cores.
 #[derive(Clone)]
 pub enum Placement {
     /// No placement hint: the policy decides (centralized queues).
     Queue,
-    /// RSS-hash each request's flow onto one of `n` worker cores
-    /// (kernel-bypass NIC path, §3.5). The per-request network overhead is
-    /// added to the executed segment (but not to the recorded service time
-    /// used for slowdown).
+    /// The kernel-bypass NIC path (§3.5): each request's flow is
+    /// Toeplitz-hashed through the indirection table onto one of `n`
+    /// bounded RX rings, and the polling core hands it to the ring's
+    /// worker. Overload tail-drops at the rings.
     Rss {
         /// Worker (ring) count.
+        n: usize,
+    },
+    /// Legacy RSS placement: the flow hash pins the request, but it
+    /// spawns directly with no ring, no polling core, and no drop — the
+    /// full per-request network overhead is added to the executed
+    /// segment. Queues are unbounded past saturation.
+    RssDirect {
+        /// Worker count.
         n: usize,
     },
 }
@@ -64,7 +106,8 @@ pub fn install_open_loop(
 /// (`stats.timeouts`, `stats.net_dropped`) — excluding it would understate
 /// the tail exactly when the system is misbehaving. Duplicated requests
 /// cost the server a second execution whose response is discarded
-/// (`stats.net_duplicated`).
+/// (`stats.net_duplicated`); the copy transits the wire independently, so
+/// it arrives staggered from its original, never at the same instant.
 pub fn install_open_loop_net(
     q: &mut EventQueue<Event>,
     gen: OpenLoop,
@@ -73,23 +116,30 @@ pub fn install_open_loop_net(
     until: Nanos,
     net: Option<NetProfile>,
 ) {
-    let base = q.now();
-    let rss = match &placement {
-        Placement::Rss { n } => Some(RssHasher::new(*n)),
-        Placement::Queue => None,
-    };
-    schedule_next(q, gen, app, rss, base, until, net);
+    match placement {
+        Placement::Rss { n } => {
+            install_open_loop_nic(q, gen, app, NicConfig::for_workers(n), until, net)
+        }
+        Placement::Queue => schedule_next_direct(q, gen, app, None, until, net),
+        Placement::RssDirect { n } => {
+            schedule_next_direct(q, gen, app, Some(RssHasher::new(n)), until, net)
+        }
+    }
 }
 
-fn schedule_next(
+// ---------------------------------------------------------------------------
+// The teleport path (Placement::Queue / Placement::RssDirect).
+// ---------------------------------------------------------------------------
+
+fn schedule_next_direct(
     q: &mut EventQueue<Event>,
     mut gen: OpenLoop,
     app: usize,
     rss: Option<RssHasher>,
-    base: Nanos,
     until: Nanos,
     mut net: Option<NetProfile>,
 ) {
+    let base = q.now();
     let Some(first) = gen.next() else { return };
     let first_at = base + first.at;
     if first_at >= until {
@@ -101,6 +151,7 @@ fn schedule_next(
     // box — the arrival chain allocates once, not once per request.
     let mut pending = first;
     let mut seq: u64 = 0;
+    let mut wire = Rng::seed_from_u64(WIRE_SEED);
     let hook = move |m: &mut Machine, q: &mut EventQueue<Event>| {
         let req = pending;
         let fate = match net.as_mut() {
@@ -112,7 +163,7 @@ fn schedule_next(
                 // Model a distinct client flow per request (varying
                 // source port), hashed by the NIC onto a worker ring.
                 let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
-                let core = h.ring_for_flow(0x0a00_0001, 0x0a00_0002, src_port, 11_211);
+                let core = h.ring_for_flow(CLIENT_IP, SERVER_IP, src_port, SERVER_PORT);
                 (Some(core), skyloft_net::nic::per_request_overhead())
             }
             None => (None, Nanos::ZERO),
@@ -135,8 +186,11 @@ fn schedule_next(
                 );
             }
             PacketFate::Deliver | PacketFate::Duplicate => {
+                // The teleport path has no physical wire events; both
+                // transits of the round trip are charged by backdating
+                // the arrival, so response = wire + server time + wire.
                 let meta = RequestMeta {
-                    arrival: q.now(),
+                    arrival: q.now().saturating_sub(WIRE_LATENCY * 2),
                     service: req.service,
                     class: req.class,
                 };
@@ -154,20 +208,31 @@ fn schedule_next(
                 );
                 if fate == PacketFate::Duplicate {
                     // The server does the work twice; the client keeps
-                    // the first response, so the copy carries no
-                    // request accounting.
+                    // the first response, so the copy carries no request
+                    // accounting. The copy took its own trip through the
+                    // wire — an independent transit draw, surfacing here
+                    // as a spawn offset — so it contends with its
+                    // original realistically instead of materializing at
+                    // the same instant.
                     m.stats.net_duplicated += 1;
-                    let body = m.pooled_oneshot(req.service + overhead);
-                    m.spawn(
-                        q,
-                        body,
-                        SpawnOpts {
-                            app,
-                            pin,
-                            req: None,
-                            weight: 1024,
-                            record_wakeup: false,
-                        },
+                    let stagger = wire_draw(&mut wire);
+                    let service = req.service;
+                    q.schedule_after(
+                        stagger,
+                        Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+                            let body = m.pooled_oneshot(service + overhead);
+                            m.spawn(
+                                q,
+                                body,
+                                SpawnOpts {
+                                    app,
+                                    pin,
+                                    req: None,
+                                    weight: 1024,
+                                    record_wakeup: false,
+                                },
+                            );
+                        }))),
                     );
                 }
             }
@@ -181,6 +246,255 @@ fn schedule_next(
         Some(at)
     };
     q.schedule(first_at, Event::Recur(Recur(Box::new(hook))));
+}
+
+// ---------------------------------------------------------------------------
+// The NIC data plane path (Placement::Rss).
+// ---------------------------------------------------------------------------
+
+/// A request datagram in flight through the wire or an RX ring.
+#[derive(Clone, Copy, Debug)]
+struct Pkt {
+    /// Client send instant (the client's latency clock starts here).
+    send: Nanos,
+    service: Nanos,
+    class: u8,
+    src_port: u16,
+    /// Whether this is the second delivery of a duplicated datagram.
+    copy: bool,
+}
+
+/// Driver state shared between the arrival chain, the in-flight wire
+/// events, and the polling core. One per installed load; the simulation
+/// is single-threaded, so `Rc<RefCell<..>>` suffices.
+struct PlaneState {
+    nic: MultiQueueNic<Pkt>,
+    /// Packets handed to each worker core since install; `handed[c] -
+    /// stats.finished_by_core[c]` is the worker's in-service backlog the
+    /// poller backpressures on.
+    handed: Vec<u64>,
+    wire_rng: Rng,
+    /// Datagrams currently transiting the wire toward the NIC.
+    wire_pending: u64,
+    /// The arrival chain has generated its last request.
+    gen_done: bool,
+    /// Client abandon timeout for ring-dropped requests.
+    timeout: Nanos,
+}
+
+/// Installs an open-loop arrival process routed through an explicitly
+/// configured [`MultiQueueNic`]: wire transit, RSS steering into bounded
+/// RX rings, burst-draining polling core, per-worker backpressure.
+/// [`Placement::Rss`] is this with [`NicConfig::for_workers`].
+pub fn install_open_loop_nic(
+    q: &mut EventQueue<Event>,
+    mut gen: OpenLoop,
+    app: usize,
+    cfg: NicConfig,
+    until: Nanos,
+    mut net: Option<NetProfile>,
+) {
+    let base = q.now();
+    let Some(first) = gen.next() else { return };
+    let first_at = base + first.at;
+    if first_at >= until {
+        return;
+    }
+    let timeout = net.as_ref().map_or(cfg.client_timeout, |p| p.timeout);
+    let poll_interval = cfg.poll_interval;
+    let poll_batch = cfg.poll_batch;
+    let worker_depth = cfg.worker_depth;
+    let st = Rc::new(RefCell::new(PlaneState {
+        handed: vec![0; cfg.n_rings],
+        nic: MultiQueueNic::new(cfg),
+        wire_rng: Rng::seed_from_u64(WIRE_SEED),
+        wire_pending: 0,
+        gen_done: false,
+        timeout,
+    }));
+
+    // The arrival chain: one Recur carrying the generator, as on the
+    // teleport path, but deliveries become wire-transit events toward the
+    // NIC instead of immediate spawns.
+    let mut pending = first;
+    let mut seq: u64 = 0;
+    let st_arr = st.clone();
+    let hook = move |m: &mut Machine, q: &mut EventQueue<Event>| {
+        let req = pending;
+        let fate = match net.as_mut() {
+            Some(p) => p.loss.fate(),
+            None => PacketFate::Deliver,
+        };
+        let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
+        seq += 1;
+        let now = q.now();
+        match fate {
+            PacketFate::Drop => {
+                // Lost on the wire: the datagram never reaches the NIC
+                // (so it never enters the conservation ledger); the
+                // client times out.
+                m.stats.net_dropped += 1;
+                let timeout = net.as_ref().expect("drop implies profile").timeout;
+                let class = req.class;
+                let service = req.service;
+                q.schedule_after(
+                    timeout,
+                    Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
+                        m.stats.record_timeout(class, timeout, service);
+                    }))),
+                );
+            }
+            PacketFate::Deliver | PacketFate::Duplicate => {
+                let copies = if fate == PacketFate::Duplicate {
+                    m.stats.net_duplicated += 1;
+                    2
+                } else {
+                    1
+                };
+                let mut s = st_arr.borrow_mut();
+                for copy in 0..copies {
+                    // Each datagram — the duplicate included — transits
+                    // the wire independently, so copies arrive staggered.
+                    let transit = wire_draw(&mut s.wire_rng);
+                    s.wire_pending += 1;
+                    let pkt = Pkt {
+                        send: now,
+                        service: req.service,
+                        class: req.class,
+                        src_port,
+                        copy: copy == 1,
+                    };
+                    let st_rx = st_arr.clone();
+                    q.schedule_after(
+                        transit,
+                        Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+                            nic_rx(m, q, &st_rx, pkt);
+                        }))),
+                    );
+                }
+            }
+        }
+        match gen.next() {
+            Some(next) => {
+                let at = base + next.at;
+                if at >= until {
+                    st_arr.borrow_mut().gen_done = true;
+                    None
+                } else {
+                    pending = next;
+                    Some(at)
+                }
+            }
+            None => {
+                st_arr.borrow_mut().gen_done = true;
+                None
+            }
+        }
+    };
+    q.schedule(first_at, Event::Recur(Recur(Box::new(hook))));
+
+    // The polling core: visits the rings every poll_interval, drains a
+    // burst from each ring whose worker has room, and hands the burst
+    // over once the per-packet poll cost has been paid on the (serial)
+    // polling core.
+    let st_poll = st;
+    let poller = move |m: &mut Machine, q: &mut EventQueue<Event>| {
+        let now = q.now();
+        let mut s = st_poll.borrow_mut();
+        for ring in 0..s.nic.n_rings() {
+            m.stats.rx_occ_hist.record(s.nic.occupancy(ring) as u64);
+            if s.nic.occupancy(ring) == 0 {
+                continue;
+            }
+            let finished = m.stats.finished_by_core.get(ring).copied().unwrap_or(0);
+            let outstanding = s.handed[ring].saturating_sub(finished) as usize;
+            let take = worker_depth.saturating_sub(outstanding).min(poll_batch);
+            if take == 0 {
+                continue; // backpressure: leave packets in the ring
+            }
+            let mut batch = Vec::with_capacity(take);
+            let k = s.nic.drain(ring, take, &mut batch);
+            if k == 0 {
+                continue;
+            }
+            s.handed[ring] += k as u64;
+            let handoff = s.nic.poller_admit(now, k);
+            m.note_net(now, Some(ring), NetTrace::RxPoll);
+            q.schedule(
+                handoff,
+                Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+                    for pkt in batch {
+                        m.stats.net_in_flight -= 1;
+                        m.stats.net_delivered += 1;
+                        let body = m.pooled_oneshot(pkt.service + stack_overhead());
+                        // The forward wire and all queueing are physical
+                        // on this path; backdating covers only the
+                        // response's return transit.
+                        let req = (!pkt.copy).then(|| RequestMeta {
+                            arrival: pkt.send.saturating_sub(WIRE_LATENCY),
+                            service: pkt.service,
+                            class: pkt.class,
+                        });
+                        m.spawn(
+                            q,
+                            body,
+                            SpawnOpts {
+                                app,
+                                pin: Some(ring),
+                                req,
+                                weight: 1024,
+                                record_wakeup: false,
+                            },
+                        );
+                    }
+                }))),
+            );
+        }
+        if s.gen_done && s.wire_pending == 0 && s.nic.total_occupancy() == 0 {
+            // Everything generated has been delivered or dropped; stop
+            // polling so runs can drain to an empty event queue.
+            return None;
+        }
+        Some(now + poll_interval)
+    };
+    q.schedule(
+        first_at + poll_interval,
+        Event::Recur(Recur(Box::new(poller))),
+    );
+}
+
+/// A datagram reaches the NIC: RSS-steer it into its ring, or tail-drop
+/// it if the ring is full (the client times out; a dropped *copy* costs
+/// nothing extra — the original is still in play).
+fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState>>, pkt: Pkt) {
+    let mut s = st.borrow_mut();
+    s.wire_pending -= 1;
+    m.stats.net_generated += 1;
+    match s
+        .nic
+        .enqueue_flow(CLIENT_IP, SERVER_IP, pkt.src_port, SERVER_PORT, pkt)
+    {
+        Ok(ring) => {
+            m.stats.net_in_flight += 1;
+            m.note_net(q.now(), Some(ring), NetTrace::RxEnqueue);
+        }
+        Err(ring) => {
+            m.stats.rx_ring_drops += 1;
+            m.note_net(q.now(), Some(ring), NetTrace::RxDrop);
+            if !pkt.copy {
+                let timeout = s.timeout;
+                let class = pkt.class;
+                let service = pkt.service;
+                let fires = (pkt.send + timeout).max(q.now());
+                q.schedule(
+                    fires,
+                    Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
+                        m.stats.record_timeout(class, timeout, service);
+                    }))),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +541,10 @@ mod tests {
             "completed {}",
             m.stats.completed
         );
+        // Response includes the round-trip wire charge: an uncontended
+        // 10 us request takes at least 10 us + 2 us of wire.
+        let p50 = m.stats.resp_hist.percentile(50.0);
+        assert!(p50 >= 12_000, "p50 {p50}");
     }
 
     #[test]
@@ -310,6 +628,54 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_run_but_do_not_complete_twice() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_centralized(Topology::single(5)),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(
+            cfg,
+            Box::new(CentralizedFcfs::new(Some(Nanos::from_us(30)))),
+        );
+        m.add_app("lc", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        let gen = OpenLoop::new(
+            20_000.0,
+            Distribution::Constant(Nanos::from_us(5)),
+            Nanos::from_us(100),
+            21,
+        );
+        // Duplicate every single datagram.
+        install_open_loop_net(
+            &mut q,
+            gen,
+            0,
+            Placement::Queue,
+            Nanos::from_ms(20),
+            Some(NetProfile::lossy(5, 0.0, 1.0, Nanos::from_ms(1))),
+        );
+        m.run(&mut q, Nanos::from_ms(40));
+        assert!(m.stats.completed > 300, "completed {}", m.stats.completed);
+        assert_eq!(
+            m.stats.net_duplicated, m.stats.completed,
+            "every request was duplicated exactly once"
+        );
+        // Copies burn server time (~2x busy) but never enter the
+        // histograms: the client keeps only the first response.
+        assert_eq!(m.stats.resp_hist.count(), m.stats.completed);
+        let busy: u64 = m.stats.busy_by_app.iter().sum();
+        let expected = 2 * m.stats.completed * Nanos::from_us(5).0;
+        assert!(
+            busy as f64 > 0.9 * expected as f64,
+            "busy {busy} vs 2x-work expectation {expected}"
+        );
+    }
+
+    #[test]
     fn rss_placement_spreads_work() {
         let cfg = MachineConfig {
             plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
@@ -331,8 +697,99 @@ mod tests {
         install_open_loop(&mut q, gen, 0, Placement::Rss { n: 4 }, Nanos::from_ms(10));
         m.run(&mut q, Nanos::from_ms(20));
         assert!(m.stats.completed > 1500, "completed {}", m.stats.completed);
-        // Response includes the modeled network overhead.
+        // Response includes both wire transits (~2 us), the service
+        // (2 us), the worker stack overhead, and the poll pipeline.
         let p50 = m.stats.resp_hist.percentile(50.0);
-        assert!(p50 >= 2_530, "p50 {p50}");
+        assert!(p50 >= 4_400, "p50 {p50}");
+        // Nothing was lost: at this load the rings never fill.
+        assert_eq!(m.stats.rx_ring_drops, 0);
+        assert_eq!(m.stats.net_generated, m.stats.net_delivered);
+        assert_eq!(m.stats.net_in_flight, 0);
+    }
+
+    #[test]
+    fn rss_direct_placement_still_spreads_work() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+        m.add_app("kv", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        let gen = OpenLoop::new(
+            200_000.0,
+            Distribution::Constant(Nanos::from_us(2)),
+            Nanos::from_us(100),
+            10,
+        );
+        install_open_loop(
+            &mut q,
+            gen,
+            0,
+            Placement::RssDirect { n: 4 },
+            Nanos::from_ms(10),
+        );
+        m.run(&mut q, Nanos::from_ms(20));
+        assert!(m.stats.completed > 1500, "completed {}", m.stats.completed);
+        // Teleport path: service + per-request overhead + 2x wire
+        // backdate, no rings involved.
+        let p50 = m.stats.resp_hist.percentile(50.0);
+        assert!(p50 >= 4_530, "p50 {p50}");
+        assert_eq!(m.stats.net_generated, 0, "no NIC on the direct path");
+    }
+
+    #[test]
+    fn overloaded_rings_drop_and_bound_the_backlog() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+        m.add_app("kv", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        // 4 workers x 2 us service saturate at 2M rps; offer 4M.
+        let gen = OpenLoop::new(
+            4_000_000.0,
+            Distribution::Constant(Nanos::from_us(2)),
+            Nanos::from_us(100),
+            10,
+        );
+        let mut nic = NicConfig::for_workers(4);
+        nic.client_timeout = Nanos::from_ms(1);
+        install_open_loop_nic(&mut q, gen, 0, nic, Nanos::from_ms(10), None);
+        m.run(&mut q, Nanos::from_ms(30));
+        let s = &m.stats;
+        assert!(s.rx_ring_drops > 0, "2x overload must tail-drop");
+        assert_eq!(
+            s.net_generated,
+            s.net_delivered + s.rx_ring_drops + s.net_in_flight,
+            "datagram conservation"
+        );
+        assert_eq!(s.net_in_flight, 0, "drained by end of run");
+        assert_eq!(
+            s.timeouts, s.rx_ring_drops,
+            "every ring-dropped original times out at the client"
+        );
+        // Bounded rings bound the tail: nothing waits longer than the
+        // client timeout plus slack for the in-ring + in-service path.
+        let p999 = s.resp_hist.percentile(99.9);
+        assert!(
+            p999 <= Nanos::from_ms(1).0 + 100_000,
+            "p99.9 {p999} not bounded by the client timeout"
+        );
+        // Occupancy telemetry saw the rings fill.
+        assert!(
+            s.rx_occ_hist.max() >= 200,
+            "occ max {}",
+            s.rx_occ_hist.max()
+        );
     }
 }

@@ -53,8 +53,10 @@ fn main() {
         let ghost = run_point(&spec, rate, &|| {
             build::ghost_shinjuku(w, Some(Nanos::from_us(30)), false)
         });
+        // Direct pinning: this ablation isolates the *dispatch* cost, so
+        // the NIC data plane (rings, polling core) must not be a variable.
         let mut spec_rss = spec.clone();
-        spec_rss.placement = Placement::Rss { n: w };
+        spec_rss.placement = Placement::RssDirect { n: w };
         let percpu = run_point(&spec_rss, rate, &|| {
             build::skyloft_ws(w, Some(Nanos::from_us(30)))
         });

@@ -52,7 +52,9 @@ fn main() {
     }));
     eprintln!("  ghost done");
     let mut linux_spec = spec("Linux CFS");
-    linux_spec.placement = Placement::Rss {
+    // Direct RSS pinning: Linux receives via kernel NAPI, not the DPDK
+    // data plane, so the flow hash pins cores without bounded RX rings.
+    linux_spec.placement = Placement::RssDirect {
         n: FIG7_LINUX_WORKERS,
     };
     all.push(run_sweep(&linux_spec, &|| {

@@ -43,7 +43,8 @@ fn main() {
     }));
     eprintln!("  ghost+batch done");
     let mut linux_spec = spec("Linux CFS+batch");
-    linux_spec.placement = Placement::Rss {
+    // Direct RSS pinning (kernel NAPI path, no DPDK rings) — see fig7a.
+    linux_spec.placement = Placement::RssDirect {
         n: FIG7_LINUX_WORKERS,
     };
     all.push(run_sweep(&linux_spec, &|| {

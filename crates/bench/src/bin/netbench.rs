@@ -1,0 +1,267 @@
+//! Network data-plane saturation sweep (§3.5): p99 vs offered load for
+//! the memcached USR workload, run twice per rate — once through the
+//! multi-queue NIC model (`Placement::Rss`, bounded RX rings + polling
+//! core) and once over the pre-change direct path (`Placement::RssDirect`,
+//! flow-hash pinning with no rings).
+//!
+//! The shape this records is the PR's bugfix: past saturation the direct
+//! path accumulates an unbounded in-simulator spawn queue, so its p99
+//! grows with the measurement window; the NIC path tail-drops at the
+//! rings, so delivered requests stay fast and dropped ones surface at the
+//! client timeout — p99 is bounded by the timeout no matter how far past
+//! saturation the sweep pushes.
+//!
+//! Results go to `results/netbench.csv`; `--write` records the direct
+//! series as `pre_change` and the NIC series as `current` in the repo-root
+//! `BENCH_net.json`; `--check` re-runs the sweep and gates CI on the
+//! semantic shape (NIC overload p99 bounded by the timeout, drops
+//! observed, direct tail far worse) plus a regression bound against the
+//! stored NIC numbers.
+
+use skyloft_apps::harness::{par_map, sweep_threads, trace_arg};
+use skyloft_apps::memcached::{usr_distribution, usr_threshold};
+use skyloft_apps::synthetic::{install_open_loop_net, Placement};
+use skyloft_bench::{build, out, scaled};
+use skyloft_metrics::Table;
+use skyloft_net::loadgen::{NetProfile, OpenLoop};
+use skyloft_sim::Nanos;
+
+const WORKERS: usize = 4;
+/// Client retransmission/abandon timeout: the bound the NIC path's tail
+/// must respect past saturation.
+const TIMEOUT: Nanos = Nanos::from_ms(1);
+const SEED: u64 = 0x6E65_7462; // "netb"
+
+/// Offered rates in rps. 4 workers x (1.5 us GET + ~0.5 us stack) put
+/// capacity near 2.0 M rps; the last two points are past saturation.
+fn rates() -> Vec<f64> {
+    vec![
+        600_000.0,
+        1_000_000.0,
+        1_400_000.0,
+        1_800_000.0,
+        2_200_000.0,
+        2_600_000.0,
+    ]
+}
+
+/// One measured sweep point, with the data-plane counters the stock
+/// harness `LoadPoint` does not carry.
+struct NetPoint {
+    rate: f64,
+    achieved_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    drops: u64,
+    timeouts: u64,
+    occ_max: u64,
+}
+
+fn run_net_point(rate: f64, placement: Placement) -> NetPoint {
+    let (mut m, mut q) = build::skyloft_ws(WORKERS, Some(Nanos::from_us(30)));
+    let gen = OpenLoop::new(
+        rate,
+        usr_distribution(),
+        usr_threshold(),
+        SEED ^ (rate as u64),
+    );
+    let warmup = scaled(Nanos::from_ms(50));
+    let end = warmup + scaled(Nanos::from_ms(200));
+    let net = NetProfile::lossy(0, 0.0, 0.0, TIMEOUT);
+    install_open_loop_net(&mut q, gen, 0, placement, end, Some(net));
+    m.run(&mut q, warmup);
+    m.reset_stats(q.now());
+    m.run(&mut q, end);
+    let now = q.now();
+    // The conservation invariant must hold on every NIC-routed point: no
+    // datagram may vanish outside the drop counters.
+    assert_eq!(
+        m.stats.net_generated,
+        m.stats.net_delivered + m.stats.rx_ring_drops + m.stats.net_in_flight,
+        "datagram conservation violated at {rate} rps"
+    );
+    let h = &m.stats.resp_hist;
+    NetPoint {
+        rate,
+        achieved_rps: m.stats.achieved_rps(now),
+        p50_us: h.percentile(50.0) as f64 / 1000.0,
+        p99_us: h.percentile(99.0) as f64 / 1000.0,
+        p999_us: h.percentile(99.9) as f64 / 1000.0,
+        drops: m.stats.rx_ring_drops,
+        timeouts: m.stats.timeouts,
+        occ_max: m.stats.rx_occ_hist.max(),
+    }
+}
+
+fn run_series(placement: &Placement) -> Vec<NetPoint> {
+    let rs = rates();
+    par_map(&rs, sweep_threads(), &|&rate| {
+        run_net_point(rate, placement.clone())
+    })
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(format!(
+        "{}/../../BENCH_net.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+/// Pulls `"key": <number>` out of `section` of the hand-rolled baseline
+/// JSON (same flat schema as `BENCH_sim.json`).
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{section}\""))?;
+    let rest = &json[at..];
+    let at = rest.find(&format!("\"{key}\""))?;
+    let rest = &rest[at..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The metrics a series contributes to the baseline file: the knee-side
+/// point (last rate under nominal capacity) and the overload point (last
+/// rate of the sweep).
+fn series_json(points: &[NetPoint], indent: &str) -> String {
+    let sat = &points[points.len() - 3]; // 1.8 M — just under capacity
+    let over = points.last().expect("sweep has points");
+    format!(
+        "{indent}\"sat_p99_us\": {:.1},\n\
+         {indent}\"overload_p99_us\": {:.1},\n\
+         {indent}\"overload_p999_us\": {:.1},\n\
+         {indent}\"overload_achieved_rps\": {:.0},\n\
+         {indent}\"overload_drops\": {},\n\
+         {indent}\"overload_occ_max\": {}",
+        sat.p99_us, over.p99_us, over.p999_us, over.achieved_rps, over.drops, over.occ_max
+    )
+}
+
+fn write_baseline(direct: &[NetPoint], nic: &[NetPoint]) {
+    let path = baseline_path();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"bench\": \"netbench\",\n  \"pre_change\": {{\n{pre}\n  }},\n  \"current\": {{\n{cur}\n  }}\n}}\n",
+        pre = series_json(direct, "    "),
+        cur = series_json(nic, "    "),
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("netbench: wrote {}", path.display()),
+        Err(e) => eprintln!("netbench: failed to write {}: {e}", path.display()),
+    }
+}
+
+fn check_baseline(direct: &[NetPoint], nic: &[NetPoint]) -> bool {
+    let timeout_us = TIMEOUT.0 as f64 / 1000.0;
+    let nic_over = nic.last().expect("sweep has points");
+    let direct_over = direct.last().expect("sweep has points");
+    let mut ok = true;
+    // (1) Bounded tail past saturation: the NIC path's p99 may not exceed
+    // the client timeout by more than measurement slack.
+    if nic_over.p99_us > timeout_us * 1.15 {
+        eprintln!(
+            "netbench: FAIL — NIC overload p99 {:.1} us exceeds the {:.0} us client timeout",
+            nic_over.p99_us, timeout_us
+        );
+        ok = false;
+    }
+    // (2) Overload must manifest as tail-drops, not hidden queues.
+    if nic_over.drops == 0 {
+        eprintln!("netbench: FAIL — no RX ring drops at {} rps", nic_over.rate);
+        ok = false;
+    }
+    // (3) The pre-change path demonstrates the bug: its overload tail is
+    // an unbounded queue, far beyond the NIC path's timeout-bounded tail.
+    if direct_over.p99_us < 1.5 * nic_over.p99_us {
+        eprintln!(
+            "netbench: FAIL — direct overload p99 {:.1} us should dwarf NIC's {:.1} us",
+            direct_over.p99_us, nic_over.p99_us
+        );
+        ok = false;
+    }
+    // (4) Regression bound vs the stored NIC numbers, when present.
+    if let Ok(json) = std::fs::read_to_string(baseline_path()) {
+        if let Some(base) = extract(&json, "current", "overload_p99_us") {
+            if nic_over.p99_us > base * 1.3 {
+                eprintln!(
+                    "netbench: REGRESSION — NIC overload p99 {:.1} us vs baseline {base:.1} us",
+                    nic_over.p99_us
+                );
+                ok = false;
+            } else {
+                eprintln!(
+                    "netbench: NIC overload p99 {:.1} us vs baseline {base:.1} us — ok",
+                    nic_over.p99_us
+                );
+            }
+        }
+    } else {
+        eprintln!(
+            "netbench: no baseline at {} — semantic checks only",
+            baseline_path().display()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let _ = trace_arg();
+    let args = skyloft_bench::positional_args();
+    let write = args.iter().any(|a| a == "--write");
+    let check = args.iter().any(|a| a == "--check");
+
+    eprintln!("netbench: sweeping direct (pre-change) path...");
+    let direct = run_series(&Placement::RssDirect { n: WORKERS });
+    eprintln!("netbench: sweeping NIC data plane...");
+    let nic = run_series(&Placement::Rss { n: WORKERS });
+
+    let mut t = Table::new(&[
+        "offered kRPS",
+        "series",
+        "achieved kRPS",
+        "p50 (us)",
+        "p99 (us)",
+        "p99.9 (us)",
+        "rx drops",
+        "timeouts",
+        "ring occ max",
+    ]);
+    for (name, series) in [("direct", &direct), ("nic", &nic)] {
+        for p in series.iter() {
+            t.row_owned(vec![
+                format!("{:.0}", p.rate / 1000.0),
+                name.to_string(),
+                format!("{:.0}", p.achieved_rps / 1000.0),
+                format!("{:.1}", p.p50_us),
+                format!("{:.1}", p.p99_us),
+                format!("{:.1}", p.p999_us),
+                p.drops.to_string(),
+                p.timeouts.to_string(),
+                p.occ_max.to_string(),
+            ]);
+        }
+    }
+    out::emit(
+        "netbench",
+        "NIC data plane: USR p99 vs load past saturation (direct vs rings)",
+        &t,
+    );
+    let over = nic.last().expect("sweep has points");
+    println!(
+        "overload ({:.1} M rps): nic p99 {:.0} us ({} drops), direct p99 {:.0} us",
+        over.rate / 1e6,
+        over.p99_us,
+        over.drops,
+        direct.last().expect("sweep has points").p99_us
+    );
+
+    if write {
+        write_baseline(&direct, &nic);
+    }
+    if check && !check_baseline(&direct, &nic) {
+        std::process::exit(1);
+    }
+}

@@ -54,7 +54,9 @@ pub mod trace;
 #[cfg(feature = "chaos")]
 pub use chaos::FaultPlan;
 pub use conf::{CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, SchedParams};
-pub use machine::{AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, Recur, SpawnOpts};
+pub use machine::{
+    AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, NetTrace, Recur, SpawnOpts,
+};
 pub use ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 pub use stats::Stats;
 pub use task::{AppId, Behavior, OneShot, RequestMeta, Step, Task, TaskId, TaskState, TaskTable};

@@ -295,6 +295,20 @@ impl SpawnOpts {
     }
 }
 
+/// A NIC data-plane event for [`Machine::note_net`]: the stable public
+/// subset of trace kinds a network driver outside this crate may emit.
+/// Exists so drivers work against machines built without the `trace`
+/// feature (where `TraceKind` itself is compiled out).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetTrace {
+    /// A datagram was steered into an RX ring.
+    RxEnqueue,
+    /// A full RX ring tail-dropped a datagram.
+    RxDrop,
+    /// The polling core drained a burst from an RX ring.
+    RxPoll,
+}
+
 /// A best-effort spin task: computes forever in fixed chunks.
 pub struct Spin {
     chunk: Nanos,
@@ -406,6 +420,8 @@ impl Machine {
         };
         let worker_cores: Vec<CoreId> = (0..n_workers).collect();
         let kmod = Kmod::new(cfg.plat.topo.n_cores(), &(0..total).collect::<Vec<_>>());
+        let mut stats = Stats::new();
+        stats.finished_by_core = vec![0; total];
         Machine {
             uintr: UintrFabric::new(cfg.plat.topo.n_cores()),
             apic: Apic::new(cfg.plat.topo.n_cores()),
@@ -418,7 +434,7 @@ impl Machine {
             worker_cores,
             dispatcher,
             apps: Vec::new(),
-            stats: Stats::new(),
+            stats,
             core_alloc: cfg.core_alloc,
             be_app: None,
             #[cfg(feature = "chaos")]
@@ -477,6 +493,7 @@ impl Machine {
                     None,
                     1024,
                     false,
+                    Some(core),
                 );
                 self.cores[core].be_task = Some(id);
             }
@@ -604,6 +621,26 @@ impl Machine {
         }
     }
 
+    /// Records a NIC data-plane event into the scheduling trace (§3.5).
+    /// `core` is the worker core whose RX ring the event concerns. A no-op
+    /// without the `trace` feature, so drivers in other crates can call it
+    /// unconditionally.
+    pub fn note_net(&mut self, now: Nanos, core: Option<CoreId>, what: NetTrace) {
+        #[cfg(feature = "trace")]
+        {
+            let kind = match what {
+                NetTrace::RxEnqueue => TraceKind::RxEnqueue,
+                NetTrace::RxDrop => TraceKind::RxDrop,
+                NetTrace::RxPoll => TraceKind::RxPoll,
+            };
+            self.trace_emit(now, core, None, kind);
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (now, core, what);
+        }
+    }
+
     /// Creates a task without enqueueing it (internal + BE tasks).
     fn insert_task(
         &mut self,
@@ -612,6 +649,7 @@ impl Machine {
         req: Option<RequestMeta>,
         weight: u32,
         record_wakeup: bool,
+        home: Option<CoreId>,
     ) -> TaskId {
         self.apps[app].live_tasks += 1;
         self.tasks.insert(|id| Task {
@@ -629,6 +667,7 @@ impl Machine {
             measure_wakeup: false,
             record_wakeup,
             last_cpu: None,
+            home,
             preempt_count: 0,
             total_ran: Nanos::ZERO,
         })
@@ -650,6 +689,7 @@ impl Machine {
             opts.req,
             opts.weight,
             opts.record_wakeup,
+            opts.pin,
         );
         let now = q.now();
         self.tasks.get_mut(id).runnable_since = now;
@@ -1542,6 +1582,15 @@ impl Machine {
         self.close_busy(now, core);
         #[cfg(feature = "trace")]
         self.trace_emit(now, Some(core), Some(t), TraceKind::Finish);
+        // Completion is credited to the task's home (pinned) core, not
+        // the core that happened to run it: the NIC data plane's
+        // backpressure window counts requests it handed to worker `c` and
+        // must see them retire at `c` even if a stealing policy migrated
+        // the task.
+        let credit = self.tasks.get(t).home.unwrap_or(core);
+        if let Some(slot) = self.stats.finished_by_core.get_mut(credit) {
+            *slot += 1;
+        }
         if let Some(req) = self.tasks.get(t).req {
             self.stats
                 .record_request(req.class, now - req.arrival, req.service);

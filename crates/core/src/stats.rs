@@ -62,6 +62,30 @@ pub struct Stats {
     pub net_duplicated: u64,
     /// Timed-out requests recorded via [`Stats::record_timeout`].
     pub timeouts: u64,
+    /// Datagrams the NIC data plane attempted to steer into an RX ring
+    /// (duplicates count once per copy; wire-dropped packets never reach
+    /// the NIC and are not counted). Preserved across [`Stats::reset`] so
+    /// the conservation invariant `net_generated == net_delivered +
+    /// rx_ring_drops + net_in_flight` holds at every instant of a run.
+    pub net_generated: u64,
+    /// Datagrams the polling core handed to a worker as a spawned task.
+    /// Preserved across [`Stats::reset`].
+    pub net_delivered: u64,
+    /// Datagrams tail-dropped by a full RX ring. Preserved across
+    /// [`Stats::reset`].
+    pub rx_ring_drops: u64,
+    /// Datagrams currently queued in RX rings (steered but not yet handed
+    /// to a worker). Preserved across [`Stats::reset`].
+    pub net_in_flight: u64,
+    /// Ring occupancy observed at each polling-core visit, across all
+    /// rings (tail mass here means the rings are absorbing a burst; a
+    /// maxed-out histogram means tail drops are imminent).
+    pub rx_occ_hist: Histogram,
+    /// Requests finished per core, indexed by core id. Sized by the
+    /// machine at construction; preserved across [`Stats::reset`] because
+    /// the data plane's backpressure window (handed − finished) must not
+    /// jump at the warmup boundary.
+    pub finished_by_core: Vec<u64>,
     /// Busy nanoseconds per application, accumulated when tasks stop.
     pub busy_by_app: Vec<u64>,
     /// Time at which measurement (re)started.
@@ -104,6 +128,12 @@ impl Stats {
             net_dropped: 0,
             net_duplicated: 0,
             timeouts: 0,
+            net_generated: 0,
+            net_delivered: 0,
+            rx_ring_drops: 0,
+            net_in_flight: 0,
+            rx_occ_hist: Histogram::new(),
+            finished_by_core: Vec::new(),
             busy_by_app: Vec::new(),
             since: Nanos::ZERO,
             last_completion: Nanos::ZERO,
@@ -137,10 +167,26 @@ impl Stats {
     }
 
     /// Clears all measurements (warmup boundary), keeping `since` at `now`.
+    ///
+    /// The data-plane conservation counters (`net_generated`,
+    /// `net_delivered`, `rx_ring_drops`, `net_in_flight`) and the per-core
+    /// finish counters survive the reset: they describe *current* queue
+    /// state, not an interval, and zeroing them mid-run would break both
+    /// the conservation invariant and the poller's backpressure window.
     pub fn reset(&mut self, now: Nanos) {
         let napps = self.busy_by_app.len();
+        let net_generated = self.net_generated;
+        let net_delivered = self.net_delivered;
+        let rx_ring_drops = self.rx_ring_drops;
+        let net_in_flight = self.net_in_flight;
+        let finished_by_core = std::mem::take(&mut self.finished_by_core);
         *self = Stats::new();
         self.busy_by_app = vec![0; napps];
+        self.net_generated = net_generated;
+        self.net_delivered = net_delivered;
+        self.rx_ring_drops = rx_ring_drops;
+        self.net_in_flight = net_in_flight;
+        self.finished_by_core = finished_by_core;
         self.since = now;
     }
 
@@ -203,6 +249,32 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.busy_by_app, vec![0, 0]);
         assert_eq!(s.since, Nanos(1_000));
+    }
+
+    #[test]
+    fn reset_preserves_conservation_counters() {
+        let mut s = Stats::new();
+        s.net_generated = 100;
+        s.net_delivered = 90;
+        s.rx_ring_drops = 4;
+        s.net_in_flight = 6;
+        s.finished_by_core = vec![40, 50];
+        s.rx_occ_hist.record(12);
+        s.completed = 90;
+        s.reset(Nanos(1_000));
+        assert_eq!(s.completed, 0, "interval counters clear");
+        assert_eq!(s.rx_occ_hist.count(), 0, "occupancy histogram clears");
+        assert_eq!(
+            (
+                s.net_generated,
+                s.net_delivered,
+                s.rx_ring_drops,
+                s.net_in_flight
+            ),
+            (100, 90, 4, 6),
+            "conservation counters survive the warmup reset"
+        );
+        assert_eq!(s.finished_by_core, vec![40, 50]);
     }
 
     #[test]

@@ -168,6 +168,12 @@ pub struct Task {
     /// Core the task last ran on (cache-affinity hints for per-CPU
     /// policies).
     pub last_cpu: Option<usize>,
+    /// Core the task was spawned pinned to, when any. Completion
+    /// accounting (`Stats::finished_by_core`) is credited here rather
+    /// than to the core that happened to run the task, so the NIC data
+    /// plane's per-worker backpressure window stays consistent even under
+    /// policies that migrate pinned tasks.
+    pub home: Option<usize>,
     /// Number of times the task was preempted.
     pub preempt_count: u32,
     /// Total time the task has executed.
@@ -193,6 +199,7 @@ impl Task {
             measure_wakeup: false,
             record_wakeup: true,
             last_cpu: None,
+            home: None,
             preempt_count: 0,
             total_ran: Nanos::ZERO,
         }

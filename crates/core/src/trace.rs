@@ -90,6 +90,12 @@ pub enum TraceKind {
     WorkerStalled,
     /// A task migrated off a stalled worker onto a healthy one.
     TaskMigrated,
+    /// The NIC data plane steered a datagram into an RX ring (§3.5).
+    RxEnqueue,
+    /// A full RX ring tail-dropped a datagram; the client will time out.
+    RxDrop,
+    /// The polling core drained a burst from an RX ring toward a worker.
+    RxPoll,
 }
 
 impl TraceKind {
@@ -123,6 +129,9 @@ impl TraceKind {
             TraceKind::IpiRetry => "IpiRetry",
             TraceKind::WorkerStalled => "WorkerStalled",
             TraceKind::TaskMigrated => "TaskMigrated",
+            TraceKind::RxEnqueue => "RxEnqueue",
+            TraceKind::RxDrop => "RxDrop",
+            TraceKind::RxPoll => "RxPoll",
         }
     }
 
@@ -446,6 +455,11 @@ fn push_instant(out: &mut String, first: &mut bool, tid: usize, ev: &TraceEvent)
 ///    kernel module's active-thread table, through §6 fault substitutions
 ///    included (`cur_app == None` exactly when a fault vacated the core
 ///    with no substitute available).
+/// 7. **Datagram conservation (§3.5)** — every datagram the NIC data plane
+///    steered is accounted for exactly once: `net_generated ==
+///    net_delivered + rx_ring_drops + net_in_flight`. A leak here means
+///    the RX rings, the polling core, or the drop accounting lost or
+///    double-counted a packet.
 pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
     let mut v = Vec::new();
 
@@ -568,6 +582,19 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
                 m.stats.timer_lost, m.tracer.checker.allowed_timer_lost
             ));
         }
+    }
+
+    // 7. Datagram conservation through the NIC data plane.
+    let accounted = m.stats.net_delivered + m.stats.rx_ring_drops + m.stats.net_in_flight;
+    if m.stats.net_generated != accounted {
+        v.push(format!(
+            "datagram conservation: generated {} != delivered {} + ring-dropped {} \
+             + in-flight {}",
+            m.stats.net_generated,
+            m.stats.net_delivered,
+            m.stats.rx_ring_drops,
+            m.stats.net_in_flight
+        ));
     }
 
     v

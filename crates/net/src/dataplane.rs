@@ -1,0 +1,278 @@
+//! The §3.5 multi-queue NIC data plane.
+//!
+//! Skyloft's evaluation runs memcached-style traffic through DPDK: the
+//! NIC RSS-hashes each arriving datagram through the indirection table
+//! onto one of N bounded RX descriptor rings (one per worker core), and a
+//! dedicated polling core drains the rings in bursts, handing each packet
+//! to its worker. Two properties of that pipeline dominate behaviour near
+//! saturation, and both exist only because the rings are *bounded*:
+//!
+//! * **Tail drop.** A full ring rejects the datagram — the client learns
+//!   via its timeout. Past saturation the server's queues therefore stay
+//!   bounded and p99 is capped near the client timeout, instead of
+//!   queueing delay growing without limit for as long as the overload
+//!   lasts.
+//! * **Backpressure.** The polling core only moves a packet to a worker
+//!   that has room in its bounded in-service window; otherwise the packet
+//!   waits in the ring and, under sustained overload, the ring fills and
+//!   drops. Work the server cannot absorb is shed at the NIC, where it is
+//!   cheap, not accumulated in scheduler queues, where it is not.
+//!
+//! [`MultiQueueNic`] is the host-side state machine for all of that:
+//! rings, indirection table, per-ring drop/occupancy accounting, and the
+//! polling core's serialization clock ([`MultiQueueNic::poller_admit`])
+//! charging [`crate::nic::RX_POLL_COST`] per packet. It is driven from
+//! the simulation by the arrival installer in `skyloft-apps` (events in,
+//! spawned tasks out); this module itself is pure data structure, so it
+//! is directly property-testable.
+
+use skyloft_sim::Nanos;
+
+use crate::nic::RX_POLL_COST;
+use crate::ring::Ring;
+use crate::rss::RssHasher;
+
+/// Configuration of the NIC model and its polling core.
+#[derive(Clone, Debug)]
+pub struct NicConfig {
+    /// RX rings (one per worker core the NIC steers to).
+    pub n_rings: usize,
+    /// Descriptor slots per ring; a full ring tail-drops.
+    pub ring_capacity: usize,
+    /// Max packets the polling core takes from one ring per poll visit
+    /// (DPDK `rx_burst` size).
+    pub poll_batch: usize,
+    /// Period of the polling core's visit to the rings. Real DPDK
+    /// busy-polls; the interval is the simulation's discretization of that
+    /// loop and bounds the extra latency an uncontended packet sees.
+    pub poll_interval: Nanos,
+    /// Per-worker in-service window: the poller hands a worker at most
+    /// this many not-yet-finished requests before leaving further packets
+    /// in the ring (backpressure; without it overload would simply move
+    /// the unbounded queue from the NIC into the scheduler).
+    pub worker_depth: usize,
+    /// Client abandon timeout for a tail-dropped datagram when no
+    /// explicit [`crate::loadgen::NetProfile`] provides one: the request
+    /// enters the latency histograms at this value.
+    pub client_timeout: Nanos,
+}
+
+impl NicConfig {
+    /// The default §3.5 configuration for `n` worker cores: 256-slot
+    /// rings, 32-packet bursts, 500 ns poll discretization, a 32-request
+    /// in-service window, and a 10 ms client timeout.
+    pub fn for_workers(n: usize) -> Self {
+        NicConfig {
+            n_rings: n,
+            ring_capacity: 256,
+            poll_batch: 32,
+            poll_interval: Nanos(500),
+            worker_depth: 32,
+            client_timeout: Nanos::from_ms(10),
+        }
+    }
+}
+
+/// A multi-queue NIC: RSS steering into bounded per-core RX rings, plus
+/// the polling core's serialization clock.
+#[derive(Clone, Debug)]
+pub struct MultiQueueNic<T> {
+    cfg: NicConfig,
+    hasher: RssHasher,
+    rings: Vec<Ring<T>>,
+    /// Datagrams accepted into a ring, total.
+    pub enqueued: u64,
+    /// Datagrams drained by the polling core, total.
+    pub polled: u64,
+    /// The polling core is busy with earlier packets until this instant.
+    poller_free_at: Nanos,
+}
+
+impl<T> MultiQueueNic<T> {
+    /// Builds the NIC from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no rings, zero-capacity
+    /// rings, empty bursts, or a zero in-service window).
+    pub fn new(cfg: NicConfig) -> Self {
+        assert!(cfg.poll_batch > 0, "poll batch must be positive");
+        assert!(cfg.worker_depth > 0, "worker depth must be positive");
+        MultiQueueNic {
+            hasher: RssHasher::new(cfg.n_rings),
+            rings: (0..cfg.n_rings)
+                .map(|_| Ring::new(cfg.ring_capacity))
+                .collect(),
+            enqueued: 0,
+            polled: 0,
+            poller_free_at: Nanos::ZERO,
+            cfg,
+        }
+    }
+
+    /// The configuration this NIC was built with.
+    pub fn cfg(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// Number of RX rings.
+    pub fn n_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The RSS hasher (Toeplitz + indirection table).
+    pub fn hasher(&self) -> &RssHasher {
+        &self.hasher
+    }
+
+    /// Mutable access to the hasher, for indirection-table rewrites.
+    pub fn hasher_mut(&mut self) -> &mut RssHasher {
+        &mut self.hasher
+    }
+
+    /// Steers a datagram of flow `(src_ip, dst_ip, src_port, dst_port)`
+    /// into its RSS ring. Returns `Ok(ring)` when queued; on a full ring
+    /// the datagram is tail-dropped (counted on the ring) and the target
+    /// ring comes back as `Err(ring)`.
+    pub fn enqueue_flow(
+        &mut self,
+        src_ip: u32,
+        dst_ip: u32,
+        src_port: u16,
+        dst_port: u16,
+        item: T,
+    ) -> Result<usize, usize> {
+        let ring = self
+            .hasher
+            .ring_for_flow(src_ip, dst_ip, src_port, dst_port);
+        if self.rings[ring].push(item) {
+            self.enqueued += 1;
+            Ok(ring)
+        } else {
+            Err(ring)
+        }
+    }
+
+    /// Drains up to `max` packets from `ring` into `out` (appending),
+    /// FIFO. Returns how many were taken.
+    pub fn drain(&mut self, ring: usize, max: usize, out: &mut Vec<T>) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.rings[ring].pop() {
+                Some(p) => {
+                    out.push(p);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        self.polled += taken as u64;
+        taken
+    }
+
+    /// Advances the polling core's serialization clock over a burst of
+    /// `n` packets starting no earlier than `now`: each packet costs
+    /// [`RX_POLL_COST`], and the burst is handed to the worker when the
+    /// last packet of the burst has been processed. Returns that handoff
+    /// instant. The clock is what bounds the poller at `1/RX_POLL_COST`
+    /// packets per second machine-wide.
+    pub fn poller_admit(&mut self, now: Nanos, n: usize) -> Nanos {
+        let start = now.max(self.poller_free_at);
+        let done = start + RX_POLL_COST * n as u64;
+        self.poller_free_at = done;
+        done
+    }
+
+    /// Current occupancy of `ring`.
+    pub fn occupancy(&self, ring: usize) -> usize {
+        self.rings[ring].len()
+    }
+
+    /// Packets currently queued across all rings.
+    pub fn total_occupancy(&self) -> usize {
+        self.rings.iter().map(|r| r.len()).sum()
+    }
+
+    /// Tail drops recorded on `ring`.
+    pub fn drops(&self, ring: usize) -> u64 {
+        self.rings[ring].drops
+    }
+
+    /// Tail drops across all rings.
+    pub fn total_drops(&self) -> u64 {
+        self.rings.iter().map(|r| r.drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic(n: usize, cap: usize) -> MultiQueueNic<u64> {
+        MultiQueueNic::new(NicConfig {
+            ring_capacity: cap,
+            ..NicConfig::for_workers(n)
+        })
+    }
+
+    #[test]
+    fn steers_by_rss_and_counts() {
+        let mut n = nic(4, 64);
+        let mut seen = [0u64; 4];
+        for port in 0..64u16 {
+            let r = n
+                .enqueue_flow(0x0a00_0001, 0x0a00_0002, 20_000 + port, 11_211, port as u64)
+                .expect("rings not full");
+            assert_eq!(
+                r,
+                n.hasher()
+                    .ring_for_flow(0x0a00_0001, 0x0a00_0002, 20_000 + port, 11_211)
+            );
+            seen[r] += 1;
+        }
+        assert_eq!(n.enqueued, 64);
+        assert_eq!(seen.iter().sum::<u64>(), 64);
+        assert_eq!(n.total_occupancy(), 64 - n.total_drops() as usize);
+    }
+
+    #[test]
+    fn full_ring_tail_drops_and_reports_the_ring() {
+        let mut n = nic(1, 2);
+        assert!(n.enqueue_flow(1, 2, 3, 4, 10).is_ok());
+        assert!(n.enqueue_flow(1, 2, 3, 4, 11).is_ok());
+        assert_eq!(n.enqueue_flow(1, 2, 3, 4, 12), Err(0));
+        assert_eq!(n.total_drops(), 1);
+        assert_eq!(n.enqueued, 2);
+        // FIFO drain skips the dropped datagram entirely.
+        let mut out = Vec::new();
+        assert_eq!(n.drain(0, 8, &mut out), 2);
+        assert_eq!(out, vec![10, 11]);
+        assert_eq!(n.polled, 2);
+    }
+
+    #[test]
+    fn drain_respects_burst_size() {
+        let mut n = nic(1, 16);
+        for i in 0..10 {
+            n.enqueue_flow(1, 2, 3, 4, i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(n.drain(0, 4, &mut out), 4);
+        assert_eq!(n.occupancy(0), 6);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn poller_clock_serializes_bursts() {
+        let mut n = nic(1, 16);
+        // First burst of 4 from t=0: done at 4 * RX_POLL_COST.
+        let d1 = n.poller_admit(Nanos::ZERO, 4);
+        assert_eq!(d1, RX_POLL_COST * 4);
+        // A burst requested at an earlier time still queues behind it.
+        let d2 = n.poller_admit(Nanos(10), 2);
+        assert_eq!(d2, d1 + RX_POLL_COST * 2);
+        // After the poller goes idle, the clock restarts at `now`.
+        let late = d2 + Nanos::from_us(5);
+        assert_eq!(n.poller_admit(late, 1), late + RX_POLL_COST);
+    }
+}

@@ -8,23 +8,28 @@
 //!
 //! * [`packet`] — wire format: a real (serialized/parsed) UDP-like header
 //!   and a key-value request codec, built on `bytes`.
-//! * [`rss`] — Receive Side Scaling: Toeplitz hashing of flow tuples onto
-//!   rings.
+//! * [`rss`] — Receive Side Scaling: Toeplitz hashing of flow tuples
+//!   through the 128-entry indirection table onto rings.
 //! * [`ring`] — bounded SPSC rings with drop accounting (NIC behaviour
 //!   under overload).
+//! * [`dataplane`] — the assembled multi-queue NIC: RSS steering into
+//!   bounded per-core RX rings plus the polling core's serialization
+//!   clock; what `Placement::Rss` sweeps route through.
 //! * [`nic`] — per-packet cost constants for the DPDK RX/TX path.
 //! * [`loadgen`] — the open-loop Poisson client of §5.3.
 
 #![warn(missing_docs)]
 
+pub mod dataplane;
 pub mod loadgen;
 pub mod nic;
 pub mod packet;
 pub mod ring;
 pub mod rss;
 
+pub use dataplane::{MultiQueueNic, NicConfig};
 pub use loadgen::{NetProfile, OpenLoop};
 pub use nic::{LossModel, PacketFate};
 pub use packet::{KvOp, KvRequest, PacketPool, UdpHeader};
 pub use ring::Ring;
-pub use rss::RssHasher;
+pub use rss::{RssHasher, INDIRECTION_ENTRIES};

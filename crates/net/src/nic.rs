@@ -26,14 +26,39 @@ pub const STACK_TX_COST: Nanos = Nanos(200);
 
 /// One-way wire + NIC latency between the client and the server (the
 /// paper's client is one switch hop away). Charged symmetrically to every
-/// request; identical across systems.
+/// request; identical across systems. Per-datagram transit is drawn by
+/// [`wire_draw`] with this mean.
 pub const WIRE_LATENCY: Nanos = Nanos(1_000);
 
+/// Peak-to-peak jitter of one wire transit: [`wire_draw`] samples
+/// uniformly from `WIRE_LATENCY ± WIRE_JITTER/2`, so the mean stays at
+/// [`WIRE_LATENCY`]. Nonzero so that two datagrams sent at the same
+/// instant (a UDP duplicate and its original) arrive at distinct times.
+pub const WIRE_JITTER: Nanos = Nanos(400);
+
+/// Draws one wire transit time: `WIRE_LATENCY - WIRE_JITTER/2 + U[0,
+/// WIRE_JITTER)`. Each datagram (duplicates included) gets an independent
+/// draw, so copies contend with their originals realistically instead of
+/// materializing at the same instant.
+pub fn wire_draw(rng: &mut Rng) -> Nanos {
+    WIRE_LATENCY - WIRE_JITTER / 2 + Nanos(rng.next_below(WIRE_JITTER.0))
+}
+
 /// The full per-request network overhead added to a request's measured
-/// service: RX poll + stack RX + stack TX (wire latency is accounted by
-/// the load generator on both directions).
+/// service on the legacy direct path: RX poll + stack RX + stack TX (wire
+/// latency is accounted by the load generator on both directions). The
+/// real data plane ([`crate::dataplane::MultiQueueNic`]) charges
+/// [`RX_POLL_COST`] on the polling core instead, so its workers only pay
+/// [`stack_overhead`].
 pub fn per_request_overhead() -> Nanos {
     RX_POLL_COST + STACK_RX_COST + STACK_TX_COST
+}
+
+/// Worker-side UDP stack overhead per request (parse + response build);
+/// what the data-plane path adds to the executed segment, the RX poll
+/// cost having already been charged on the polling core.
+pub fn stack_overhead() -> Nanos {
+    STACK_RX_COST + STACK_TX_COST
 }
 
 /// What the wire did to one request datagram.
@@ -111,6 +136,27 @@ mod tests {
         let o = per_request_overhead();
         assert!(o < Nanos::from_us(1), "net overhead {o:?}");
         assert_eq!(o, Nanos(530));
+    }
+
+    #[test]
+    fn wire_draws_center_on_the_wire_latency() {
+        let mut rng = Rng::seed_from_u64(11);
+        let lo = WIRE_LATENCY - WIRE_JITTER / 2;
+        let hi = WIRE_LATENCY + WIRE_JITTER / 2;
+        let mut sum = 0u64;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let d = wire_draw(&mut rng);
+            assert!(d >= lo && d < hi, "draw {d:?} outside [{lo:?}, {hi:?})");
+            sum += d.0;
+            distinct.insert(d.0);
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - WIRE_LATENCY.0 as f64).abs() < 10.0, "mean {mean}");
+        assert!(
+            distinct.len() > 100,
+            "draws are a distribution, not a constant"
+        );
     }
 
     #[test]

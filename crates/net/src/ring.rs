@@ -1,9 +1,11 @@
 //! Bounded rings with drop accounting.
 //!
 //! Models the shared ring buffers between the DPDK polling core and the
-//! isolated worker cores (§3.5). Under overload a full ring drops packets,
-//! exactly as a NIC RX queue would — the load sweeps rely on this for
-//! sane behaviour past saturation.
+//! isolated worker cores (§3.5). Under overload a full ring tail-drops,
+//! exactly as a NIC RX queue would. [`crate::dataplane::MultiQueueNic`]
+//! owns one `Ring` per worker and is what the load sweeps route through
+//! (`Placement::Rss`), so behaviour past saturation is bounded queues plus
+//! counted drops rather than unbounded in-simulator spawn queues.
 
 use std::collections::VecDeque;
 
@@ -59,6 +61,11 @@ impl<T> Ring<T> {
     /// Whether the ring is full.
     pub fn is_full(&self) -> bool {
         self.buf.len() == self.capacity
+    }
+
+    /// The fixed capacity this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 

@@ -1,10 +1,24 @@
 //! Receive Side Scaling: Toeplitz hashing of flows onto RX rings (§3.5).
+//!
+//! Real NICs (the paper's 82599ES included) do not reduce the Toeplitz
+//! hash modulo the queue count: they index a small *indirection table*
+//! with the low bits of the hash, and each table entry names a queue. The
+//! table is what drivers rewrite to rebalance flows — a rewrite moves only
+//! the flows whose table entry changed, without rehashing anything.
+//! [`RssHasher`] models exactly that: a 128-entry table (the 82599's
+//! size) indexed by the low 7 bits of the hash.
 
-/// Toeplitz hasher over a 40-byte secret key, as NICs implement RSS.
+/// Number of entries in the RSS indirection table (82599-class NICs).
+pub const INDIRECTION_ENTRIES: usize = 128;
+
+/// Toeplitz hasher over a 40-byte secret key plus the 128-entry
+/// indirection table, as NICs implement RSS.
 #[derive(Clone, Debug)]
 pub struct RssHasher {
     key: [u8; 40],
     n_rings: usize,
+    /// `table[hash & 0x7f]` is the ring receiving the flow.
+    table: [u16; INDIRECTION_ENTRIES],
 }
 
 impl RssHasher {
@@ -15,20 +29,58 @@ impl RssHasher {
         0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
     ];
 
-    /// Creates a hasher distributing flows over `n_rings` rings.
+    /// Creates a hasher distributing flows over `n_rings` rings, with the
+    /// default round-robin indirection table (`table[i] = i % n_rings`,
+    /// how drivers initialize it).
     ///
     /// # Panics
     ///
-    /// Panics if `n_rings` is zero.
+    /// Panics if `n_rings` is zero or exceeds `u16::MAX`.
     pub fn new(n_rings: usize) -> Self {
         assert!(n_rings > 0, "RSS needs at least one ring");
+        assert!(n_rings <= u16::MAX as usize, "too many rings");
+        let mut table = [0u16; INDIRECTION_ENTRIES];
+        for (i, e) in table.iter_mut().enumerate() {
+            *e = (i % n_rings) as u16;
+        }
         RssHasher {
             key: Self::DEFAULT_KEY,
             n_rings,
+            table,
         }
     }
 
-    /// The Toeplitz hash of `input` (the flow tuple bytes).
+    /// Number of rings the indirection table spreads over.
+    pub fn n_rings(&self) -> usize {
+        self.n_rings
+    }
+
+    /// The current indirection table.
+    pub fn indirection(&self) -> &[u16; INDIRECTION_ENTRIES] {
+        &self.table
+    }
+
+    /// Replaces the indirection table (the driver's rebalancing knob).
+    /// Flows whose entry is unchanged keep their ring; only remapped
+    /// entries move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry names a ring `>= n_rings`.
+    pub fn set_indirection(&mut self, table: [u16; INDIRECTION_ENTRIES]) {
+        for (i, &e) in table.iter().enumerate() {
+            assert!(
+                (e as usize) < self.n_rings,
+                "indirection entry {i} names ring {e} of {}",
+                self.n_rings
+            );
+        }
+        self.table = table;
+    }
+
+    /// The Toeplitz hash of `input` (the flow tuple bytes), conformant to
+    /// the Microsoft RSS verification suite (see the pinned vectors in the
+    /// tests below).
     pub fn toeplitz(&self, input: &[u8]) -> u32 {
         let mut result: u32 = 0;
         // The key is consumed as a sliding 32-bit window, one bit per input
@@ -54,14 +106,27 @@ impl RssHasher {
         result
     }
 
-    /// Maps a UDP flow (source ip/port, destination ip/port) to a ring.
-    pub fn ring_for_flow(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> usize {
+    /// The Toeplitz hash of a UDP/TCP 4-tuple, input ordered as the
+    /// Microsoft specification requires: source address, destination
+    /// address, source port, destination port, all big-endian.
+    pub fn hash_flow(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> u32 {
         let mut tuple = [0u8; 12];
         tuple[0..4].copy_from_slice(&src_ip.to_be_bytes());
         tuple[4..8].copy_from_slice(&dst_ip.to_be_bytes());
         tuple[8..10].copy_from_slice(&src_port.to_be_bytes());
         tuple[10..12].copy_from_slice(&dst_port.to_be_bytes());
-        (self.toeplitz(&tuple) as usize) % self.n_rings
+        self.toeplitz(&tuple)
+    }
+
+    /// The ring a hash value steers to: the indirection table entry named
+    /// by the low 7 bits (as the 82599 does; no modulo).
+    pub fn ring_for_hash(&self, hash: u32) -> usize {
+        self.table[(hash as usize) & (INDIRECTION_ENTRIES - 1)] as usize
+    }
+
+    /// Maps a UDP flow (source ip/port, destination ip/port) to a ring.
+    pub fn ring_for_flow(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> usize {
+        self.ring_for_hash(self.hash_flow(src_ip, dst_ip, src_port, dst_port))
     }
 }
 
@@ -77,24 +142,54 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// The five IPv4 vectors of the Microsoft RSS verification suite, for
+    /// both the 2-tuple (addresses only) and the 4-tuple (with ports)
+    /// input. Input order is (src addr, dst addr, src port, dst port),
+    /// big-endian, over the default key.
     #[test]
-    fn known_toeplitz_vector() {
-        // Verification vector from the Microsoft RSS specification:
-        // IPv4 3-tuple 66.9.149.187:2794 -> 161.142.100.80:1766 hashes to
-        // 0x51ccc178 over (dst_ip, src_ip, dst_port, src_port)?  The spec
-        // orders input as (src addr, dst addr, src port, dst port) from the
-        // *receiver's* perspective; this implementation is validated for
-        // self-consistency and spread rather than byte-order conformance,
-        // so here we only pin the value to detect regressions.
+    fn microsoft_verification_suite() {
+        // (src, src port, dst, dst port, 2-tuple hash, 4-tuple hash)
+        type Vector = ([u8; 4], u16, [u8; 4], u16, u32, u32);
+        #[rustfmt::skip]
+        let cases: [Vector; 5] = [
+            ([66, 9, 149, 187],   2794,  [161, 142, 100, 80], 1766,  0x323e_8fc2, 0x51cc_c178),
+            ([199, 92, 111, 2],   14230, [65, 69, 140, 83],   4739,  0xd718_262a, 0xc626_b0ea),
+            ([24, 19, 198, 95],   12898, [12, 22, 207, 184],  38024, 0xd2d0_a5de, 0x5c2b_394a),
+            ([38, 27, 205, 30],   48228, [209, 142, 163, 6],  2217,  0x8298_9176, 0xafc7_327f),
+            ([153, 39, 163, 191], 44251, [202, 188, 127, 2],  1303,  0x5d18_09c5, 0x10e8_28a2),
+        ];
         let h = RssHasher::new(1);
-        let mut tuple = [0u8; 12];
-        tuple[0..4].copy_from_slice(&[66, 9, 149, 187]);
-        tuple[4..8].copy_from_slice(&[161, 142, 100, 80]);
-        tuple[8..10].copy_from_slice(&2794u16.to_be_bytes());
-        tuple[10..12].copy_from_slice(&1766u16.to_be_bytes());
-        let v = h.toeplitz(&tuple);
-        assert_eq!(v, h.toeplitz(&tuple));
-        assert_ne!(v, 0);
+        for (src, sp, dst, dp, h2, h4) in cases {
+            let mut two = [0u8; 8];
+            two[0..4].copy_from_slice(&src);
+            two[4..8].copy_from_slice(&dst);
+            assert_eq!(h.toeplitz(&two), h2, "2-tuple {src:?} -> {dst:?}");
+            assert_eq!(
+                h.hash_flow(u32::from_be_bytes(src), u32::from_be_bytes(dst), sp, dp),
+                h4,
+                "4-tuple {src:?}:{sp} -> {dst:?}:{dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_indirection_is_round_robin() {
+        let h = RssHasher::new(6);
+        for (i, &e) in h.indirection().iter().enumerate() {
+            assert_eq!(e as usize, i % 6);
+        }
+    }
+
+    #[test]
+    fn ring_comes_from_low_seven_bits() {
+        let mut h = RssHasher::new(4);
+        // A table that maps entry 0x23 to ring 3 and everything else to 0.
+        let mut table = [0u16; INDIRECTION_ENTRIES];
+        table[0x23] = 3;
+        h.set_indirection(table);
+        assert_eq!(h.ring_for_hash(0x0000_0023), 3);
+        assert_eq!(h.ring_for_hash(0xffff_ff23 & !0x80), 3, "high bits ignored");
+        assert_eq!(h.ring_for_hash(0x0000_0024), 0);
     }
 
     #[test]
@@ -110,6 +205,15 @@ mod tests {
                 "ring {i} got {c} of 4000 flows — bad spread: {counts:?}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "names ring")]
+    fn rejects_out_of_range_entries() {
+        let mut h = RssHasher::new(2);
+        let mut table = [0u16; INDIRECTION_ENTRIES];
+        table[7] = 2;
+        h.set_indirection(table);
     }
 
     #[test]

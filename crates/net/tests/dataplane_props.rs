@@ -1,0 +1,111 @@
+//! Property tests for the NIC data-plane building blocks (§3.5):
+//! the bounded RX ring and the RSS indirection table.
+//!
+//! The ring's contract is what the conservation invariant leans on —
+//! every offered item is either delivered in FIFO order or counted as a
+//! drop, never both, never neither. The indirection table's contract is
+//! what keeps flow-to-core steering stable: hashes map to valid rings,
+//! and a table rewrite moves only the entries that were actually
+//! remapped.
+
+use proptest::prelude::*;
+
+use skyloft_net::{Ring, RssHasher, INDIRECTION_ENTRIES};
+
+proptest! {
+    /// Offered = delivered + dropped, delivery preserves FIFO order, and
+    /// occupancy never exceeds capacity, for any interleaving of pushes
+    /// and pops.
+    #[test]
+    fn ring_conserves_and_stays_fifo(
+        capacity in 1usize..64,
+        ops in prop::collection::vec((0u8..3, 0u64..1_000_000), 1..400),
+    ) {
+        let mut r: Ring<u64> = Ring::new(capacity);
+        let mut offered: Vec<u64> = Vec::new();
+        let mut accepted: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+        for (op, val) in ops {
+            match op {
+                // Pushes are twice as likely as pops so full rings occur.
+                0 | 1 => {
+                    offered.push(val);
+                    let was_full = r.is_full();
+                    let ok = r.push(val);
+                    prop_assert_eq!(ok, !was_full, "push must fail iff full");
+                    if ok {
+                        accepted.push(val);
+                    }
+                }
+                _ => {
+                    if let Some(v) = r.pop() {
+                        popped.push(v);
+                    } else {
+                        prop_assert!(r.is_empty());
+                    }
+                }
+            }
+            prop_assert!(r.len() <= capacity, "occupancy above capacity");
+            // Conservation at every step: everything offered is either
+            // still queued, already delivered, or a counted drop.
+            prop_assert_eq!(
+                offered.len() as u64,
+                (r.len() + popped.len()) as u64 + r.drops,
+                "offered != queued + delivered + dropped"
+            );
+        }
+        // Drain: what comes out is exactly the accepted sequence, in order.
+        while let Some(v) = r.pop() {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, accepted, "delivery must be FIFO over accepted items");
+        prop_assert_eq!(offered.len() as u64, accepted.len() as u64 + r.drops);
+    }
+
+    /// Every hash maps to a ring the hasher was built for, via an
+    /// indirection entry the hash's low bits select.
+    #[test]
+    fn indirection_maps_every_hash_to_a_valid_ring(
+        n_rings in 1usize..64,
+        hashes in prop::collection::vec(0u32..=u32::MAX, 1..200),
+    ) {
+        let h = RssHasher::new(n_rings);
+        for hash in hashes {
+            let ring = h.ring_for_hash(hash);
+            prop_assert!(ring < n_rings, "ring {} out of range for {} rings", ring, n_rings);
+            prop_assert_eq!(
+                ring,
+                h.indirection()[(hash as usize) & (INDIRECTION_ENTRIES - 1)] as usize,
+                "steering must go through the indirection table"
+            );
+        }
+    }
+
+    /// Rewriting the indirection table moves exactly the remapped
+    /// entries: hashes whose entry kept its value keep their ring, hashes
+    /// whose entry changed follow the new value.
+    #[test]
+    fn rewrite_moves_only_remapped_entries(
+        n_rings in 2usize..32,
+        remap in prop::collection::vec((0usize..INDIRECTION_ENTRIES, 0u16..32), 0..64),
+        hashes in prop::collection::vec(0u32..=u32::MAX, 1..200),
+    ) {
+        let mut h = RssHasher::new(n_rings);
+        let before = *h.indirection();
+        let mut table = before;
+        for (slot, ring) in remap {
+            table[slot] = ring % n_rings as u16;
+        }
+        let mapped_before: Vec<usize> = hashes.iter().map(|&x| h.ring_for_hash(x)).collect();
+        h.set_indirection(table);
+        for (&hash, &was) in hashes.iter().zip(&mapped_before) {
+            let slot = (hash as usize) & (INDIRECTION_ENTRIES - 1);
+            let now = h.ring_for_hash(hash);
+            if table[slot] == before[slot] {
+                prop_assert_eq!(now, was, "unremapped entry {} moved", slot);
+            } else {
+                prop_assert_eq!(now, table[slot] as usize, "remapped entry {} ignored", slot);
+            }
+        }
+    }
+}
