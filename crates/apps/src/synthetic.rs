@@ -32,9 +32,10 @@ use skyloft::machine::{Call, Event, Machine, NetTrace, Recur};
 use skyloft::task::RequestMeta;
 use skyloft::SpawnOpts;
 use skyloft_net::dataplane::{MultiQueueNic, NicConfig};
-use skyloft_net::loadgen::{NetProfile, OpenLoop};
+use skyloft_net::loadgen::{Backoff, NetProfile, OpenLoop, RetryBudget, RetryPolicy};
 use skyloft_net::nic::{stack_overhead, wire_draw, PacketFate, WIRE_LATENCY};
-use skyloft_net::rss::RssHasher;
+use skyloft_net::overload::{AdmissionConfig, AdmissionCtl, CodelConfig};
+use skyloft_net::rss::{RssHasher, INDIRECTION_ENTRIES};
 use skyloft_sim::{Distribution, EventQueue, Nanos, Rng};
 
 /// The §5.2 dispersive service-time distribution.
@@ -255,13 +256,56 @@ fn schedule_next_direct(
 /// A request datagram in flight through the wire or an RX ring.
 #[derive(Clone, Copy, Debug)]
 struct Pkt {
-    /// Client send instant (the client's latency clock starts here).
+    /// Original client send instant: the client's latency clock starts
+    /// here and is *never* reset by a retry, so every histogram sample
+    /// spans the full wait (coordinated-omission-safe).
     send: Nanos,
+    /// This attempt's transmit instant (the per-attempt timeout clock).
+    sent_at: Nanos,
     service: Nanos,
     class: u8,
     src_port: u16,
     /// Whether this is the second delivery of a duplicated datagram.
     copy: bool,
+    /// Retransmission count: 0 is the original request. Retries are a
+    /// terminal ledger bucket — every per-datagram conservation counter
+    /// except `net_generated`/`retries_spent` is gated on `attempt == 0`.
+    attempt: u8,
+}
+
+/// End-to-end overload-control configuration for the NIC path: which of
+/// the three defence layers are armed. The default arms none, leaving
+/// the pure tail-drop pipeline exactly as it was before this module
+/// learned to shed load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OverloadControl {
+    /// CoDel drop law, one independent controller per RX ring.
+    pub codel: Option<CodelConfig>,
+    /// Deadline-aware admission at the polling core: a request whose
+    /// backlog-predicted finish already overruns its SLO budget is shed
+    /// at poll time instead of burning a worker.
+    pub admission: Option<AdmissionConfig>,
+    /// Client-side retries: per-attempt timeout, decorrelated-jitter
+    /// backoff, and a global retry budget.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl OverloadControl {
+    /// All three layers at their default settings.
+    pub fn full() -> Self {
+        OverloadControl {
+            codel: Some(CodelConfig::default()),
+            admission: Some(AdmissionConfig::default()),
+            retry: Some(RetryPolicy::default()),
+        }
+    }
+}
+
+/// The retrying client's mutable state.
+struct RetryState {
+    policy: RetryPolicy,
+    budget: RetryBudget,
+    backoff: Backoff,
 }
 
 /// Driver state shared between the arrival chain, the in-flight wire
@@ -278,8 +322,19 @@ struct PlaneState {
     wire_pending: u64,
     /// The arrival chain has generated its last request.
     gen_done: bool,
-    /// Client abandon timeout for ring-dropped requests.
+    /// Per-attempt client abandon timeout for lost datagrams.
     timeout: Nanos,
+    /// Deadline-aware admission controller, when armed.
+    admission: Option<AdmissionCtl>,
+    /// Retrying-client state, when armed.
+    retry: Option<RetryState>,
+    /// Pending loss decisions (timeout fires that may still turn into a
+    /// retry); keeps the poller alive until the last retry has landed.
+    /// Only maintained when retries are armed, so the retry-free poller
+    /// deregisters exactly when it always has.
+    loss_pending: u64,
+    /// Rolls the choice of which indirection entry a chaos fault wedges.
+    stick_seq: u64,
 }
 
 /// Installs an open-loop arrival process routed through an explicitly
@@ -288,11 +343,30 @@ struct PlaneState {
 /// [`Placement::Rss`] is this with [`NicConfig::for_workers`].
 pub fn install_open_loop_nic(
     q: &mut EventQueue<Event>,
+    gen: OpenLoop,
+    app: usize,
+    cfg: NicConfig,
+    until: Nanos,
+    net: Option<NetProfile>,
+) {
+    install_open_loop_ctl(q, gen, app, cfg, until, net, OverloadControl::default());
+}
+
+/// [`install_open_loop_nic`] with the overload-control layers of
+/// [`OverloadControl`] armed: CoDel on the rings, deadline-aware
+/// admission at the polling core, and the retrying client. The poller
+/// also feeds the machine's brownout controller
+/// ([`Machine::note_overload_sample`]) one sample per poll round — worst
+/// head-of-ring sojourn plus whether any drain was backpressured —
+/// whether or not any layer here is armed.
+pub fn install_open_loop_ctl(
+    q: &mut EventQueue<Event>,
     mut gen: OpenLoop,
     app: usize,
     cfg: NicConfig,
     until: Nanos,
     mut net: Option<NetProfile>,
+    ctl: OverloadControl,
 ) {
     let base = q.now();
     let Some(first) = gen.next() else { return };
@@ -300,17 +374,33 @@ pub fn install_open_loop_nic(
     if first_at >= until {
         return;
     }
-    let timeout = net.as_ref().map_or(cfg.client_timeout, |p| p.timeout);
+    let timeout = ctl
+        .retry
+        .map(|r| r.timeout)
+        .or(net.as_ref().map(|p| p.timeout))
+        .unwrap_or(cfg.client_timeout);
     let poll_interval = cfg.poll_interval;
     let poll_batch = cfg.poll_batch;
     let worker_depth = cfg.worker_depth;
+    let mut nic = MultiQueueNic::new(cfg);
+    if let Some(law) = ctl.codel {
+        nic.set_codel(law);
+    }
     let st = Rc::new(RefCell::new(PlaneState {
-        handed: vec![0; cfg.n_rings],
-        nic: MultiQueueNic::new(cfg),
+        handed: vec![0; nic.n_rings()],
+        nic,
         wire_rng: Rng::seed_from_u64(WIRE_SEED),
         wire_pending: 0,
         gen_done: false,
         timeout,
+        admission: ctl.admission.map(AdmissionCtl::new),
+        retry: ctl.retry.map(|policy| RetryState {
+            budget: RetryBudget::new(policy.budget_permille, policy.budget_burst),
+            backoff: Backoff::new(policy.backoff_base, policy.backoff_cap, WIRE_SEED),
+            policy,
+        }),
+        loss_pending: 0,
+        stick_seq: 0,
     }));
 
     // The arrival chain: one Recur carrying the generator, as on the
@@ -328,21 +418,31 @@ pub fn install_open_loop_nic(
         let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
         seq += 1;
         let now = q.now();
+        {
+            // Every offered request refills the retry budget, whatever
+            // its fate — the budget tracks offered load, not successes.
+            let mut s = st_arr.borrow_mut();
+            if let Some(r) = s.retry.as_mut() {
+                r.budget.on_request();
+            }
+        }
         match fate {
             PacketFate::Drop => {
                 // Lost on the wire: the datagram never reaches the NIC
                 // (so it never enters the conservation ledger); the
-                // client times out.
+                // client times out — or, with retries armed, resends.
                 m.stats.net_dropped += 1;
-                let timeout = net.as_ref().expect("drop implies profile").timeout;
-                let class = req.class;
-                let service = req.service;
-                q.schedule_after(
-                    timeout,
-                    Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
-                        m.stats.record_timeout(class, timeout, service);
-                    }))),
-                );
+                let pkt = Pkt {
+                    send: now,
+                    sent_at: now,
+                    service: req.service,
+                    class: req.class,
+                    src_port,
+                    copy: false,
+                    attempt: 0,
+                };
+                let mut s = st_arr.borrow_mut();
+                client_loss(q, &st_arr, &mut s, pkt);
             }
             PacketFate::Deliver | PacketFate::Duplicate => {
                 let copies = if fate == PacketFate::Duplicate {
@@ -359,10 +459,12 @@ pub fn install_open_loop_nic(
                     s.wire_pending += 1;
                     let pkt = Pkt {
                         send: now,
+                        sent_at: now,
                         service: req.service,
                         class: req.class,
                         src_port,
                         copy: copy == 1,
+                        attempt: 0,
                     };
                     let st_rx = st_arr.clone();
                     q.schedule_after(
@@ -394,15 +496,35 @@ pub fn install_open_loop_nic(
     q.schedule(first_at, Event::Recur(Recur(Box::new(hook))));
 
     // The polling core: visits the rings every poll_interval, drains a
-    // burst from each ring whose worker has room, and hands the burst
-    // over once the per-packet poll cost has been paid on the (serial)
+    // burst from each ring whose worker has room (shedding what the drop
+    // law or the admission deadline says to), and hands the burst over
+    // once the per-packet poll cost has been paid on the (serial)
     // polling core.
     let st_poll = st;
     let poller = move |m: &mut Machine, q: &mut EventQueue<Event>| {
         let now = q.now();
         let mut s = st_poll.borrow_mut();
+        if s.gen_done && s.wire_pending == 0 && s.loss_pending == 0 && s.nic.total_occupancy() == 0
+        {
+            // Everything generated has been delivered, dropped, or given
+            // up on; stop polling so runs can drain to an empty queue.
+            return None;
+        }
+        let extra = match m.chaos_rx_poll_fate() {
+            // The poll visit itself is lost: the rings keep aging.
+            None => return Some(now + poll_interval),
+            Some(d) => d,
+        };
+        if let Some(dur) = m.chaos_indirection_stick(now) {
+            wedge_indirection(q, &st_poll, &mut s, dur);
+        }
+        let mut worst_sojourn = Nanos::ZERO;
+        let mut backpressured = false;
         for ring in 0..s.nic.n_rings() {
             m.stats.rx_occ_hist.record(s.nic.occupancy(ring) as u64);
+            if let Some(sojourn) = s.nic.oldest_sojourn(ring, now) {
+                worst_sojourn = worst_sojourn.max(sojourn);
+            }
             if s.nic.occupancy(ring) == 0 {
                 continue;
             }
@@ -410,22 +532,64 @@ pub fn install_open_loop_nic(
             let outstanding = s.handed[ring].saturating_sub(finished) as usize;
             let take = worker_depth.saturating_sub(outstanding).min(poll_batch);
             if take == 0 {
+                backpressured = true;
                 continue; // backpressure: leave packets in the ring
             }
             let mut batch = Vec::with_capacity(take);
-            let k = s.nic.drain(ring, take, &mut batch);
+            let mut shed = Vec::new();
+            let k = s.nic.drain(now, ring, take, &mut batch, &mut shed);
+            for pkt in shed {
+                if pkt.attempt == 0 {
+                    m.stats.aqm_drops += 1;
+                    m.stats.net_in_flight -= 1;
+                }
+                m.note_net(now, Some(ring), NetTrace::AqmDrop);
+                client_loss(q, &st_poll, &mut s, pkt);
+            }
             if k == 0 {
                 continue;
             }
-            s.handed[ring] += k as u64;
-            let handoff = s.nic.poller_admit(now, k);
+            // Deadline-aware admission over the kept batch: a request
+            // whose predicted finish (behind the worker's backlog)
+            // already overruns its SLO budget is shed here, at poll
+            // cost, instead of burning a worker on a doomed response.
+            let mut admitted: Vec<Pkt> = Vec::with_capacity(k);
+            for (_, pkt) in batch {
+                let doomed = match s.admission.as_ref() {
+                    Some(adm) => adm.should_shed(now, pkt.send, outstanding + admitted.len()),
+                    None => false,
+                };
+                if doomed {
+                    if pkt.attempt == 0 {
+                        m.stats.admission_sheds += 1;
+                        m.stats.net_in_flight -= 1;
+                    }
+                    m.note_net(now, Some(ring), NetTrace::AdmissionShed);
+                    client_loss(q, &st_poll, &mut s, pkt);
+                } else {
+                    if let Some(adm) = s.admission.as_mut() {
+                        // The estimate must cover the full marginal cost
+                        // of a queued request, not just its service time,
+                        // or every borderline admit busts its deadline.
+                        adm.observe(pkt.service + stack_overhead());
+                    }
+                    admitted.push(pkt);
+                }
+            }
+            if admitted.is_empty() {
+                continue;
+            }
+            s.handed[ring] += admitted.len() as u64;
+            let handoff = s.nic.poller_admit(now, k) + extra;
             m.note_net(now, Some(ring), NetTrace::RxPoll);
             q.schedule(
                 handoff,
                 Event::Call(Call(Box::new(move |m: &mut Machine, q| {
-                    for pkt in batch {
-                        m.stats.net_in_flight -= 1;
-                        m.stats.net_delivered += 1;
+                    for pkt in admitted {
+                        if pkt.attempt == 0 {
+                            m.stats.net_in_flight -= 1;
+                            m.stats.net_delivered += 1;
+                        }
                         let body = m.pooled_oneshot(pkt.service + stack_overhead());
                         // The forward wire and all queueing are physical
                         // on this path; backdating covers only the
@@ -450,11 +614,7 @@ pub fn install_open_loop_nic(
                 }))),
             );
         }
-        if s.gen_done && s.wire_pending == 0 && s.nic.total_occupancy() == 0 {
-            // Everything generated has been delivered or dropped; stop
-            // polling so runs can drain to an empty event queue.
-            return None;
-        }
+        m.note_overload_sample(now, worst_sojourn, backpressured);
         Some(now + poll_interval)
     };
     q.schedule(
@@ -464,37 +624,132 @@ pub fn install_open_loop_nic(
 }
 
 /// A datagram reaches the NIC: RSS-steer it into its ring, or tail-drop
-/// it if the ring is full (the client times out; a dropped *copy* costs
-/// nothing extra — the original is still in play).
+/// it if the ring is full (the client times out or retries; a dropped
+/// *copy* costs nothing extra — the original is still in play). Retries
+/// enter the conservation ledger as `net_generated` + `retries_spent`
+/// only: they are a terminal bucket, never double-counted as delivered,
+/// dropped, shed, or in flight.
 fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState>>, pkt: Pkt) {
     let mut s = st.borrow_mut();
     s.wire_pending -= 1;
     m.stats.net_generated += 1;
+    let now = q.now();
+    if pkt.attempt > 0 {
+        m.stats.retries_spent += 1;
+        m.note_net(now, None, NetTrace::NetRetry);
+    }
     match s
         .nic
-        .enqueue_flow(CLIENT_IP, SERVER_IP, pkt.src_port, SERVER_PORT, pkt)
+        .enqueue_flow(now, CLIENT_IP, SERVER_IP, pkt.src_port, SERVER_PORT, pkt)
     {
         Ok(ring) => {
-            m.stats.net_in_flight += 1;
-            m.note_net(q.now(), Some(ring), NetTrace::RxEnqueue);
+            if pkt.attempt == 0 {
+                m.stats.net_in_flight += 1;
+            }
+            m.note_net(now, Some(ring), NetTrace::RxEnqueue);
         }
         Err(ring) => {
-            m.stats.rx_ring_drops += 1;
-            m.note_net(q.now(), Some(ring), NetTrace::RxDrop);
-            if !pkt.copy {
-                let timeout = s.timeout;
-                let class = pkt.class;
-                let service = pkt.service;
-                let fires = (pkt.send + timeout).max(q.now());
-                q.schedule(
-                    fires,
-                    Event::Call(Call(Box::new(move |m: &mut Machine, _q| {
-                        m.stats.record_timeout(class, timeout, service);
-                    }))),
-                );
+            if pkt.attempt == 0 {
+                m.stats.rx_ring_drops += 1;
             }
+            m.note_net(now, Some(ring), NetTrace::RxDrop);
+            client_loss(q, st, &mut s, pkt);
         }
     }
+}
+
+/// Schedules the client-side outcome of a lost attempt (wire loss, ring
+/// tail-drop, AQM shed, or admission shed): at the attempt's timeout the
+/// client either spends a retry token and resends, or gives up. Copies
+/// carry no client state, so their loss costs nothing extra.
+fn client_loss(
+    q: &mut EventQueue<Event>,
+    st: &Rc<RefCell<PlaneState>>,
+    s: &mut PlaneState,
+    pkt: Pkt,
+) {
+    if pkt.copy {
+        return;
+    }
+    if s.retry.is_some() {
+        s.loss_pending += 1;
+    }
+    let fires = (pkt.sent_at + s.timeout).max(q.now());
+    let st2 = st.clone();
+    q.schedule(
+        fires,
+        Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+            lose_attempt(m, q, &st2, pkt);
+        }))),
+    );
+}
+
+/// An attempt's timeout fired. With budget and attempts remaining, the
+/// request retransmits after a decorrelated-jitter backoff; otherwise
+/// the client gives up and the *cumulative* wait since the original send
+/// enters the latency histograms — under-reporting abandoned requests is
+/// exactly the coordinated-omission trap.
+fn lose_attempt(
+    m: &mut Machine,
+    q: &mut EventQueue<Event>,
+    st: &Rc<RefCell<PlaneState>>,
+    pkt: Pkt,
+) {
+    let mut s = st.borrow_mut();
+    if s.retry.is_some() {
+        s.loss_pending -= 1;
+    }
+    let retry_delay = s.retry.as_mut().and_then(|r| {
+        let more = pkt.attempt + 1 < r.policy.max_attempts;
+        (more && r.budget.try_spend()).then(|| r.backoff.next_delay())
+    });
+    match retry_delay {
+        Some(delay) => {
+            s.wire_pending += 1;
+            let transit = wire_draw(&mut s.wire_rng);
+            let mut p = pkt;
+            p.attempt += 1;
+            p.sent_at = q.now() + delay;
+            let st2 = st.clone();
+            q.schedule_after(
+                delay + transit,
+                Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+                    nic_rx(m, q, &st2, p);
+                }))),
+            );
+        }
+        None => {
+            let waited = q.now().saturating_sub(pkt.send);
+            m.stats.record_timeout(pkt.class, waited, pkt.service);
+        }
+    }
+}
+
+/// A chaos fault wedged an RSS indirection entry: remap it onto ring 0
+/// for `dur`, concentrating that entry's flows, then restore the
+/// original mapping.
+fn wedge_indirection(
+    q: &mut EventQueue<Event>,
+    st: &Rc<RefCell<PlaneState>>,
+    s: &mut PlaneState,
+    dur: Nanos,
+) {
+    let entry = (s.stick_seq.wrapping_mul(67) % INDIRECTION_ENTRIES as u64) as usize;
+    s.stick_seq += 1;
+    let mut table = *s.nic.hasher().indirection();
+    let old = table[entry];
+    table[entry] = 0;
+    s.nic.hasher_mut().set_indirection(table);
+    let st2 = st.clone();
+    q.schedule_after(
+        dur,
+        Event::Call(Call(Box::new(move |_m: &mut Machine, _q| {
+            let mut s = st2.borrow_mut();
+            let mut table = *s.nic.hasher().indirection();
+            table[entry] = old;
+            s.nic.hasher_mut().set_indirection(table);
+        }))),
+    );
 }
 
 #[cfg(test)]
@@ -740,6 +995,157 @@ mod tests {
         let p50 = m.stats.resp_hist.percentile(50.0);
         assert!(p50 >= 4_530, "p50 {p50}");
         assert_eq!(m.stats.net_generated, 0, "no NIC on the direct path");
+    }
+
+    /// Conservation invariant #8: every datagram the NIC ever saw is in
+    /// exactly one terminal or transient bucket.
+    fn assert_ledger(s: &skyloft::stats::Stats) {
+        assert_eq!(
+            s.net_generated,
+            s.net_delivered
+                + s.rx_ring_drops
+                + s.aqm_drops
+                + s.admission_sheds
+                + s.net_in_flight
+                + s.retries_spent,
+            "ledger: gen {} != del {} + ring {} + aqm {} + adm {} + infl {} + retry {}",
+            s.net_generated,
+            s.net_delivered,
+            s.rx_ring_drops,
+            s.aqm_drops,
+            s.admission_sheds,
+            s.net_in_flight,
+            s.retries_spent,
+        );
+    }
+
+    #[test]
+    fn overload_control_preserves_goodput_at_2x() {
+        let slo = Nanos::from_us(200);
+        let run = |ctl: OverloadControl| {
+            let cfg = MachineConfig {
+                plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+                n_workers: 4,
+                seed: 3,
+                core_alloc: None,
+                utimer_period: None,
+            };
+            let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+            m.add_app("kv", AppKind::Lc);
+            let mut q = EventQueue::new();
+            m.start(&mut q);
+            // 4 workers x 2 us service saturate at 2M rps; offer 4M.
+            let gen = OpenLoop::new(
+                4_000_000.0,
+                Distribution::Constant(Nanos::from_us(2)),
+                Nanos::from_us(100),
+                10,
+            );
+            let mut nic = NicConfig::for_workers(4);
+            nic.client_timeout = Nanos::from_ms(1);
+            install_open_loop_ctl(&mut q, gen, 0, nic, Nanos::from_ms(10), None, ctl);
+            m.run(&mut q, Nanos::from_ms(40));
+            m
+        };
+        // The admission deadline carries headroom below the client SLO:
+        // its backlog model covers ring wait + worker queue, so the slack
+        // absorbs what it cannot see (poll handoff, return wire,
+        // scheduling jitter). Shedding at 75% of the budget keeps every
+        // admitted request comfortably inside the real deadline.
+        let mut ctl = OverloadControl::full();
+        ctl.admission = Some(skyloft_net::AdmissionConfig {
+            slo: Nanos(slo.0 * 3 / 4),
+            ..Default::default()
+        });
+        let on = run(ctl);
+        let off = run(OverloadControl::default());
+        assert_ledger(&on.stats);
+        assert_ledger(&off.stats);
+        assert_eq!(on.stats.net_in_flight, 0, "drained by end of run");
+        assert!(on.stats.aqm_drops > 0, "CoDel never shed at 2x overload");
+        // Tail-drop keeps full 256-deep rings: ~512 us of head sojourn,
+        // so nearly nothing finishes inside a 200 us SLO. The controller
+        // sheds early, keeps sojourns near the CoDel target, and most of
+        // what it serves is good.
+        let good_on = on.stats.served_hist.count_le(slo.0);
+        let good_off = off.stats.served_hist.count_le(slo.0);
+        assert!(
+            good_on > 5_000,
+            "controller-on goodput collapsed: {good_on} within SLO of {} served",
+            on.stats.served_hist.count()
+        );
+        assert!(
+            good_on > 10 * good_off.max(1),
+            "controller must beat tail-drop: on {good_on} vs off {good_off}"
+        );
+        // Early shedding, not extra capacity: the controller serves fewer
+        // requests overall but finishes what it admits inside the SLO.
+        let p99_on = on.stats.served_hist.percentile(99.0);
+        assert!(
+            p99_on < 2 * slo.0,
+            "served p99 {p99_on} should hug the SLO with AQM on"
+        );
+    }
+
+    #[test]
+    fn retry_budget_recovers_losses_within_bound() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+        m.add_app("kv", AppKind::Lc);
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        // Well below saturation, but a lossy wire drops 10% of requests.
+        let gen = OpenLoop::new(
+            500_000.0,
+            Distribution::Constant(Nanos::from_us(2)),
+            Nanos::from_us(100),
+            10,
+        );
+        let ctl = OverloadControl {
+            retry: Some(RetryPolicy::default()),
+            ..OverloadControl::default()
+        };
+        install_open_loop_ctl(
+            &mut q,
+            gen,
+            0,
+            NicConfig::for_workers(4),
+            Nanos::from_ms(10),
+            Some(NetProfile::lossy(4, 0.10, 0.0, Nanos::from_ms(1))),
+            ctl,
+        );
+        m.run(&mut q, Nanos::from_ms(60));
+        let s = &m.stats;
+        assert_ledger(s);
+        assert_eq!(s.net_in_flight, 0);
+        assert!(s.net_dropped > 100, "wire drops {}", s.net_dropped);
+        assert!(s.retries_spent > 0, "no retries despite 10% loss");
+        // Retries turn most wire losses into (slow) completions instead
+        // of timeouts.
+        assert!(
+            s.timeouts < s.net_dropped / 2,
+            "retries recovered too little: {} timeouts of {} drops",
+            s.timeouts,
+            s.net_dropped
+        );
+        // The retry budget is a hard bound: spent retries never exceed
+        // 10% of offered load plus the burst allowance.
+        let offered = s.net_dropped + (s.net_generated - s.retries_spent);
+        let policy = RetryPolicy::default();
+        let bound = (offered * u64::from(policy.budget_permille)) / 1000
+            + u64::from(policy.budget_burst)
+            + 1;
+        assert!(
+            s.retries_spent <= bound,
+            "budget breached: {} retries > bound {bound}",
+            s.retries_spent
+        );
     }
 
     #[test]

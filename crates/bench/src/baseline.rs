@@ -1,0 +1,115 @@
+//! Helpers for the repo-root `BENCH_*.json` baseline files.
+//!
+//! The baselines are hand-rolled flat JSON: a top of header scalars
+//! (`"schema"`, `"bench"`) followed by named object sections, one per
+//! recorded series. Several binaries share one file (netbench and
+//! overload_sweep both record into `BENCH_net.json`), so writers must
+//! splice their own sections in place instead of rewriting the file —
+//! otherwise a `--write` from one bench silently discards the other's
+//! stored numbers and its `--check` loses its regression bound.
+
+use std::path::{Path, PathBuf};
+
+/// The shared network-bench baseline at the repo root.
+pub fn net_baseline_path() -> PathBuf {
+    PathBuf::from(format!(
+        "{}/../../BENCH_net.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
+/// Pulls `"key": <number>` out of `section` of a baseline file.
+pub fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{section}\""))?;
+    let rest = &json[at..];
+    let at = rest.find(&format!("\"{key}\""))?;
+    let rest = &rest[at..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// Replaces or appends the top-level object section `name`, leaving every
+/// other section byte-identical. `body` is the section's inner lines,
+/// already indented four spaces, without the surrounding braces or a
+/// trailing newline. A missing or unreadable file is (re)created with a
+/// schema header.
+pub fn upsert_section(path: &Path, name: &str, body: &str) -> std::io::Result<()> {
+    let json =
+        std::fs::read_to_string(path).unwrap_or_else(|_| "{\n  \"schema\": 1\n}\n".to_string());
+    let updated = splice_section(&json, name, body);
+    std::fs::write(path, updated)
+}
+
+fn splice_section(json: &str, name: &str, body: &str) -> String {
+    let key = format!("\"{name}\"");
+    if let Some(open) = json
+        .find(&key)
+        .and_then(|at| json[at..].find('{').map(|off| at + off))
+    {
+        // Replace the existing section body between its matched braces.
+        let mut depth = 0usize;
+        let mut close = open;
+        for (i, c) in json[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        format!("{}{{\n{body}\n  {}", &json[..open], &json[close..])
+    } else {
+        // Append a new section before the file's final closing brace,
+        // adding the comma the previous last entry now needs.
+        let end = json.rfind('}').unwrap_or(json.len());
+        let mut head = json[..end].trim_end().to_string();
+        if !head.ends_with(',') && !head.ends_with('{') {
+            head.push(',');
+        }
+        format!("{head}\n  \"{name}\": {{\n{body}\n  }}\n}}\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED_FILE: &str = "{\n  \"schema\": 1,\n  \"bench\": \"netbench\",\n  \"current\": {\n    \"p99_us\": 12.5\n  }\n}\n";
+
+    #[test]
+    fn append_preserves_existing_sections() {
+        let out = splice_section(SEED_FILE, "overload_ctl", "    \"goodput\": 9");
+        assert!(out.contains("\"current\""));
+        assert!(out.contains("\"p99_us\": 12.5"));
+        assert!(out.contains("\"overload_ctl\""));
+        assert_eq!(extract(&out, "overload_ctl", "goodput"), Some(9.0));
+        assert_eq!(extract(&out, "current", "p99_us"), Some(12.5));
+    }
+
+    #[test]
+    fn replace_touches_only_the_named_section() {
+        let with = splice_section(SEED_FILE, "overload_ctl", "    \"goodput\": 9");
+        let out = splice_section(&with, "current", "    \"p99_us\": 99.0");
+        assert_eq!(extract(&out, "current", "p99_us"), Some(99.0));
+        assert_eq!(extract(&out, "overload_ctl", "goodput"), Some(9.0));
+        // Replacing must not duplicate the section.
+        assert_eq!(out.matches("\"current\"").count(), 1);
+    }
+
+    #[test]
+    fn empty_file_gets_a_schema_header() {
+        let out = splice_section("{\n  \"schema\": 1\n}\n", "fresh", "    \"x\": 1");
+        assert_eq!(extract(&out, "fresh", "x"), Some(1.0));
+        assert!(out.starts_with("{\n  \"schema\": 1,\n"));
+    }
+}

@@ -129,6 +129,114 @@ fn run_cell(arming_drop_p: f64, recovery_on: bool, cfg: &RunCfg) -> Cell {
     }
 }
 
+/// Data-plane fault phase: the NIC path (bounded RX rings + polling
+/// core) under dropped and delayed RX poll rounds plus periodically
+/// wedged RSS indirection entries, with the full overload-control stack
+/// armed. What this asserts is conservation invariant #8 (DESIGN.md
+/// §13): whatever the faults do to poll timing and flow steering, every
+/// generated datagram still lands in exactly one terminal bucket, and
+/// the invariant checker stays clean.
+fn dataplane_phase(cfg: &RunCfg) {
+    use skyloft_apps::synthetic::{install_open_loop_ctl, OverloadControl};
+    use skyloft_net::dataplane::NicConfig;
+
+    const DP_WORKERS: usize = 4;
+    let machine_cfg = MachineConfig {
+        plat: Platform::skyloft_percpu(Topology::single(DP_WORKERS), TIMER_HZ),
+        n_workers: DP_WORKERS,
+        seed: setup::SEED,
+        core_alloc: None,
+        utimer_period: None,
+    };
+    let mut m = Machine::new(machine_cfg, Box::new(WorkStealing::new(Some(QUANTUM))));
+    m.add_app("lc", AppKind::Lc);
+    m.install_fault_plan(
+        FaultPlan::seeded(cfg.seed ^ 0xDA7A)
+            .drop_rx_polls(0.01)
+            .delay_rx_polls(0.05, Nanos::from_us(3))
+            .stuck_indirections(Nanos::from_ms(1), Nanos::from_us(200)),
+    );
+    if cfg.check {
+        m.tracer.checker.enabled = true;
+        m.tracer.checker.panic_on_violation = false;
+    }
+    let mut q = EventQueue::new();
+    m.start(&mut q);
+    // 4 workers x 2 us saturate at 2 M rps; offer 1.5x so the faults hit
+    // a shedding data plane, not an idle one.
+    let end = cfg.warmup + cfg.measure;
+    let gen = OpenLoop::new(
+        3_000_000.0,
+        skyloft_sim::Distribution::Constant(Nanos::from_us(2)),
+        dispersive_threshold(),
+        cfg.seed ^ 0x0D15_DA7A,
+    );
+    install_open_loop_ctl(
+        &mut q,
+        gen,
+        0,
+        NicConfig::for_workers(DP_WORKERS),
+        end,
+        None,
+        OverloadControl::full(),
+    );
+    // Run past the last retry timeout so the ledger closes drained.
+    m.run(&mut q, end + Nanos::from_ms(20));
+    let s = &m.stats;
+    let cs = m.chaos.as_ref().expect("plan installed").stats;
+    assert!(
+        cs.rx_polls_dropped > 0 && cs.rx_polls_delayed > 0 && cs.indirection_sticks > 0,
+        "data-plane plan never fired (dropped {}, delayed {}, sticks {})",
+        cs.rx_polls_dropped,
+        cs.rx_polls_delayed,
+        cs.indirection_sticks
+    );
+    assert_eq!(
+        s.net_generated,
+        s.net_delivered
+            + s.rx_ring_drops
+            + s.aqm_drops
+            + s.admission_sheds
+            + s.net_in_flight
+            + s.retries_spent,
+        "datagram conservation violated under data-plane faults"
+    );
+    assert_eq!(s.net_in_flight, 0, "rings never drained");
+    assert!(s.completed > 0, "nothing completed under data-plane faults");
+    if m.tracer.checker.enabled {
+        assert_eq!(
+            m.tracer.checker.violations().len(),
+            0,
+            "invariant violations under data-plane faults"
+        );
+    }
+    let mut t = Table::new(&[
+        "polls dropped",
+        "polls delayed",
+        "sticks",
+        "ring drops",
+        "aqm drops",
+        "adm sheds",
+        "retries",
+        "completed",
+    ]);
+    t.row_owned(vec![
+        cs.rx_polls_dropped.to_string(),
+        cs.rx_polls_delayed.to_string(),
+        cs.indirection_sticks.to_string(),
+        s.rx_ring_drops.to_string(),
+        s.aqm_drops.to_string(),
+        s.admission_sheds.to_string(),
+        s.retries_spent.to_string(),
+        s.completed.to_string(),
+    ]);
+    out::emit(
+        "chaos_sweep_dataplane",
+        "Chaos sweep: NIC data plane under poll/steering faults (ledger closed)",
+        &t,
+    );
+}
+
 fn main() {
     let args = skyloft_bench::positional_args();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -248,4 +356,7 @@ fn main() {
         onepct.1.p99.as_us(),
         onepct.2.p99.as_us()
     );
+
+    dataplane_phase(&cfg);
+    println!("data-plane faults ok: conservation ledger closed under poll/steering chaos");
 }

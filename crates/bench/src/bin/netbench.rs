@@ -101,28 +101,7 @@ fn run_series(placement: &Placement) -> Vec<NetPoint> {
     })
 }
 
-fn baseline_path() -> std::path::PathBuf {
-    std::path::PathBuf::from(format!(
-        "{}/../../BENCH_net.json",
-        env!("CARGO_MANIFEST_DIR")
-    ))
-}
-
-/// Pulls `"key": <number>` out of `section` of the hand-rolled baseline
-/// JSON (same flat schema as `BENCH_sim.json`).
-fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
-    let at = json.find(&format!("\"{section}\""))?;
-    let rest = &json[at..];
-    let at = rest.find(&format!("\"{key}\""))?;
-    let rest = &rest[at..];
-    let colon = rest.find(':')?;
-    let num: String = rest[colon + 1..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    num.parse().ok()
-}
+use skyloft_bench::baseline::{extract, net_baseline_path as baseline_path, upsert_section};
 
 /// The metrics a series contributes to the baseline file: the knee-side
 /// point (last rate under nominal capacity) and the overload point (last
@@ -141,14 +120,13 @@ fn series_json(points: &[NetPoint], indent: &str) -> String {
     )
 }
 
+/// Splices this bench's two sections into the shared baseline, leaving
+/// other benches' sections (overload_sweep's) untouched.
 fn write_baseline(direct: &[NetPoint], nic: &[NetPoint]) {
     let path = baseline_path();
-    let json = format!(
-        "{{\n  \"schema\": 1,\n  \"bench\": \"netbench\",\n  \"pre_change\": {{\n{pre}\n  }},\n  \"current\": {{\n{cur}\n  }}\n}}\n",
-        pre = series_json(direct, "    "),
-        cur = series_json(nic, "    "),
-    );
-    match std::fs::write(&path, json) {
+    let r = upsert_section(&path, "pre_change", &series_json(direct, "    "))
+        .and_then(|()| upsert_section(&path, "current", &series_json(nic, "    ")));
+    match r {
         Ok(()) => eprintln!("netbench: wrote {}", path.display()),
         Err(e) => eprintln!("netbench: failed to write {}: {e}", path.display()),
     }

@@ -1,0 +1,318 @@
+//! End-to-end overload-control sweep (DESIGN.md §13): goodput and served
+//! tail vs offered load for the memcached USR workload, run twice per
+//! rate — once with plain tail-drop rings (the PR-5 data plane,
+//! [`OverloadControl::default`]) and once with the full overload-control
+//! stack armed: CoDel AQM on the RX rings, deadline-aware admission at
+//! the polling core, the retrying client with a global retry budget, and
+//! the machine's LC/BE brownout controller fed by poll-round sojourns.
+//!
+//! The shape this binary records is the PR's acceptance bar: past
+//! saturation the tail-drop path serves requests that waited out a full
+//! 256-deep ring (~half a millisecond of head sojourn), so almost
+//! nothing it serves lands inside the SLO and goodput collapses; the
+//! controller sheds early instead — goodput plateaus near capacity and
+//! the served p99 hugs the SLO out to 3x offered load.
+//!
+//! Results go to `results/overload_sweep.csv`; `--write` splices the two
+//! series into the repo-root `BENCH_net.json` (sections `overload_ctl` /
+//! `overload_tail_drop`, leaving netbench's sections untouched);
+//! `--check` re-runs the sweep and gates CI on the semantic shape
+//! (goodput plateau, SLO-bounded served tail, tail-drop collapse) plus a
+//! regression bound against the stored goodput. `--smoke` shortens the
+//! windows to the CI configuration.
+
+use skyloft::BrownoutConfig;
+use skyloft_apps::harness::{par_map, sweep_threads, trace_arg};
+use skyloft_apps::memcached::{usr_distribution, usr_threshold};
+use skyloft_apps::synthetic::{install_open_loop_ctl, OverloadControl};
+use skyloft_bench::baseline::{extract, net_baseline_path, upsert_section};
+use skyloft_bench::{build, out, scaled};
+use skyloft_metrics::Table;
+use skyloft_net::dataplane::NicConfig;
+use skyloft_net::loadgen::OpenLoop;
+use skyloft_net::AdmissionConfig;
+use skyloft_sim::Nanos;
+
+const WORKERS: usize = 4;
+/// End-to-end latency SLO: goodput = completions inside this budget.
+const SLO: Nanos = Nanos::from_us(200);
+/// Client abandon timeout for the tail-drop series (the retry series
+/// carries its own per-attempt timeout in [`OverloadControl::full`]).
+const TIMEOUT: Nanos = Nanos::from_ms(1);
+const SEED: u64 = 0x6F76_6572; // "over"
+
+/// Offered rates in rps. 4 workers x (1.5 us GET + ~0.5 us stack) put
+/// capacity near 2.0 M rps; the sweep spans 0.5x to 3x saturation.
+fn rates() -> Vec<f64> {
+    vec![
+        1_000_000.0,
+        1_500_000.0,
+        2_000_000.0,
+        3_000_000.0,
+        4_000_000.0,
+        6_000_000.0,
+    ]
+}
+
+/// Index of the 2x-saturation point the acceptance gates key on.
+const TWO_X: usize = 4;
+
+/// The controller configuration under test. The admission deadline
+/// carries headroom below the client SLO: its backlog model covers ring
+/// wait plus the worker queue, and the slack absorbs what it cannot see
+/// (poll hand-off, return wire, scheduling jitter). Shedding at 75% of
+/// the budget keeps admitted requests inside the real deadline.
+fn controller() -> OverloadControl {
+    let mut ctl = OverloadControl::full();
+    ctl.admission = Some(AdmissionConfig {
+        slo: Nanos(SLO.0 * 3 / 4),
+        ..Default::default()
+    });
+    ctl
+}
+
+/// One measured sweep point.
+struct OverPoint {
+    rate: f64,
+    goodput_rps: f64,
+    served_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    aqm_drops: u64,
+    admission_sheds: u64,
+    retries_spent: u64,
+    ring_drops: u64,
+    brownouts: u64,
+}
+
+fn run_point(rate: f64, ctl_on: bool, smoke: bool) -> OverPoint {
+    let (mut m, mut q) = build::skyloft_ws(WORKERS, Some(Nanos::from_us(30)));
+    if ctl_on {
+        m.set_brownout(BrownoutConfig::default());
+    }
+    let gen = OpenLoop::new(
+        rate,
+        usr_distribution(),
+        usr_threshold(),
+        SEED ^ (rate as u64),
+    );
+    let (warm_ms, run_ms) = if smoke { (5, 20) } else { (20, 100) };
+    let warmup = scaled(Nanos::from_ms(warm_ms));
+    let end = warmup + scaled(Nanos::from_ms(run_ms));
+    let mut nic = NicConfig::for_workers(WORKERS);
+    nic.client_timeout = TIMEOUT;
+    let ctl = if ctl_on {
+        controller()
+    } else {
+        OverloadControl::default()
+    };
+    install_open_loop_ctl(&mut q, gen, 0, nic, end, None, ctl);
+    m.run(&mut q, warmup);
+    m.reset_stats(q.now());
+    // Run far past `end` so every retry attempt resolves and the rings
+    // drain before the ledger is read.
+    m.run(&mut q, end + Nanos::from_ms(20));
+    // Conservation invariant #8 on every point: each generated datagram
+    // lands in exactly one terminal bucket.
+    let s = &m.stats;
+    assert_eq!(
+        s.net_generated,
+        s.net_delivered
+            + s.rx_ring_drops
+            + s.aqm_drops
+            + s.admission_sheds
+            + s.net_in_flight
+            + s.retries_spent,
+        "datagram conservation violated at {rate} rps (ctl {ctl_on})"
+    );
+    assert_eq!(s.net_in_flight, 0, "rings not drained at {rate} rps");
+    // Rate denominators use the generation window, not the drain tail.
+    let dt = (end - s.since).as_secs();
+    let h = &s.served_hist;
+    OverPoint {
+        rate,
+        goodput_rps: h.count_le(SLO.0) as f64 / dt,
+        served_rps: h.count() as f64 / dt,
+        p50_us: h.percentile(50.0) as f64 / 1000.0,
+        p99_us: h.percentile(99.0) as f64 / 1000.0,
+        aqm_drops: s.aqm_drops,
+        admission_sheds: s.admission_sheds,
+        retries_spent: s.retries_spent,
+        ring_drops: s.rx_ring_drops,
+        brownouts: m.brownout_transitions(),
+    }
+}
+
+fn run_series(ctl_on: bool, smoke: bool) -> Vec<OverPoint> {
+    let rs = rates();
+    par_map(&rs, sweep_threads(), &|&rate| {
+        run_point(rate, ctl_on, smoke)
+    })
+}
+
+/// The metrics a series contributes to the baseline: the 2x-saturation
+/// gate point plus the series' peak goodput.
+fn series_json(points: &[OverPoint], indent: &str) -> String {
+    let peak = points.iter().map(|p| p.goodput_rps).fold(0.0, f64::max);
+    let p = &points[TWO_X];
+    format!(
+        "{indent}\"peak_goodput_rps\": {:.0},\n\
+         {indent}\"goodput_2x_rps\": {:.0},\n\
+         {indent}\"served_p99_2x_us\": {:.1},\n\
+         {indent}\"aqm_drops_2x\": {},\n\
+         {indent}\"admission_sheds_2x\": {},\n\
+         {indent}\"retries_2x\": {},\n\
+         {indent}\"ring_drops_2x\": {}",
+        peak,
+        p.goodput_rps,
+        p.p99_us,
+        p.aqm_drops,
+        p.admission_sheds,
+        p.retries_spent,
+        p.ring_drops
+    )
+}
+
+fn write_baseline(ctl: &[OverPoint], tail: &[OverPoint]) {
+    let path = net_baseline_path();
+    let r = upsert_section(&path, "overload_ctl", &series_json(ctl, "    "))
+        .and_then(|()| upsert_section(&path, "overload_tail_drop", &series_json(tail, "    ")));
+    match r {
+        Ok(()) => eprintln!("overload_sweep: wrote {}", path.display()),
+        Err(e) => eprintln!("overload_sweep: failed to write {}: {e}", path.display()),
+    }
+}
+
+fn check(ctl: &[OverPoint], tail: &[OverPoint]) -> bool {
+    let slo_us = SLO.0 as f64 / 1000.0;
+    let peak = ctl.iter().map(|p| p.goodput_rps).fold(0.0, f64::max);
+    let at2x = &ctl[TWO_X];
+    let tail2x = &tail[TWO_X];
+    let mut ok = true;
+    // (1) Goodput plateau: at 2x saturation the controller must hold at
+    // least 85% of the series' peak goodput.
+    if at2x.goodput_rps < 0.85 * peak {
+        eprintln!(
+            "overload_sweep: FAIL — goodput at 2x {:.0} rps fell below 85% of peak {:.0} rps",
+            at2x.goodput_rps, peak
+        );
+        ok = false;
+    }
+    // (2) What the controller serves lands inside the SLO (15%
+    // measurement slack, as netbench grants its timeout bound).
+    if at2x.p99_us > slo_us * 1.15 {
+        eprintln!(
+            "overload_sweep: FAIL — served p99 at 2x {:.1} us exceeds the {slo_us:.0} us SLO",
+            at2x.p99_us
+        );
+        ok = false;
+    }
+    // (3) Overload must manifest as early sheds, not hidden queues.
+    if at2x.admission_sheds == 0 || at2x.aqm_drops == 0 {
+        eprintln!(
+            "overload_sweep: FAIL — controller never shed at 2x (aqm {}, admission {})",
+            at2x.aqm_drops, at2x.admission_sheds
+        );
+        ok = false;
+    }
+    // (4) The tail-drop path demonstrates the failure mode: its 2x
+    // goodput collapses to a fraction of the controller's.
+    if tail2x.goodput_rps > 0.5 * at2x.goodput_rps {
+        eprintln!(
+            "overload_sweep: FAIL — tail-drop goodput {:.0} rps should collapse vs controller {:.0} rps",
+            tail2x.goodput_rps, at2x.goodput_rps
+        );
+        ok = false;
+    }
+    // (5) Regression bound vs the stored controller goodput, if present.
+    if let Ok(json) = std::fs::read_to_string(net_baseline_path()) {
+        if let Some(base) = extract(&json, "overload_ctl", "goodput_2x_rps") {
+            if at2x.goodput_rps < base * 0.9 {
+                eprintln!(
+                    "overload_sweep: REGRESSION — goodput at 2x {:.0} rps vs baseline {base:.0} rps",
+                    at2x.goodput_rps
+                );
+                ok = false;
+            } else {
+                eprintln!(
+                    "overload_sweep: goodput at 2x {:.0} rps vs baseline {base:.0} rps — ok",
+                    at2x.goodput_rps
+                );
+            }
+        }
+    } else {
+        eprintln!(
+            "overload_sweep: no baseline at {} — semantic checks only",
+            net_baseline_path().display()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let _ = trace_arg();
+    let args = skyloft_bench::positional_args();
+    let write = args.iter().any(|a| a == "--write");
+    let do_check = args.iter().any(|a| a == "--check");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    eprintln!("overload_sweep: sweeping tail-drop (controller off)...");
+    let tail = run_series(false, smoke);
+    eprintln!("overload_sweep: sweeping with overload control...");
+    let ctl = run_series(true, smoke);
+
+    let mut t = Table::new(&[
+        "offered kRPS",
+        "series",
+        "goodput kRPS",
+        "served kRPS",
+        "p50 (us)",
+        "p99 (us)",
+        "aqm drops",
+        "adm sheds",
+        "retries",
+        "ring drops",
+        "brownouts",
+    ]);
+    for (name, series) in [("tail-drop", &tail), ("overload-ctl", &ctl)] {
+        for p in series.iter() {
+            t.row_owned(vec![
+                format!("{:.0}", p.rate / 1000.0),
+                name.to_string(),
+                format!("{:.0}", p.goodput_rps / 1000.0),
+                format!("{:.0}", p.served_rps / 1000.0),
+                format!("{:.1}", p.p50_us),
+                format!("{:.1}", p.p99_us),
+                p.aqm_drops.to_string(),
+                p.admission_sheds.to_string(),
+                p.retries_spent.to_string(),
+                p.ring_drops.to_string(),
+                p.brownouts.to_string(),
+            ]);
+        }
+    }
+    out::emit(
+        "overload_sweep",
+        "Overload control: USR goodput + served p99 vs load, 0.5x-3x saturation",
+        &t,
+    );
+    let at2x = &ctl[TWO_X];
+    println!(
+        "2x saturation ({:.1} M rps): goodput {:.0} kRPS (ctl) vs {:.0} kRPS (tail-drop), \
+         served p99 {:.0} us, {} admission sheds, {} aqm drops, {} retries",
+        at2x.rate / 1e6,
+        at2x.goodput_rps / 1000.0,
+        tail[TWO_X].goodput_rps / 1000.0,
+        at2x.p99_us,
+        at2x.admission_sheds,
+        at2x.aqm_drops,
+        at2x.retries_spent
+    );
+
+    if write {
+        write_baseline(&ctl, &tail);
+    }
+    if do_check && !check(&ctl, &tail) {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@
 //! `cargo run --release -p skyloft-bench --bin <id>`. Results are printed
 //! as text tables and appended as CSV under `results/`.
 
+pub mod baseline;
 pub mod build;
 pub mod out;
 pub mod schbench_util;

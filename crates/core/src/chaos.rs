@@ -76,6 +76,16 @@ pub struct FaultPlan {
     pub page_fault: Option<PeriodicFault>,
     /// Stall a random busy worker (SMI / host-interference model).
     pub stall: Option<PeriodicFault>,
+    /// Probability that an RX-ring poll visit is skipped entirely
+    /// (evaluated per poll round; models a distracted polling core).
+    pub drop_rx_poll_p: f64,
+    /// With probability `.0`, add `.1` of latency to a poll round's
+    /// drained batch before hand-off to the workers.
+    pub delay_rx_poll: Option<(f64, Nanos)>,
+    /// Periodically wedge an RSS indirection-table entry onto a fixed
+    /// ring for the fault's duration (models a stuck NIC redirection
+    /// update), concentrating load on one RX ring.
+    pub stuck_indirection: Option<PeriodicFault>,
 }
 
 impl FaultPlan {
@@ -136,6 +146,28 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Sets the RX-poll drop probability (whole poll visits skipped).
+    pub fn drop_rx_polls(mut self, p: f64) -> Self {
+        self.drop_rx_poll_p = p;
+        self
+    }
+
+    /// Delays an RX poll round's hand-off by `d` with probability `p`.
+    pub fn delay_rx_polls(mut self, p: f64, d: Nanos) -> Self {
+        self.delay_rx_poll = Some((p, d));
+        self
+    }
+
+    /// Wedges an RSS indirection entry for `duration`, at mean intervals
+    /// of `mean_interval`.
+    pub fn stuck_indirections(mut self, mean_interval: Nanos, duration: Nanos) -> Self {
+        self.stuck_indirection = Some(PeriodicFault {
+            mean_interval,
+            duration,
+        });
+        self
+    }
 }
 
 /// Counters of faults actually injected while a plan ran.
@@ -155,6 +187,12 @@ pub struct ChaosStats {
     pub page_faults_injected: u64,
     /// Core stalls injected.
     pub stalls_injected: u64,
+    /// RX-ring poll visits skipped.
+    pub rx_polls_dropped: u64,
+    /// RX poll rounds delayed before hand-off.
+    pub rx_polls_delayed: u64,
+    /// RSS indirection-table entries wedged.
+    pub indirection_sticks: u64,
 }
 
 /// An installed [`FaultPlan`] plus its RNG and injection counters.
@@ -165,6 +203,10 @@ pub struct ChaosEngine {
     /// What was injected so far.
     pub stats: ChaosStats,
     rng: Rng,
+    /// When the next indirection-stick fires (lazily drawn: the data
+    /// plane is poller-driven, not event-driven, so the schedule advances
+    /// only as polls ask).
+    next_indirection_stick: Option<Nanos>,
 }
 
 impl ChaosEngine {
@@ -174,6 +216,7 @@ impl ChaosEngine {
             rng: Rng::seed_from_u64(plan.seed ^ 0xC4A0_5BAD),
             plan,
             stats: ChaosStats::default(),
+            next_indirection_stick: None,
         }
     }
 }
@@ -314,6 +357,57 @@ impl Machine {
             }
         }
         Some(Nanos::ZERO)
+    }
+
+    /// Fate of one RX-ring poll visit: `None` skips the visit entirely
+    /// (the ring keeps aging), `Some(d)` proceeds with `d` of extra
+    /// hand-off latency (`ZERO` normally). When the data-plane knobs are
+    /// unset this returns without touching the injection RNG, so plans
+    /// written before these knobs existed replay bit-identically.
+    pub fn chaos_rx_poll_fate(&mut self) -> Option<Nanos> {
+        let Some(eng) = self.chaos.as_mut() else {
+            return Some(Nanos::ZERO);
+        };
+        if eng.plan.drop_rx_poll_p == 0.0 && eng.plan.delay_rx_poll.is_none() {
+            return Some(Nanos::ZERO);
+        }
+        if eng.rng.chance(eng.plan.drop_rx_poll_p) {
+            eng.stats.rx_polls_dropped += 1;
+            return None;
+        }
+        if let Some((p, d)) = eng.plan.delay_rx_poll {
+            if eng.rng.chance(p) {
+                eng.stats.rx_polls_delayed += 1;
+                return Some(d);
+            }
+        }
+        Some(Nanos::ZERO)
+    }
+
+    /// Asks whether an RSS indirection-stick fault fires at `now`; if so,
+    /// returns how long the wedged entry should stay stuck. Poller-driven
+    /// (the NIC lives outside this crate), so the Poisson schedule is
+    /// drawn lazily on first call and advanced per firing. Consumes no
+    /// RNG when the knob is unset.
+    pub fn chaos_indirection_stick(&mut self, now: Nanos) -> Option<Nanos> {
+        let eng = self.chaos.as_mut()?;
+        let si = eng.plan.stuck_indirection?;
+        let next = match eng.next_indirection_stick {
+            Some(t) => t,
+            None => {
+                let gap = Distribution::Exponential(si.mean_interval).sample(&mut eng.rng);
+                let t = now + gap.max(Nanos(1));
+                eng.next_indirection_stick = Some(t);
+                t
+            }
+        };
+        if now < next {
+            return None;
+        }
+        let gap = Distribution::Exponential(si.mean_interval).sample(&mut eng.rng);
+        eng.next_indirection_stick = Some(now + gap.max(Nanos(1)));
+        eng.stats.indirection_sticks += 1;
+        Some(si.duration)
     }
 
     /// If `core` is inside an injected stall, the instant it resumes.

@@ -219,6 +219,42 @@ impl Default for CoreAllocConfig {
     }
 }
 
+/// Brownout controller configuration (overload control, DESIGN.md §13).
+///
+/// The polling core feeds the machine a congestion sample per poll visit
+/// (max head-of-ring sojourn plus whether any worker window was
+/// backpressured); the machine folds it into an EWMA and, while the EWMA
+/// sits above `enter_sojourn`, treats the best-effort application as if
+/// the LC app were congested: BE cores are revoked and grants are
+/// suppressed — *shed BE share before touching LC requests*. Hysteresis
+/// comes from two sides so the controller cannot chatter at the
+/// threshold: re-admission requires the EWMA below the (lower)
+/// `exit_sojourn`, and no transition may follow another within
+/// `min_dwell`.
+#[derive(Clone, Copy, Debug)]
+pub struct BrownoutConfig {
+    /// EWMA of ring sojourn above which the brownout engages.
+    pub enter_sojourn: Nanos,
+    /// EWMA below which the brownout releases (must be `< enter_sojourn`
+    /// for hysteresis).
+    pub exit_sojourn: Nanos,
+    /// EWMA weight as a right-shift (3 → α = ⅛ per sample).
+    pub ewma_shift: u32,
+    /// Minimum time between brownout state transitions.
+    pub min_dwell: Nanos,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter_sojourn: Nanos::from_us(50),
+            exit_sojourn: Nanos::from_us(10),
+            ewma_shift: 3,
+            min_dwell: Nanos::from_us(100),
+        }
+    }
+}
+
 /// Tunables of the fault-recovery mechanisms (consumed by the `chaos`
 /// feature's watchdog and retry machinery; see `crate::chaos`).
 ///

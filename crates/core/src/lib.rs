@@ -53,7 +53,9 @@ pub mod trace;
 
 #[cfg(feature = "chaos")]
 pub use chaos::FaultPlan;
-pub use conf::{CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, SchedParams};
+pub use conf::{
+    BrownoutConfig, CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, SchedParams,
+};
 pub use machine::{
     AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, NetTrace, Recur, SpawnOpts,
 };

@@ -307,6 +307,12 @@ pub enum NetTrace {
     RxDrop,
     /// The polling core drained a burst from an RX ring.
     RxPoll,
+    /// The CoDel drop law shed a datagram at the polling core.
+    AqmDrop,
+    /// Deadline-aware admission shed a request at poll time.
+    AdmissionShed,
+    /// A client retry datagram reached the NIC.
+    NetRetry,
 }
 
 /// A best-effort spin task: computes forever in fixed chunks.
@@ -359,6 +365,18 @@ pub struct Machine {
     pub core_alloc: Option<CoreAllocConfig>,
     /// The registered best-effort application.
     pub be_app: Option<AppId>,
+    /// Brownout controller configuration ([`Machine::set_brownout`]);
+    /// `None` leaves the §5.2 allocator's behaviour untouched.
+    brownout: Option<crate::conf::BrownoutConfig>,
+    /// EWMA of the polling core's overload signal (ring sojourn plus
+    /// backpressure penalty), in nanoseconds.
+    brownout_ewma: Nanos,
+    /// Whether the brownout is currently engaged (BE share being shed).
+    browned_out: bool,
+    /// Instant of the last brownout state transition (hysteresis dwell).
+    brownout_last_transition: Nanos,
+    /// Engage/release transitions performed, total.
+    brownout_transitions: u64,
     /// Recovery knobs for injected faults (see [`crate::chaos`]); the
     /// machinery only activates while a fault plan is installed.
     #[cfg(feature = "chaos")]
@@ -437,6 +455,11 @@ impl Machine {
             stats,
             core_alloc: cfg.core_alloc,
             be_app: None,
+            brownout: None,
+            brownout_ewma: Nanos::ZERO,
+            browned_out: false,
+            brownout_last_transition: Nanos::ZERO,
+            brownout_transitions: 0,
             #[cfg(feature = "chaos")]
             recovery: RecoveryConfig::default(),
             #[cfg(feature = "chaos")]
@@ -632,12 +655,67 @@ impl Machine {
                 NetTrace::RxEnqueue => TraceKind::RxEnqueue,
                 NetTrace::RxDrop => TraceKind::RxDrop,
                 NetTrace::RxPoll => TraceKind::RxPoll,
+                NetTrace::AqmDrop => TraceKind::AqmDrop,
+                NetTrace::AdmissionShed => TraceKind::AdmissionShed,
+                NetTrace::NetRetry => TraceKind::NetRetry,
             };
             self.trace_emit(now, core, None, kind);
         }
         #[cfg(not(feature = "trace"))]
         {
             let _ = (now, core, what);
+        }
+    }
+
+    /// Arms the LC/BE brownout controller. Once armed, the polling core's
+    /// overload samples ([`Machine::note_overload_sample`]) drive a
+    /// hysteretic engage/release loop: while engaged, every core-allocator
+    /// tick behaves as congested, shedding BE share before LC is touched.
+    pub fn set_brownout(&mut self, cfg: crate::conf::BrownoutConfig) {
+        self.brownout = Some(cfg);
+    }
+
+    /// Whether the brownout controller is currently shedding BE share.
+    pub fn browned_out(&self) -> bool {
+        self.browned_out
+    }
+
+    /// Total engage/release transitions the brownout controller performed.
+    pub fn brownout_transitions(&self) -> u64 {
+        self.brownout_transitions
+    }
+
+    /// Feeds one overload sample from the polling core: the oldest RX-ring
+    /// sojourn observed this poll round, plus whether the drained batch hit
+    /// worker backpressure (a full downstream queue). Backpressure inflates
+    /// the sample by half the engage threshold so a saturated pipeline with
+    /// artificially short rings still trips the controller. The EWMA of
+    /// these samples is compared against the hysteresis band: engage above
+    /// `enter_sojourn`, release below `exit_sojourn`, and never flip twice
+    /// within `min_dwell`.
+    pub fn note_overload_sample(&mut self, now: Nanos, sojourn: Nanos, backpressured: bool) {
+        let Some(cfg) = self.brownout else { return };
+        let penalty = if backpressured {
+            Nanos(cfg.enter_sojourn.0 / 2)
+        } else {
+            Nanos::ZERO
+        };
+        let sample = (sojourn + penalty).0 as i128;
+        let ewma = self.brownout_ewma.0 as i128;
+        self.brownout_ewma = Nanos((ewma + ((sample - ewma) >> cfg.ewma_shift)) as u64);
+        let dwelled = now.saturating_sub(self.brownout_last_transition) >= cfg.min_dwell;
+        if !self.browned_out && self.brownout_ewma > cfg.enter_sojourn && dwelled {
+            self.browned_out = true;
+            self.brownout_last_transition = now;
+            self.brownout_transitions += 1;
+            #[cfg(feature = "trace")]
+            self.trace_emit(now, None, None, TraceKind::BrownoutShed);
+        } else if self.browned_out && self.brownout_ewma < cfg.exit_sojourn && dwelled {
+            self.browned_out = false;
+            self.brownout_last_transition = now;
+            self.brownout_transitions += 1;
+            #[cfg(feature = "trace")]
+            self.trace_emit(now, None, None, TraceKind::BrownoutClear);
         }
     }
 
@@ -1133,7 +1211,10 @@ impl Machine {
         let Some(be) = self.be_app else { return };
         let now = q.now();
         let delay = self.policy.queue_delay(&self.tasks, now);
-        let congested = delay.is_some_and(|d| d > cfg.congestion_delay);
+        // A browned-out machine treats every alloc tick as congested: the
+        // revoke branch reclaims BE cores one per tick and the grant branch
+        // never runs, so BE share decays until the overload signal clears.
+        let congested = delay.is_some_and(|d| d > cfg.congestion_delay) || self.browned_out;
         // Index loops: `worker_cores` is never mutated here, so iterating
         // by position avoids cloning the core list on every alloc tick.
         if congested {
@@ -1683,6 +1764,18 @@ impl Machine {
     /// so the answer is always no.
     pub fn core_arming_lost(&self, _core: CoreId) -> bool {
         false
+    }
+
+    /// Fate of one RX-ring poll visit. Without the `chaos` feature polls
+    /// always proceed with no extra latency.
+    pub fn chaos_rx_poll_fate(&mut self) -> Option<Nanos> {
+        Some(Nanos::ZERO)
+    }
+
+    /// Whether an RSS indirection-stick fault fires at `now`. Without the
+    /// `chaos` feature it never does.
+    pub fn chaos_indirection_stick(&mut self, _now: Nanos) -> Option<Nanos> {
+        None
     }
 }
 

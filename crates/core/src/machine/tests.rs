@@ -320,6 +320,83 @@ fn be_share_tracks_lc_load() {
 }
 
 #[test]
+fn brownout_hysteresis_engages_and_releases() {
+    use crate::conf::BrownoutConfig;
+    let (mut m, _q) = central_machine(2, None, None);
+    m.set_brownout(BrownoutConfig::default()); // enter 50us / exit 10us / dwell 100us
+    assert!(!m.browned_out());
+    // Sustained overload: the EWMA crosses the engage threshold within a
+    // handful of samples, and the min-dwell gate opens at 100 us.
+    let mut now = Nanos::ZERO;
+    for _ in 0..150 {
+        now += Nanos::from_us(1);
+        m.note_overload_sample(now, Nanos::from_us(200), false);
+    }
+    assert!(m.browned_out(), "sustained overload must engage");
+    assert_eq!(m.brownout_transitions(), 1);
+    // Mid-band samples (between exit and enter): hysteresis holds.
+    for _ in 0..200 {
+        now += Nanos::from_us(1);
+        m.note_overload_sample(now, Nanos::from_us(30), false);
+    }
+    assert!(m.browned_out(), "mid-band must not release");
+    assert_eq!(m.brownout_transitions(), 1);
+    // Quiet rings: the EWMA decays below the exit threshold.
+    for _ in 0..300 {
+        now += Nanos::from_us(1);
+        m.note_overload_sample(now, Nanos::ZERO, false);
+    }
+    assert!(!m.browned_out(), "quiet rings must release");
+    assert_eq!(m.brownout_transitions(), 2);
+    // Backpressure alone (half-threshold penalty) never engages; it only
+    // tips the balance when sojourns are already elevated.
+    for _ in 0..300 {
+        now += Nanos::from_us(1);
+        m.note_overload_sample(now, Nanos::ZERO, true);
+    }
+    assert!(!m.browned_out());
+}
+
+#[test]
+fn brownout_revokes_be_cores_even_when_lc_is_idle() {
+    use crate::conf::BrownoutConfig;
+    let alloc = CoreAllocConfig {
+        interval: Nanos::from_us(5),
+        congestion_delay: Nanos::from_us(10),
+        grant_after_idle_checks: 2,
+    };
+    let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(30)), Some(alloc));
+    m.add_app("batch", AppKind::Be);
+    m.set_brownout(BrownoutConfig::default());
+    m.start(&mut q);
+    // Idle LC: the allocator grants cores to the BE app as usual — the
+    // controller is armed but disengaged.
+    m.run(&mut q, Nanos::from_ms(1));
+    assert!(m.stats.be_grants >= 1, "grants {}", m.stats.be_grants);
+    assert!(!m.browned_out());
+    // The polling core reports sustained ring overload: the scheduler
+    // queues are empty (LC idle), yet the machine must shed BE share.
+    let mut now = q.now();
+    for _ in 0..200 {
+        now += Nanos::from_us(1);
+        m.note_overload_sample(now, Nanos::from_us(500), true);
+    }
+    assert!(m.browned_out());
+    let grants_at_engage = m.stats.be_grants;
+    m.run(&mut q, Nanos::from_ms(2));
+    assert!(
+        m.stats.be_revokes >= 1,
+        "brownout must reclaim BE cores: revokes {}",
+        m.stats.be_revokes
+    );
+    assert_eq!(
+        m.stats.be_grants, grants_at_engage,
+        "no BE grants while browned out"
+    );
+    m.kmod.check_binding_rule().unwrap();
+}
+
+#[test]
 fn call_events_run() {
     let (mut m, mut q) = percpu_machine(1, Box::new(GlobalFifo::new()));
     q.schedule(

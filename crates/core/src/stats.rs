@@ -77,6 +77,25 @@ pub struct Stats {
     /// Datagrams currently queued in RX rings (steered but not yet handed
     /// to a worker). Preserved across [`Stats::reset`].
     pub net_in_flight: u64,
+    /// Datagrams shed by the CoDel drop law at the polling core (the AQM
+    /// half of overload control). Preserved across [`Stats::reset`] for
+    /// the same reason as the other conservation buckets.
+    pub aqm_drops: u64,
+    /// Requests shed by deadline-aware admission at poll time (their
+    /// remaining SLO budget could not cover the worker's backlog).
+    /// Preserved across [`Stats::reset`].
+    pub admission_sheds: u64,
+    /// Retry datagrams that reached the NIC. A retry is a *terminal*
+    /// ledger bucket: the attempt is counted here at arrival and nowhere
+    /// else, so `net_generated == net_delivered + rx_ring_drops +
+    /// aqm_drops + admission_sheds + net_in_flight + retries_spent` holds
+    /// at every instant. Preserved across [`Stats::reset`].
+    pub retries_spent: u64,
+    /// Response latency of *completed* requests only — unlike
+    /// [`Stats::resp_hist`], timed-out requests never enter it. Goodput
+    /// (completions within the SLO) is `served_hist.count_le(slo)`;
+    /// "LC p99 of what was actually served" is its 99th percentile.
+    pub served_hist: Histogram,
     /// Ring occupancy observed at each polling-core visit, across all
     /// rings (tail mass here means the rings are absorbing a burst; a
     /// maxed-out histogram means tail drops are imminent).
@@ -132,6 +151,10 @@ impl Stats {
             net_delivered: 0,
             rx_ring_drops: 0,
             net_in_flight: 0,
+            aqm_drops: 0,
+            admission_sheds: 0,
+            retries_spent: 0,
+            served_hist: Histogram::new(),
             rx_occ_hist: Histogram::new(),
             finished_by_core: Vec::new(),
             busy_by_app: Vec::new(),
@@ -144,6 +167,7 @@ impl Stats {
     pub fn record_request(&mut self, class: u8, response: Nanos, service: Nanos) {
         self.completed += 1;
         self.resp_hist.record(response.0);
+        self.served_hist.record(response.0);
         let c = (class as usize).min(MAX_CLASSES - 1);
         self.resp_by_class[c].record(response.0);
         let slow = (skyloft_metrics::slowdown(response.0, service.0) * 1000.0) as u64;
@@ -179,6 +203,9 @@ impl Stats {
         let net_delivered = self.net_delivered;
         let rx_ring_drops = self.rx_ring_drops;
         let net_in_flight = self.net_in_flight;
+        let aqm_drops = self.aqm_drops;
+        let admission_sheds = self.admission_sheds;
+        let retries_spent = self.retries_spent;
         let finished_by_core = std::mem::take(&mut self.finished_by_core);
         *self = Stats::new();
         self.busy_by_app = vec![0; napps];
@@ -186,6 +213,9 @@ impl Stats {
         self.net_delivered = net_delivered;
         self.rx_ring_drops = rx_ring_drops;
         self.net_in_flight = net_in_flight;
+        self.aqm_drops = aqm_drops;
+        self.admission_sheds = admission_sheds;
+        self.retries_spent = retries_spent;
         self.finished_by_core = finished_by_core;
         self.since = now;
     }
@@ -255,23 +285,31 @@ mod tests {
     fn reset_preserves_conservation_counters() {
         let mut s = Stats::new();
         s.net_generated = 100;
-        s.net_delivered = 90;
+        s.net_delivered = 85;
         s.rx_ring_drops = 4;
         s.net_in_flight = 6;
+        s.aqm_drops = 2;
+        s.admission_sheds = 1;
+        s.retries_spent = 2;
         s.finished_by_core = vec![40, 50];
         s.rx_occ_hist.record(12);
-        s.completed = 90;
+        s.served_hist.record(1_000);
+        s.completed = 85;
         s.reset(Nanos(1_000));
         assert_eq!(s.completed, 0, "interval counters clear");
         assert_eq!(s.rx_occ_hist.count(), 0, "occupancy histogram clears");
+        assert_eq!(s.served_hist.count(), 0, "served histogram clears");
         assert_eq!(
             (
                 s.net_generated,
                 s.net_delivered,
                 s.rx_ring_drops,
-                s.net_in_flight
+                s.net_in_flight,
+                s.aqm_drops,
+                s.admission_sheds,
+                s.retries_spent
             ),
-            (100, 90, 4, 6),
+            (100, 85, 4, 6, 2, 1, 2),
             "conservation counters survive the warmup reset"
         );
         assert_eq!(s.finished_by_core, vec![40, 50]);

@@ -96,6 +96,22 @@ pub enum TraceKind {
     RxDrop,
     /// The polling core drained a burst from an RX ring toward a worker.
     RxPoll,
+    /// The CoDel drop law shed a datagram at the polling core (sojourn
+    /// above target for a full interval; overload control).
+    AqmDrop,
+    /// Deadline-aware admission shed a request at poll time: its worker
+    /// backlog times the service estimate already exceeded the remaining
+    /// SLO budget.
+    AdmissionShed,
+    /// A client retry datagram reached the NIC (spent from the global
+    /// retry budget).
+    NetRetry,
+    /// The brownout controller engaged: sustained overload signal, BE
+    /// share is being shed.
+    BrownoutShed,
+    /// The brownout controller released: the overload signal drained and
+    /// the BE application may be re-admitted.
+    BrownoutClear,
 }
 
 impl TraceKind {
@@ -132,6 +148,11 @@ impl TraceKind {
             TraceKind::RxEnqueue => "RxEnqueue",
             TraceKind::RxDrop => "RxDrop",
             TraceKind::RxPoll => "RxPoll",
+            TraceKind::AqmDrop => "AqmDrop",
+            TraceKind::AdmissionShed => "AdmissionShed",
+            TraceKind::NetRetry => "NetRetry",
+            TraceKind::BrownoutShed => "BrownoutShed",
+            TraceKind::BrownoutClear => "BrownoutClear",
         }
     }
 
@@ -457,9 +478,16 @@ fn push_instant(out: &mut String, first: &mut bool, tid: usize, ev: &TraceEvent)
 ///    with no substitute available).
 /// 7. **Datagram conservation (§3.5)** — every datagram the NIC data plane
 ///    steered is accounted for exactly once: `net_generated ==
-///    net_delivered + rx_ring_drops + net_in_flight`. A leak here means
-///    the RX rings, the polling core, or the drop accounting lost or
-///    double-counted a packet.
+///    net_delivered + rx_ring_drops + net_in_flight` (extended by check 8's
+///    overload buckets). A leak here means the RX rings, the polling core,
+///    or the drop accounting lost or double-counted a packet.
+/// 8. **Overload-control conservation** — the full ledger with the
+///    overload buckets: `net_generated == net_delivered + rx_ring_drops +
+///    aqm_drops + admission_sheds + net_in_flight + retries_spent`. A
+///    retry datagram is *terminal*: it is counted into `net_generated`
+///    and `retries_spent` at NIC arrival and enters no other bucket, so
+///    AQM, admission, and the retry client cannot hide a lost or
+///    double-counted packet behind each other.
 pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
     let mut v = Vec::new();
 
@@ -584,16 +612,26 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
         }
     }
 
-    // 7. Datagram conservation through the NIC data plane.
-    let accounted = m.stats.net_delivered + m.stats.rx_ring_drops + m.stats.net_in_flight;
+    // 7 + 8. Datagram conservation through the NIC data plane, overload
+    // buckets included (all zero when overload control is off, so this is
+    // exactly check 7 on a stock machine).
+    let accounted = m.stats.net_delivered
+        + m.stats.rx_ring_drops
+        + m.stats.aqm_drops
+        + m.stats.admission_sheds
+        + m.stats.net_in_flight
+        + m.stats.retries_spent;
     if m.stats.net_generated != accounted {
         v.push(format!(
             "datagram conservation: generated {} != delivered {} + ring-dropped {} \
-             + in-flight {}",
+             + aqm-dropped {} + admission-shed {} + in-flight {} + retries-spent {}",
             m.stats.net_generated,
             m.stats.net_delivered,
             m.stats.rx_ring_drops,
-            m.stats.net_in_flight
+            m.stats.aqm_drops,
+            m.stats.admission_sheds,
+            m.stats.net_in_flight,
+            m.stats.retries_spent
         ));
     }
 

@@ -167,6 +167,27 @@ impl Histogram {
         self.max
     }
 
+    /// Number of recorded samples less than or equal to `value`, within
+    /// the histogram's relative error: every bucket whose upper bound is
+    /// `<= value` is counted in full, so a sample can be misattributed
+    /// only when it shares a bucket with `value` itself (≈1.6% of the
+    /// magnitude). Used for SLO-style "how many met the deadline" queries
+    /// (goodput accounting).
+    pub fn count_le(&self, value: u64) -> u64 {
+        let mut n = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if Self::value_of(i) <= value {
+                n += c;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -301,6 +322,37 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.percentile(99.0), b.percentile(99.0));
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn count_le_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        // Small values are stored exactly, so the query is exact too.
+        assert_eq!(h.count_le(0), 1);
+        assert_eq!(h.count_le(10), 11);
+        assert_eq!(h.count_le(SUB_BUCKETS - 1), SUB_BUCKETS);
+        assert_eq!(h.count_le(u64::MAX), SUB_BUCKETS);
+    }
+
+    #[test]
+    fn count_le_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for cutoff in [100u64, 1_000, 25_000, 90_000] {
+            let got = h.count_le(cutoff) as f64;
+            let want = cutoff as f64;
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "count_le({cutoff}) = {got}, want ≈ {want}"
+            );
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(u64::MAX), 100_000);
     }
 
     #[test]

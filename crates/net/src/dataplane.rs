@@ -29,6 +29,8 @@
 use skyloft_sim::Nanos;
 
 use crate::nic::RX_POLL_COST;
+#[cfg(feature = "overload")]
+use crate::overload::{Codel, CodelConfig};
 use crate::ring::Ring;
 use crate::rss::RssHasher;
 
@@ -79,11 +81,19 @@ impl NicConfig {
 pub struct MultiQueueNic<T> {
     cfg: NicConfig,
     hasher: RssHasher,
-    rings: Vec<Ring<T>>,
+    /// Ring entries carry their enqueue timestamp so AQM can measure the
+    /// sojourn time at dequeue.
+    rings: Vec<Ring<(Nanos, T)>>,
     /// Datagrams accepted into a ring, total.
     pub enqueued: u64,
     /// Datagrams drained by the polling core, total.
     pub polled: u64,
+    /// Per-ring packets shed by the CoDel drop law (0 when AQM is off).
+    aqm_dropped: Vec<u64>,
+    /// Per-ring CoDel state when AQM is enabled; `None` keeps the PR 5
+    /// pure tail-drop behaviour bit-for-bit.
+    #[cfg(feature = "overload")]
+    codel: Option<Vec<Codel>>,
     /// The polling core is busy with earlier packets until this instant.
     poller_free_at: Nanos,
 }
@@ -105,9 +115,20 @@ impl<T> MultiQueueNic<T> {
                 .collect(),
             enqueued: 0,
             polled: 0,
+            aqm_dropped: vec![0; cfg.n_rings],
+            #[cfg(feature = "overload")]
+            codel: None,
             poller_free_at: Nanos::ZERO,
             cfg,
         }
+    }
+
+    /// Enables the CoDel drop law on every ring (one independent
+    /// controller per ring, as real per-queue AQM runs). Until this is
+    /// called the NIC tail-drops only, exactly as PR 5 shipped it.
+    #[cfg(feature = "overload")]
+    pub fn set_codel(&mut self, law: CodelConfig) {
+        self.codel = Some((0..self.rings.len()).map(|_| Codel::new(law)).collect());
     }
 
     /// The configuration this NIC was built with.
@@ -131,11 +152,13 @@ impl<T> MultiQueueNic<T> {
     }
 
     /// Steers a datagram of flow `(src_ip, dst_ip, src_port, dst_port)`
-    /// into its RSS ring. Returns `Ok(ring)` when queued; on a full ring
-    /// the datagram is tail-dropped (counted on the ring) and the target
-    /// ring comes back as `Err(ring)`.
+    /// into its RSS ring, stamped with its arrival instant `now` (the
+    /// sojourn clock AQM reads at dequeue). Returns `Ok(ring)` when
+    /// queued; on a full ring the datagram is tail-dropped (counted on
+    /// the ring) and the target ring comes back as `Err(ring)`.
     pub fn enqueue_flow(
         &mut self,
+        now: Nanos,
         src_ip: u32,
         dst_ip: u32,
         src_port: u16,
@@ -145,7 +168,7 @@ impl<T> MultiQueueNic<T> {
         let ring = self
             .hasher
             .ring_for_flow(src_ip, dst_ip, src_port, dst_port);
-        if self.rings[ring].push(item) {
+        if self.rings[ring].push((now, item)) {
             self.enqueued += 1;
             Ok(ring)
         } else {
@@ -153,21 +176,57 @@ impl<T> MultiQueueNic<T> {
         }
     }
 
-    /// Drains up to `max` packets from `ring` into `out` (appending),
-    /// FIFO. Returns how many were taken.
-    pub fn drain(&mut self, ring: usize, max: usize, out: &mut Vec<T>) -> usize {
+    /// Asks the ring's CoDel controller about a packet dequeued at `now`
+    /// that was enqueued at `ts`; `true` means shed it. Always `false`
+    /// when AQM is off (or compiled out).
+    fn aqm_verdict(&mut self, ring: usize, now: Nanos, ts: Nanos) -> bool {
+        #[cfg(feature = "overload")]
+        if let Some(codel) = &mut self.codel {
+            return codel[ring].on_packet(now, now.saturating_sub(ts));
+        }
+        let _ = (ring, now, ts);
+        false
+    }
+
+    /// Drains up to `max` packets from `ring` at instant `now`, FIFO.
+    /// Kept packets append to `out` as `(enqueue_time, packet)`; packets
+    /// the CoDel drop law sheds append to `shed` instead (and count in
+    /// [`MultiQueueNic::aqm_drops`], not toward `max` — shedding is how
+    /// the poller catches up, so it must not eat the burst). Returns how
+    /// many were kept.
+    pub fn drain(
+        &mut self,
+        now: Nanos,
+        ring: usize,
+        max: usize,
+        out: &mut Vec<(Nanos, T)>,
+        shed: &mut Vec<T>,
+    ) -> usize {
         let mut taken = 0;
         while taken < max {
             match self.rings[ring].pop() {
-                Some(p) => {
-                    out.push(p);
-                    taken += 1;
+                Some((ts, p)) => {
+                    if self.aqm_verdict(ring, now, ts) {
+                        self.aqm_dropped[ring] += 1;
+                        shed.push(p);
+                    } else {
+                        out.push((ts, p));
+                        taken += 1;
+                    }
                 }
                 None => break,
             }
         }
         self.polled += taken as u64;
         taken
+    }
+
+    /// Sojourn time of the oldest packet waiting in `ring` (`None` when
+    /// empty) — the brownout controller's congestion signal.
+    pub fn oldest_sojourn(&self, ring: usize, now: Nanos) -> Option<Nanos> {
+        self.rings[ring]
+            .front()
+            .map(|&(ts, _)| now.saturating_sub(ts))
     }
 
     /// Advances the polling core's serialization clock over a burst of
@@ -202,6 +261,16 @@ impl<T> MultiQueueNic<T> {
     pub fn total_drops(&self) -> u64 {
         self.rings.iter().map(|r| r.drops).sum()
     }
+
+    /// Packets shed by the CoDel drop law on `ring`.
+    pub fn aqm_drops(&self, ring: usize) -> u64 {
+        self.aqm_dropped[ring]
+    }
+
+    /// Packets shed by the CoDel drop law across all rings.
+    pub fn total_aqm_drops(&self) -> u64 {
+        self.aqm_dropped.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +290,14 @@ mod tests {
         let mut seen = [0u64; 4];
         for port in 0..64u16 {
             let r = n
-                .enqueue_flow(0x0a00_0001, 0x0a00_0002, 20_000 + port, 11_211, port as u64)
+                .enqueue_flow(
+                    Nanos::ZERO,
+                    0x0a00_0001,
+                    0x0a00_0002,
+                    20_000 + port,
+                    11_211,
+                    port as u64,
+                )
                 .expect("rings not full");
             assert_eq!(
                 r,
@@ -238,15 +314,17 @@ mod tests {
     #[test]
     fn full_ring_tail_drops_and_reports_the_ring() {
         let mut n = nic(1, 2);
-        assert!(n.enqueue_flow(1, 2, 3, 4, 10).is_ok());
-        assert!(n.enqueue_flow(1, 2, 3, 4, 11).is_ok());
-        assert_eq!(n.enqueue_flow(1, 2, 3, 4, 12), Err(0));
+        let t = Nanos::ZERO;
+        assert!(n.enqueue_flow(t, 1, 2, 3, 4, 10).is_ok());
+        assert!(n.enqueue_flow(t, 1, 2, 3, 4, 11).is_ok());
+        assert_eq!(n.enqueue_flow(t, 1, 2, 3, 4, 12), Err(0));
         assert_eq!(n.total_drops(), 1);
         assert_eq!(n.enqueued, 2);
         // FIFO drain skips the dropped datagram entirely.
-        let mut out = Vec::new();
-        assert_eq!(n.drain(0, 8, &mut out), 2);
-        assert_eq!(out, vec![10, 11]);
+        let (mut out, mut shed) = (Vec::new(), Vec::new());
+        assert_eq!(n.drain(t, 0, 8, &mut out, &mut shed), 2);
+        assert_eq!(out, vec![(t, 10), (t, 11)]);
+        assert!(shed.is_empty());
         assert_eq!(n.polled, 2);
     }
 
@@ -254,12 +332,81 @@ mod tests {
     fn drain_respects_burst_size() {
         let mut n = nic(1, 16);
         for i in 0..10 {
-            n.enqueue_flow(1, 2, 3, 4, i).unwrap();
+            n.enqueue_flow(Nanos(i), 1, 2, 3, 4, i).unwrap();
         }
-        let mut out = Vec::new();
-        assert_eq!(n.drain(0, 4, &mut out), 4);
+        let (mut out, mut shed) = (Vec::new(), Vec::new());
+        assert_eq!(n.drain(Nanos(100), 0, 4, &mut out, &mut shed), 4);
         assert_eq!(n.occupancy(0), 6);
-        assert_eq!(out, vec![0, 1, 2, 3]);
+        let vals: Vec<u64> = out.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+        // Timestamps come back exactly as stamped at enqueue.
+        assert_eq!(out[2].0, Nanos(2));
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn codel_sheds_aged_packets_without_eating_the_burst() {
+        use crate::overload::CodelConfig;
+        let mut n = nic(1, 64);
+        n.set_codel(CodelConfig {
+            target: Nanos::from_us(25),
+            interval: Nanos::from_us(100),
+        });
+        // 40 packets enqueued at t=0, drained in bursts of 8 far later:
+        // every sojourn is way above target, so once the first interval
+        // has passed the drop law starts shedding.
+        for i in 0..40u64 {
+            n.enqueue_flow(Nanos::ZERO, 1, 2, 3, 4, i).unwrap();
+        }
+        let (mut out, mut shed) = (Vec::new(), Vec::new());
+        let mut now = Nanos::from_us(500);
+        while n.occupancy(0) > 0 {
+            n.drain(now, 0, 8, &mut out, &mut shed);
+            now += Nanos::from_us(50);
+        }
+        assert!(!shed.is_empty(), "sustained overload never shed");
+        assert_eq!(n.total_aqm_drops(), shed.len() as u64);
+        // Every packet is accounted exactly once, in arrival order.
+        assert_eq!(out.len() + shed.len(), 40);
+        assert_eq!(n.polled, out.len() as u64);
+        let mut all: Vec<u64> = out.iter().map(|&(_, v)| v).collect();
+        all.extend_from_slice(&shed);
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn codel_quiet_below_target() {
+        use crate::overload::CodelConfig;
+        let mut n = nic(1, 64);
+        n.set_codel(CodelConfig::default());
+        let (mut out, mut shed) = (Vec::new(), Vec::new());
+        let mut now = Nanos::ZERO;
+        for i in 0..500u64 {
+            n.enqueue_flow(now, 1, 2, 3, 4, i).unwrap();
+            // Drained almost immediately: sojourn 1µs, far below target.
+            now += Nanos::from_us(1);
+            n.drain(now, 0, 8, &mut out, &mut shed);
+        }
+        assert!(
+            shed.is_empty(),
+            "AQM shed {} uncongested packets",
+            shed.len()
+        );
+        assert_eq!(n.total_aqm_drops(), 0);
+    }
+
+    #[test]
+    fn oldest_sojourn_tracks_the_head() {
+        let mut n = nic(1, 8);
+        assert_eq!(n.oldest_sojourn(0, Nanos(100)), None);
+        n.enqueue_flow(Nanos(100), 1, 2, 3, 4, 1).unwrap();
+        n.enqueue_flow(Nanos(400), 1, 2, 3, 4, 2).unwrap();
+        assert_eq!(n.oldest_sojourn(0, Nanos(600)), Some(Nanos(500)));
+        let (mut out, mut shed) = (Vec::new(), Vec::new());
+        n.drain(Nanos(600), 0, 1, &mut out, &mut shed);
+        assert_eq!(n.oldest_sojourn(0, Nanos(600)), Some(Nanos(200)));
     }
 
     #[test]

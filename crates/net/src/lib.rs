@@ -16,20 +16,31 @@
 //!   bounded per-core RX rings plus the polling core's serialization
 //!   clock; what `Placement::Rss` sweeps route through.
 //! * [`nic`] — per-packet cost constants for the DPDK RX/TX path.
-//! * [`loadgen`] — the open-loop Poisson client of §5.3.
+//! * [`loadgen`] — the open-loop Poisson client of §5.3, plus (behind the
+//!   `overload` feature) the retrying client: per-attempt timeouts,
+//!   decorrelated-jitter backoff, and the global retry budget.
+//! * [`overload`] (feature `overload`, default-on) — CoDel AQM on the RX
+//!   rings and deadline-aware admission: shed early and cheap at the
+//!   polling core instead of late and expensive at the client timeout.
 
 #![warn(missing_docs)]
 
 pub mod dataplane;
 pub mod loadgen;
 pub mod nic;
+#[cfg(feature = "overload")]
+pub mod overload;
 pub mod packet;
 pub mod ring;
 pub mod rss;
 
 pub use dataplane::{MultiQueueNic, NicConfig};
+#[cfg(feature = "overload")]
+pub use loadgen::{Backoff, RetryBudget, RetryPolicy};
 pub use loadgen::{NetProfile, OpenLoop};
 pub use nic::{LossModel, PacketFate};
+#[cfg(feature = "overload")]
+pub use overload::{AdmissionConfig, AdmissionCtl, Codel, CodelConfig};
 pub use packet::{KvOp, KvRequest, PacketPool, UdpHeader};
 pub use ring::Ring;
 pub use rss::{RssHasher, INDIRECTION_ENTRIES};

@@ -92,6 +92,139 @@ impl Iterator for OpenLoop {
     }
 }
 
+/// The retrying client's knobs: when to give up on one attempt, how many
+/// attempts to make, how to space them, and how many retries the client
+/// population may spend in aggregate.
+#[cfg(feature = "overload")]
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Per-attempt timeout: an attempt with no response by then is
+    /// presumed lost and eligible for retry.
+    pub timeout: Nanos,
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u8,
+    /// Retry budget as milli-tokens accrued per original request: 100
+    /// means the client may retry at most ~10% of offered load.
+    pub budget_permille: u32,
+    /// Token-bucket burst cap, in whole retries.
+    pub budget_burst: u32,
+    /// Backoff floor (first retry waits at least this long past the
+    /// timeout).
+    pub backoff_base: Nanos,
+    /// Backoff ceiling.
+    pub backoff_cap: Nanos,
+}
+
+#[cfg(feature = "overload")]
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Nanos::from_ms(1),
+            max_attempts: 3,
+            budget_permille: 100,
+            budget_burst: 16,
+            backoff_base: Nanos::from_us(100),
+            backoff_cap: Nanos::from_ms(5),
+        }
+    }
+}
+
+/// Global retry *budget*: a token bucket that accrues a fixed fraction of
+/// a token per original request and charges one whole token per retry.
+/// Caps aggregate retry volume at ~`budget_permille/1000` of offered load
+/// no matter how adversarial the timeout pattern — the defense against
+/// retry storms (retries amplifying the very overload that caused them).
+///
+/// Integer milli-token arithmetic, so the bound is exact and
+/// property-testable: `spent() * 1000 ≤ requests × budget_permille +
+/// burst × 1000` always.
+#[cfg(feature = "overload")]
+#[derive(Clone, Debug)]
+pub struct RetryBudget {
+    fill_millitokens: u64,
+    burst_millitokens: u64,
+    tokens: u64,
+    spent: u64,
+}
+
+#[cfg(feature = "overload")]
+impl RetryBudget {
+    /// A bucket accruing `permille/1000` tokens per request, holding at
+    /// most `burst` whole tokens.
+    pub fn new(permille: u32, burst: u32) -> Self {
+        RetryBudget {
+            fill_millitokens: permille as u64,
+            burst_millitokens: burst as u64 * 1000,
+            tokens: 0,
+            spent: 0,
+        }
+    }
+
+    /// Accrues budget for one original (non-retry) request.
+    pub fn on_request(&mut self) {
+        self.tokens = (self.tokens + self.fill_millitokens).min(self.burst_millitokens);
+    }
+
+    /// Attempts to spend one retry token; `false` means the budget is
+    /// exhausted and the client must give up instead of retrying.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1000 {
+            self.tokens -= 1000;
+            self.spent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retries spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+/// Capped exponential backoff with decorrelated jitter (the AWS
+/// architecture-blog variant): each delay is drawn uniformly from
+/// `[base, prev × 3)` and capped, which decorrelates colliding clients
+/// faster than plain `base × 2^n` jitter while keeping the cap.
+#[cfg(feature = "overload")]
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Nanos,
+    cap: Nanos,
+    prev: Nanos,
+    rng: Rng,
+}
+
+#[cfg(feature = "overload")]
+impl Backoff {
+    /// A backoff sequence drawing from `seed`, bounded to `[base, cap]`.
+    pub fn new(base: Nanos, cap: Nanos, seed: u64) -> Self {
+        assert!(base.0 > 0, "backoff base must be positive");
+        assert!(cap >= base, "backoff cap below base");
+        Backoff {
+            base,
+            cap,
+            prev: base,
+            rng: Rng::seed_from_u64(seed ^ 0xBAC0_FF01_BAC0_FF01),
+        }
+    }
+
+    /// Draws the next delay: `min(cap, uniform[base, prev × 3))`.
+    pub fn next_delay(&mut self) -> Nanos {
+        let hi = self.prev.0.saturating_mul(3).max(self.base.0 + 1);
+        let d = self.base.0 + self.rng.next_below(hi - self.base.0);
+        let d = d.min(self.cap.0);
+        self.prev = Nanos(d);
+        Nanos(d)
+    }
+
+    /// Resets the sequence to its floor (a fresh request's first retry).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +278,72 @@ mod tests {
                 assert_eq!(r.service, Nanos(950));
             }
         }
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn retry_budget_caps_aggregate_retries() {
+        // 10% budget, burst 2: 1000 requests accrue ≤ 100 + 2 tokens.
+        let mut b = RetryBudget::new(100, 2);
+        let mut granted = 0u64;
+        for _ in 0..1000 {
+            b.on_request();
+            // Adversarial client: tries to retry after every request.
+            if b.try_spend() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, b.spent());
+        assert!(granted <= 102, "budget leaked: {granted} retries granted");
+        assert!(granted >= 90, "budget too stingy: {granted}");
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn retry_budget_burst_bounds_idle_accrual() {
+        let mut b = RetryBudget::new(100, 3);
+        for _ in 0..10_000 {
+            b.on_request();
+        }
+        // However long the quiet spell, at most `burst` retries fire
+        // back-to-back.
+        let mut burst = 0;
+        while b.try_spend() {
+            burst += 1;
+        }
+        assert_eq!(burst, 3);
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn backoff_stays_within_bounds_and_grows() {
+        let base = Nanos::from_us(100);
+        let cap = Nanos::from_ms(5);
+        let mut bo = Backoff::new(base, cap, 42);
+        let mut prev_max = Nanos::ZERO;
+        for _ in 0..50 {
+            let d = bo.next_delay();
+            assert!(
+                d >= base && d <= cap,
+                "delay {d:?} out of [{base:?}, {cap:?}]"
+            );
+            prev_max = prev_max.max(d);
+        }
+        // With 50 draws the sequence has explored well past the floor.
+        assert!(prev_max > base * 2, "backoff never grew: max {prev_max:?}");
+        bo.reset();
+        assert!(bo.next_delay() < base * 3 + Nanos(1), "reset did not floor");
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut bo = Backoff::new(Nanos(500), Nanos::from_us(50), seed);
+            (0..20).map(|_| bo.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
     }
 
     #[test]

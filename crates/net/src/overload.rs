@@ -1,0 +1,329 @@
+//! Overload control for the RX path: CoDel-style active queue management
+//! and deadline-aware admission.
+//!
+//! PR 5's rings tail-drop: a packet is rejected only when the ring is
+//! physically full, so under sustained overload every *delivered* packet
+//! has first aged through a full ring — at 256 slots and ~2 µs of service
+//! that is hundreds of microseconds of sojourn, far past a ~200 µs SLO.
+//! Goodput (completions within the SLO) collapses to zero even though
+//! throughput looks healthy. The fix is the classic AQM insight: drop
+//! *early and a little* instead of *late and in bulk*.
+//!
+//! Two mechanisms compose here, both exercised at the polling core:
+//!
+//! * [`Codel`] — the CoDel drop law (Nichols & Jacobson, CACM 2012) on
+//!   each ring. Tracks the head packet's *sojourn time* (now − enqueue
+//!   timestamp). While sojourn stays below `target` nothing happens; once
+//!   it has exceeded `target` for a full `interval` the controller enters
+//!   the dropping state and sheds packets at a rate that grows with the
+//!   square root of the drop count (`drop_next = now + interval/√count`),
+//!   which drives a standing queue back to `target` without reacting to
+//!   transient bursts.
+//! * [`AdmissionCtl`] — deadline-aware admission. Even a packet that
+//!   survives the ring may be doomed: if the worker's backlog times the
+//!   EWMA service estimate already exceeds the packet's remaining SLO
+//!   budget, serving it wastes capacity that a younger request could have
+//!   used. [`AdmissionCtl::should_shed`] makes that call at poll time —
+//!   a cheap early drop instead of an expensive late timeout.
+//!
+//! Both are pure data structures (no RNG, no clock of their own), driven
+//! with explicit `now` values, so they are directly property-testable and
+//! deterministic under simulation.
+
+use skyloft_sim::Nanos;
+
+/// Parameters of the CoDel drop law.
+///
+/// The canonical internet defaults are 5 ms / 100 ms; a kernel-bypass
+/// memcached server runs about three orders of magnitude faster, so the
+/// defaults here scale the same ~1:20 ratio down to microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodelConfig {
+    /// Acceptable standing-queue sojourn. Below this the controller is
+    /// quiescent.
+    pub target: Nanos,
+    /// How long sojourn must stay above `target` before dropping starts;
+    /// also the initial spacing of drops.
+    pub interval: Nanos,
+}
+
+impl Default for CodelConfig {
+    fn default() -> Self {
+        CodelConfig {
+            target: Nanos::from_us(25),
+            interval: Nanos::from_us(500),
+        }
+    }
+}
+
+/// Per-ring CoDel state machine. Feed every dequeued packet's sojourn
+/// through [`Codel::on_packet`]; `true` means *shed this packet*.
+#[derive(Clone, Debug)]
+pub struct Codel {
+    cfg: CodelConfig,
+    /// When the sojourn first exceeded `target` plus one `interval`
+    /// (i.e. the instant dropping may begin), if it is currently above.
+    first_above: Option<Nanos>,
+    /// Whether the controller is in the dropping state.
+    dropping: bool,
+    /// Next scheduled drop while in the dropping state.
+    drop_next: Nanos,
+    /// Drops in the current dropping episode (sets the √count rate).
+    count: u32,
+    /// `count` when the last episode ended, for the CoDel "resume at
+    /// nearly the old rate" refinement on quick re-entry.
+    last_count: u32,
+}
+
+impl Codel {
+    /// A quiescent controller with the given law parameters.
+    pub fn new(cfg: CodelConfig) -> Self {
+        Codel {
+            cfg,
+            first_above: None,
+            dropping: false,
+            drop_next: Nanos::ZERO,
+            count: 0,
+            last_count: 0,
+        }
+    }
+
+    /// The law parameters.
+    pub fn cfg(&self) -> CodelConfig {
+        self.cfg
+    }
+
+    /// Whether the controller is currently in the dropping state.
+    pub fn dropping(&self) -> bool {
+        self.dropping
+    }
+
+    /// `interval / sqrt(count)`: the control law spacing successive drops.
+    fn control_law(&self, t: Nanos) -> Nanos {
+        t + Nanos((self.cfg.interval.0 as f64 / (self.count.max(1) as f64).sqrt()) as u64)
+    }
+
+    /// Judges one dequeued packet: `sojourn` is how long it sat in the
+    /// ring, `now` the dequeue instant. Returns `true` when the drop law
+    /// says to shed it.
+    pub fn on_packet(&mut self, now: Nanos, sojourn: Nanos) -> bool {
+        if sojourn < self.cfg.target {
+            // Queue is fine: leave the dropping state and forget the
+            // above-target episode.
+            self.first_above = None;
+            self.dropping = false;
+            return false;
+        }
+        match self.first_above {
+            None => {
+                // First packet above target: arm the interval timer.
+                self.first_above = Some(now + self.cfg.interval);
+                false
+            }
+            Some(fa) if !self.dropping => {
+                if now < fa {
+                    return false;
+                }
+                // Sojourn stayed above target for a whole interval:
+                // enter the dropping state and shed this packet. Resume
+                // near the previous rate when the last episode was
+                // recent (we are oscillating around the operating
+                // point), else restart gently.
+                self.dropping = true;
+                self.count = if self.last_count > 2 && now < self.drop_next + self.cfg.interval {
+                    self.last_count - 2
+                } else {
+                    1
+                };
+                self.drop_next = self.control_law(now);
+                true
+            }
+            Some(_) => {
+                if now < self.drop_next {
+                    return false;
+                }
+                self.count += 1;
+                self.last_count = self.count;
+                self.drop_next = self.control_law(self.drop_next);
+                true
+            }
+        }
+    }
+}
+
+/// Parameters of deadline-aware admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// End-to-end latency budget a request must finish within to count.
+    pub slo: Nanos,
+    /// EWMA weight as a right-shift: the estimate moves by
+    /// `(sample − estimate) / 2^ewma_shift` per observation (3 → α = ⅛).
+    pub ewma_shift: u32,
+    /// Seed value of the service estimate before any observation.
+    pub init_service: Nanos,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            slo: Nanos::from_us(200),
+            ewma_shift: 3,
+            init_service: Nanos::from_us(2),
+        }
+    }
+}
+
+/// Deadline-aware admission controller: an integer EWMA of observed
+/// per-request service (worker-side, stack overhead included) plus the
+/// shed decision `now + (backlog+1) × estimate > sent + SLO`.
+#[derive(Clone, Debug)]
+pub struct AdmissionCtl {
+    cfg: AdmissionConfig,
+    est: Nanos,
+}
+
+impl AdmissionCtl {
+    /// A controller seeded at `cfg.init_service`.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        AdmissionCtl {
+            est: cfg.init_service,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// The current service estimate.
+    pub fn estimate(&self) -> Nanos {
+        self.est
+    }
+
+    /// Folds one observed per-request service time into the estimate.
+    pub fn observe(&mut self, service: Nanos) {
+        let shift = self.cfg.ewma_shift;
+        let est = self.est.0 as i128;
+        let delta = service.0 as i128 - est;
+        self.est = Nanos((est + (delta >> shift)) as u64);
+    }
+
+    /// Whether to shed a request sent at `sent`, examined at `now` with
+    /// `backlog` requests already ahead of it on its worker: shed when
+    /// even an optimistic finish time (backlog drains at the estimated
+    /// rate, then this request runs) already misses `sent + slo`.
+    pub fn should_shed(&self, now: Nanos, sent: Nanos, backlog: usize) -> bool {
+        let finish = now + Nanos(self.est.0.saturating_mul(backlog as u64 + 1));
+        finish > sent + self.cfg.slo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn law() -> CodelConfig {
+        CodelConfig {
+            target: Nanos::from_us(25),
+            interval: Nanos::from_us(500),
+        }
+    }
+
+    #[test]
+    fn below_target_never_drops() {
+        let mut c = Codel::new(law());
+        for i in 0..10_000u64 {
+            let now = Nanos(i * 100);
+            assert!(!c.on_packet(now, Nanos::from_us(24)), "dropped at {now:?}");
+        }
+        assert!(!c.dropping());
+    }
+
+    #[test]
+    fn sustained_excess_enters_dropping_after_one_interval() {
+        let mut c = Codel::new(law());
+        let sojourn = Nanos::from_us(100);
+        // Above target but within the first interval: no drops yet.
+        assert!(!c.on_packet(Nanos::ZERO, sojourn));
+        assert!(!c.on_packet(Nanos::from_us(499), sojourn));
+        // One interval elapsed: the next above-target packet is shed.
+        assert!(c.on_packet(Nanos::from_us(500), sojourn));
+        assert!(c.dropping());
+    }
+
+    #[test]
+    fn drop_rate_accelerates_with_sqrt_count() {
+        let mut c = Codel::new(law());
+        let sojourn = Nanos::from_us(100);
+        let mut now = Nanos::ZERO;
+        let mut drops = Vec::new();
+        // Feed a packet every 10 µs with a stuck-high sojourn; record the
+        // drop instants.
+        for _ in 0..1_000 {
+            if c.on_packet(now, sojourn) {
+                drops.push(now);
+            }
+            now += Nanos::from_us(10);
+        }
+        assert!(drops.len() >= 4, "only {} drops", drops.len());
+        // Successive inter-drop gaps shrink (interval/√count).
+        let gap1 = drops[1] - drops[0];
+        let last_gap = drops[drops.len() - 1] - drops[drops.len() - 2];
+        assert!(
+            last_gap < gap1,
+            "drop rate did not accelerate: first gap {gap1:?}, last {last_gap:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_leaves_dropping_state() {
+        let mut c = Codel::new(law());
+        let high = Nanos::from_us(100);
+        let mut now = Nanos::ZERO;
+        for _ in 0..200 {
+            c.on_packet(now, high);
+            now += Nanos::from_us(10);
+        }
+        assert!(c.dropping());
+        // Queue drained: one below-target packet resets the controller.
+        assert!(!c.on_packet(now, Nanos::from_us(1)));
+        assert!(!c.dropping());
+        // And the next above-target packet starts a fresh interval, not
+        // an immediate drop.
+        assert!(!c.on_packet(now + Nanos::from_us(10), high));
+    }
+
+    #[test]
+    fn admission_ewma_converges() {
+        let mut a = AdmissionCtl::new(AdmissionConfig {
+            init_service: Nanos::from_us(2),
+            ..AdmissionConfig::default()
+        });
+        for _ in 0..200 {
+            a.observe(Nanos::from_us(6));
+        }
+        let est = a.estimate();
+        assert!(
+            (Nanos::from_us(5)..=Nanos::from_us(7)).contains(&est),
+            "estimate {est:?} did not converge to ~6µs"
+        );
+    }
+
+    #[test]
+    fn admission_sheds_only_doomed_requests() {
+        let a = AdmissionCtl::new(AdmissionConfig {
+            slo: Nanos::from_us(200),
+            ewma_shift: 3,
+            init_service: Nanos::from_us(2),
+        });
+        let sent = Nanos::from_ms(1);
+        // Fresh request, empty worker: plenty of budget left.
+        assert!(!a.should_shed(sent + Nanos::from_us(10), sent, 0));
+        // Same age but 120 requests ahead at ~2µs each = 242µs to go:
+        // already past the 200µs budget.
+        assert!(a.should_shed(sent + Nanos::from_us(10), sent, 120));
+        // Old request: even an empty worker cannot save it.
+        assert!(a.should_shed(sent + Nanos::from_us(199), sent, 1));
+    }
+}

@@ -48,6 +48,12 @@ impl<T> Ring<T> {
         self.buf.pop_front()
     }
 
+    /// The oldest item, without dequeuing it. AQM reads the head's
+    /// enqueue timestamp here to compute the sojourn time.
+    pub fn front(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.buf.len()

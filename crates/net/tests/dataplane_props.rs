@@ -109,3 +109,121 @@ proptest! {
         }
     }
 }
+
+#[cfg(feature = "overload")]
+mod overload_props {
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The retry token bucket is a hard budget: under ANY interleaving of
+        /// offered requests and adversarial spend attempts (bursts, droughts,
+        /// spend-every-chance), retries spent never exceed
+        /// `requests * permille / 1000 + burst`.
+        #[test]
+        fn retry_budget_never_exceeds_bound(
+            permille in 0u32..=1000,
+            burst in 1u32..64,
+            // true = offer a request, false = attempt a retry spend.
+            ops in prop::collection::vec(prop::bool::ANY, 1..2000),
+        ) {
+            use skyloft_net::RetryBudget;
+            let mut b = RetryBudget::new(permille, burst);
+            let mut requests = 0u64;
+            for offer in ops {
+                if offer {
+                    b.on_request();
+                    requests += 1;
+                } else {
+                    b.try_spend();
+                }
+                let bound = (requests * u64::from(permille)) / 1000 + u64::from(burst);
+                prop_assert!(
+                    b.spent() <= bound,
+                    "spent {} > bound {} after {} requests",
+                    b.spent(), bound, requests
+                );
+            }
+        }
+
+        /// Decorrelated-jitter backoff never leaves its [base, cap] envelope,
+        /// for any policy shape and however long the retry storm runs.
+        #[test]
+        fn backoff_delays_stay_in_envelope(
+            base in 1u64..1_000_000,
+            extra in 0u64..100_000_000,
+            seed in 0u64..=u64::MAX,
+            draws in 1usize..200,
+        ) {
+            use skyloft_net::Backoff;
+            use skyloft_sim::Nanos;
+            let cap = Nanos(base + extra);
+            let mut bo = Backoff::new(Nanos(base), cap, seed);
+            for _ in 0..draws {
+                let d = bo.next_delay();
+                prop_assert!(d >= Nanos(base) && d <= cap, "delay {:?} outside [{}, {:?}]", d, base, cap);
+            }
+        }
+
+        /// The AQM-equipped NIC conserves datagrams under any interleaving of
+        /// enqueues and drains at arbitrary (monotone) times: everything
+        /// accepted is delivered, CoDel-shed, or still queued — exactly once,
+        /// and in FIFO order within each ring.
+        #[test]
+        fn codel_nic_conserves_datagrams(
+            cap in 2usize..64,
+            target_us in 1u64..100,
+            interval_us in 10u64..1000,
+            ops in prop::collection::vec((prop::bool::ANY, 0u16..4096, 1u64..50_000), 1..500),
+        ) {
+            use skyloft_net::dataplane::{MultiQueueNic, NicConfig};
+            use skyloft_net::{CodelConfig};
+            use skyloft_sim::Nanos;
+            let mut nic: MultiQueueNic<u64> = MultiQueueNic::new(NicConfig {
+                ring_capacity: cap,
+                ..NicConfig::for_workers(2)
+            });
+            nic.set_codel(CodelConfig {
+                target: Nanos::from_us(target_us),
+                interval: Nanos::from_us(interval_us),
+            });
+            let mut now = Nanos::ZERO;
+            let mut seq = 0u64;
+            let (mut out, mut shed) = (Vec::new(), Vec::new());
+            let mut tail_dropped = 0u64;
+            for (is_enq, port, dt) in ops {
+                now += Nanos(dt);
+                if is_enq {
+                    if nic.enqueue_flow(now, 1, 2, port, 9, seq).is_err() {
+                        tail_dropped += 1;
+                    }
+                    seq += 1;
+                } else {
+                    for ring in 0..nic.n_rings() {
+                        nic.drain(now, ring, 8, &mut out, &mut shed);
+                    }
+                }
+                prop_assert_eq!(
+                    seq,
+                    out.len() as u64 + shed.len() as u64 + tail_dropped
+                        + nic.total_occupancy() as u64,
+                    "offered != kept + aqm-shed + tail-dropped + queued"
+                );
+                prop_assert_eq!(nic.total_aqm_drops(), shed.len() as u64);
+            }
+            // Final drain far in the future: everything left comes out (kept
+            // or shed), and each datagram appears exactly once overall.
+            now += Nanos::from_ms(100);
+            while nic.total_occupancy() > 0 {
+                for ring in 0..nic.n_rings() {
+                    nic.drain(now, ring, 8, &mut out, &mut shed);
+                }
+                now += Nanos::from_us(100);
+            }
+            let mut all: Vec<u64> = out.iter().map(|&(_, v)| v).collect();
+            all.extend_from_slice(&shed);
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len() as u64, seq - tail_dropped, "lost or duplicated datagrams");
+        }
+    }
+}

@@ -114,9 +114,26 @@ impl Runtime {
                 std::thread::spawn(move || worker_loop(rt, index, local))
             })
             .collect();
-        for h in handles {
-            h.join().expect("worker thread panicked");
+        // Join every worker before surfacing any failure: bailing on the
+        // first dead worker would abandon the rest mid-shutdown (detached
+        // threads still touching the runtime while the caller unwinds).
+        let mut failures = Vec::new();
+        for (index, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                failures.push(format!("worker {index}: {msg}"));
+            }
         }
+        assert!(
+            failures.is_empty(),
+            "{} worker thread(s) panicked: {}",
+            failures.len(),
+            failures.join("; ")
+        );
     }
 
     fn schedule(&self, ctx: Option<&WorkerCtx>, t: Arc<UTask>) {

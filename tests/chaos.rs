@@ -246,6 +246,80 @@ fn recovered_p99_stays_within_2x_of_fault_free() {
     );
 }
 
+mod dataplane_plans {
+    use super::*;
+    use proptest::prelude::*;
+    use skyloft_apps::synthetic::{install_open_loop_ctl, OverloadControl};
+    use skyloft_net::{NetProfile, NicConfig};
+
+    proptest! {
+        /// Conservation invariant #8 (DESIGN.md §13): every datagram the
+        /// client generated lands in exactly one terminal bucket —
+        /// delivered, ring tail-drop, AQM shed, admission shed, or a
+        /// retry replacing a lost attempt — no matter what the
+        /// data-plane fault plan does to the polling core (dropped or
+        /// delayed poll rounds) or the RSS indirection table (wedged
+        /// entries), with or without the overload-control layers armed,
+        /// and with or without wire loss feeding the retry client.
+        #[test]
+        fn net_ledger_balances_under_random_fault_plans(
+            seed in 0u64..u64::MAX,
+            drop_poll_bp in 0u32..2_000,
+            delay_poll_bp in 0u32..3_000,
+            sticks in prop::bool::ANY,
+            wire_loss_bp in 0u32..1_500,
+            rate_krps in 200u64..2_000,
+            full_ctl in prop::bool::ANY,
+        ) {
+            let mut plan = FaultPlan::seeded(seed)
+                .drop_rx_polls(drop_poll_bp as f64 / 10_000.0)
+                .delay_rx_polls(delay_poll_bp as f64 / 10_000.0, Nanos::from_us(3));
+            if sticks {
+                plan = plan.stuck_indirections(Nanos::from_ms(1), Nanos::from_us(200));
+            }
+            // 3 workers x 2 us saturate at 1.5M rps; rates span 0.13x
+            // to 1.33x so both regimes (drained and shedding) occur.
+            let (mut m, mut q) = percpu(3, 1, Some(plan), true);
+            let gen = OpenLoop::new(
+                rate_krps as f64 * 1_000.0,
+                skyloft_sim::Distribution::Constant(Nanos::from_us(2)),
+                dispersive_threshold(),
+                seed ^ 0x5EED,
+            );
+            let net = (wire_loss_bp > 0).then(|| NetProfile::lossy(
+                seed ^ 9,
+                wire_loss_bp as f64 / 10_000.0,
+                0.0,
+                Nanos::from_ms(1),
+            ));
+            let ctl = if full_ctl {
+                OverloadControl::full()
+            } else {
+                OverloadControl::default()
+            };
+            let mut nic = NicConfig::for_workers(3);
+            nic.client_timeout = Nanos::from_ms(1);
+            install_open_loop_ctl(&mut q, gen, 0, nic, Nanos::from_ms(4), net, ctl);
+            // Run far past the last timeout + backoff so every attempt
+            // resolves: the ledger must balance with nothing in flight.
+            m.run(&mut q, Nanos::from_ms(40));
+            let s = &m.stats;
+            prop_assert!(s.net_generated > 0, "generator never offered load");
+            prop_assert_eq!(s.net_in_flight, 0, "datagrams still in flight after drain");
+            prop_assert_eq!(
+                s.net_generated,
+                s.net_delivered + s.rx_ring_drops + s.aqm_drops
+                    + s.admission_sheds + s.retries_spent,
+                "ledger out of balance: generated {} != delivered {} + ring drops {} \
+                 + aqm drops {} + admission sheds {} + retries {}",
+                s.net_generated, s.net_delivered, s.rx_ring_drops,
+                s.aqm_drops, s.admission_sheds, s.retries_spent
+            );
+            prop_assert!(m.tracer.checker.violations().is_empty());
+        }
+    }
+}
+
 mod random_plans {
     use super::*;
     use proptest::prelude::*;
