@@ -553,10 +553,19 @@ pub fn install_open_loop_ctl(
             // whose predicted finish (behind the worker's backlog)
             // already overruns its SLO budget is shed here, at poll
             // cost, instead of burning a worker on a doomed response.
+            // The predicted start charges the ring's adaptive per-packet
+            // poll cost for the NIC-side delay ahead of this packet, so
+            // a perturbed poller (whose handoffs run late) sheds
+            // borderline requests it can no longer save.
+            let nic_cost = s.nic.poll_cost(ring);
             let mut admitted: Vec<Pkt> = Vec::with_capacity(k);
             for (_, pkt) in batch {
                 let doomed = match s.admission.as_ref() {
-                    Some(adm) => adm.should_shed(now, pkt.send, outstanding + admitted.len()),
+                    Some(adm) => adm.should_shed(
+                        now + nic_cost * (admitted.len() as u64 + 1),
+                        pkt.send,
+                        outstanding + admitted.len(),
+                    ),
                     None => false,
                 };
                 if doomed {
@@ -580,7 +589,7 @@ pub fn install_open_loop_ctl(
                 continue;
             }
             s.handed[ring] += admitted.len() as u64;
-            let handoff = s.nic.poller_admit(now, k) + extra;
+            let handoff = s.nic.poller_admit_on(now, ring, k, extra);
             m.note_net(now, Some(ring), NetTrace::RxPoll);
             q.schedule(
                 handoff,

@@ -18,6 +18,14 @@ pub fn net_baseline_path() -> PathBuf {
     ))
 }
 
+/// The policy hot-path baseline at the repo root (`polbench`).
+pub fn policy_baseline_path() -> PathBuf {
+    PathBuf::from(format!(
+        "{}/../../BENCH_policy.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+}
+
 /// Pulls `"key": <number>` out of `section` of a baseline file.
 pub fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
     let at = json.find(&format!("\"{section}\""))?;

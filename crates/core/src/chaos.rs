@@ -531,6 +531,7 @@ impl Machine {
         // Freeze whatever is running: the kernel thread is about to leave
         // the runnable set mid-segment.
         let stopped = self.cores[core].current.take();
+        self.refresh_idle(core);
         if let Some(t) = stopped {
             if let Some(tok) = self.cores[core].done_token.take() {
                 q.cancel(tok);
@@ -724,6 +725,7 @@ impl Machine {
             self.trace_emit(now, Some(target), Some(t), TraceKind::TaskMigrated);
             if self.cores[target].is_idle() {
                 self.cores[target].incoming = true;
+                self.refresh_idle(target);
                 q.schedule_after(self.plat.wake_latency, Event::StartCore { core: target });
             }
         }
@@ -757,6 +759,7 @@ impl Machine {
         );
         if self.cores[core].is_idle() {
             self.cores[core].incoming = true;
+            self.refresh_idle(core);
             q.schedule_after(self.plat.wake_latency, Event::StartCore { core });
         }
     }

@@ -391,6 +391,12 @@ pub struct Machine {
     pub(crate) utimer_period: Option<Nanos>,
     /// Round-robin cursor for queue placement.
     rr_cursor: usize,
+    /// Bitmask of dispatchable worker cores (idle, not granted to the BE
+    /// app), one bit per core in u64 words — the same layout
+    /// `uthread::park` uses. Maintained by [`Machine::refresh_idle`] at
+    /// every grant/revoke/run/stop transition so [`Machine::dispatch`]
+    /// iterates set bits instead of re-filtering `worker_cores`.
+    idle_mask: Vec<u64>,
     /// Scratch buffer of idle workers, reused across [`Machine::dispatch`]
     /// calls so the hot path does not allocate.
     idle_scratch: Vec<CoreId>,
@@ -437,6 +443,11 @@ impl Machine {
             None
         };
         let worker_cores: Vec<CoreId> = (0..n_workers).collect();
+        // Every worker starts idle and ungranted: its mask bit is set.
+        let mut idle_mask = vec![0u64; total.div_ceil(64)];
+        for &c in &worker_cores {
+            idle_mask[c / 64] |= 1 << (c % 64);
+        }
         let kmod = Kmod::new(cfg.plat.topo.n_cores(), &(0..total).collect::<Vec<_>>());
         let mut stats = Stats::new();
         stats.finished_by_core = vec![0; total];
@@ -468,6 +479,7 @@ impl Machine {
             fault_monitor: FaultMonitor::new(),
             utimer_period: cfg.utimer_period,
             rr_cursor: 0,
+            idle_mask,
             idle_scratch: Vec::new(),
             poll_scratch: Vec::new(),
             oneshot_pool: Vec::new(),
@@ -866,12 +878,14 @@ impl Machine {
             Event::QuantumCheck { core, task } => self.on_quantum_check(q, core, task),
             Event::StartCore { core } => {
                 self.cores[core].incoming = false;
+                self.refresh_idle(core);
                 if self.cores[core].current.is_none() {
                     self.schedule_loop(q, core, Nanos::ZERO);
                 }
             }
             Event::PlaceTask { core, task } => {
                 self.cores[core].incoming = false;
+                self.refresh_idle(core);
                 if !self.tasks.contains(task) {
                     return;
                 }
@@ -1080,6 +1094,7 @@ impl Machine {
                     return;
                 }
                 self.cores[core].granted_to_be = false;
+                self.refresh_idle(core);
                 self.stats.be_revokes += 1;
                 #[cfg(feature = "trace")]
                 self.trace_emit(
@@ -1254,6 +1269,7 @@ impl Machine {
                     c.granted_to_be = true;
                     granted = true;
                     let be_task = c.be_task;
+                    self.refresh_idle(core);
                     self.stats.be_grants += 1;
                     #[cfg(feature = "trace")]
                     self.trace_emit(now, Some(core), be_task, TraceKind::Grant);
@@ -1295,6 +1311,7 @@ impl Machine {
                     .task_enqueue(&mut self.tasks, t, Some(cpu), flags, now);
                 if self.cores[cpu].is_idle() {
                     self.cores[cpu].incoming = true;
+                    self.refresh_idle(cpu);
                     q.schedule_after(self.plat.wake_latency, Event::StartCore { core: cpu });
                 } else if flags == EnqueueFlags::Wakeup || flags == EnqueueFlags::New {
                     // Wakeup preemption: ask the policy whether the woken
@@ -1363,20 +1380,58 @@ impl Machine {
         c
     }
 
+    /// Recomputes `core`'s bit in the idle-core bitmask. Must be called
+    /// after any mutation of a core's `current`, `incoming`, or
+    /// `granted_to_be` — the transitions that change whether the
+    /// dispatcher may place work on it.
+    #[inline]
+    pub(crate) fn refresh_idle(&mut self, core: CoreId) {
+        let c = &self.cores[core];
+        let dispatchable = c.role == CoreRole::Worker && c.is_idle() && !c.granted_to_be;
+        let bit = 1u64 << (core % 64);
+        if dispatchable {
+            self.idle_mask[core / 64] |= bit;
+        } else {
+            self.idle_mask[core / 64] &= !bit;
+        }
+    }
+
     /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
     ///
     /// Runs at dispatch rate on the hot path, so the idle list and the
     /// placement list live in machine-owned scratch buffers instead of
-    /// fresh allocations.
+    /// fresh allocations, and the idle-worker set comes from the
+    /// incrementally maintained bitmask instead of a `worker_cores` scan
+    /// (only `core_usable`, which depends on the current time under
+    /// injected stalls, is checked per set bit).
     pub(crate) fn dispatch(&mut self, q: &mut EventQueue<Event>) {
         if self.policy.kind() != PolicyKind::Centralized {
             return;
         }
         let mut idle = std::mem::take(&mut self.idle_scratch);
         idle.clear();
-        idle.extend(self.worker_cores.iter().copied().filter(|&c| {
-            self.cores[c].is_idle() && !self.cores[c].granted_to_be && self.core_usable(c)
-        }));
+        for (wi, &word) in self.idle_mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let c = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.core_usable(c) {
+                    idle.push(c);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let oracle: Vec<CoreId> = self
+                .worker_cores
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    self.cores[c].is_idle() && !self.cores[c].granted_to_be && self.core_usable(c)
+                })
+                .collect();
+            debug_assert_eq!(idle, oracle, "idle-core bitmask out of sync");
+        }
         if idle.is_empty() {
             self.idle_scratch = idle;
             return;
@@ -1391,6 +1446,7 @@ impl Machine {
         for &(core, task) in &placements {
             debug_assert!(self.cores[core].is_idle());
             self.cores[core].incoming = true;
+            self.refresh_idle(core);
             busy_until += self.plat.dispatch_cost;
             q.schedule(
                 busy_until + self.plat.dispatch_latency,
@@ -1499,6 +1555,7 @@ impl Machine {
         c.incoming = false;
         c.run_start = now;
         c.busy_since = Some((now, app));
+        self.refresh_idle(core);
         self.note_progress(core, now);
         #[cfg(feature = "trace")]
         self.trace_emit(now, Some(core), Some(t), TraceKind::Switch);
@@ -1584,6 +1641,7 @@ impl Machine {
     /// busy accounting and cancelling the pending segment event.
     fn stop_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, new_state: TaskState) {
         let t = self.cores[core].current.take().expect("no current task");
+        self.refresh_idle(core);
         if let Some(tok) = self.cores[core].done_token.take() {
             q.cancel(tok);
         }
@@ -1608,6 +1666,7 @@ impl Machine {
     fn preempt_current(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
         let now = q.now();
         let t = self.cores[core].current.take().expect("preempt idle core");
+        self.refresh_idle(core);
         if let Some(tok) = self.cores[core].done_token.take() {
             q.cancel(tok);
         }
@@ -1640,6 +1699,7 @@ impl Machine {
     fn park_be_task(&mut self, q: &mut EventQueue<Event>, core: CoreId, overhead: Nanos) {
         let now = q.now();
         let t = self.cores[core].current.take().expect("park idle core");
+        self.refresh_idle(core);
         debug_assert_eq!(Some(t), self.cores[core].be_task);
         if let Some(tok) = self.cores[core].done_token.take() {
             q.cancel(tok);
@@ -1660,6 +1720,7 @@ impl Machine {
     fn finish_current(&mut self, q: &mut EventQueue<Event>, core: CoreId) {
         let now = q.now();
         let t = self.cores[core].current.take().expect("finish idle core");
+        self.refresh_idle(core);
         self.close_busy(now, core);
         #[cfg(feature = "trace")]
         self.trace_emit(now, Some(core), Some(t), TraceKind::Finish);

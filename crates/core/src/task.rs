@@ -136,6 +136,13 @@ pub struct PolicyData {
     pub slice_used: Nanos,
     /// Scheduling weight (nice-derived; 1024 = nice 0).
     pub weight: u32,
+    /// Runqueue slot index, owned by the policy currently queueing the
+    /// task: the task's position (or insertion sequence) inside that
+    /// policy's queue structure, kept up to date by the structure itself.
+    /// It buys O(1)/O(log n) removal of a *specific* task where a naive
+    /// queue would pay a linear `retain`/`position` scan. Only meaningful
+    /// while the task is queued; stale otherwise.
+    pub rq_slot: u32,
     /// Free scratch words for custom policies.
     pub scratch: [u64; 2],
 }

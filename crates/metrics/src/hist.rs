@@ -55,18 +55,23 @@ impl Histogram {
         }
     }
 
+    #[inline]
     fn index_of(value: u64) -> usize {
         // Values below SUB_BUCKETS map linearly into the first range.
         if value < SUB_BUCKETS {
             return value as usize;
         }
         // The highest set bit selects the range; the next SUB_BITS bits
-        // select the sub-bucket within it.
+        // select the sub-bucket within it. Off-scale values (range out of
+        // bounds) saturate into the last bucket up front, so the common
+        // in-range case needs no clamp on the computed index.
         let msb = 63 - value.leading_zeros();
         let range = (msb - SUB_BITS + 1) as usize;
+        if range >= RANGES {
+            return BUCKETS - 1;
+        }
         let sub = (value >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
-        let idx = range * SUB_BUCKETS as usize + sub as usize;
-        idx.min(BUCKETS - 1)
+        range * SUB_BUCKETS as usize + sub as usize
     }
 
     /// Returns a representative (upper-bound) value for a bucket index,
@@ -83,6 +88,7 @@ impl Histogram {
     }
 
     /// Records one sample.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.counts[Self::index_of(value)] += 1;
         self.total += 1;
@@ -96,6 +102,7 @@ impl Histogram {
     }
 
     /// Records `n` identical samples.
+    #[inline]
     pub fn record_n(&mut self, value: u64, n: u64) {
         if n == 0 {
             return;
@@ -362,6 +369,33 @@ mod tests {
         h.clear();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn index_matches_clamped_reference() {
+        // The saturating fast path must agree with the straightforward
+        // compute-then-clamp formulation at every magnitude, including
+        // range boundaries and off-scale values.
+        let reference = |value: u64| -> usize {
+            if value < SUB_BUCKETS {
+                return value as usize;
+            }
+            let msb = 63 - value.leading_zeros();
+            let range = (msb - SUB_BITS + 1) as usize;
+            let sub = (value >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+            (range * SUB_BUCKETS as usize + sub as usize).min(BUCKETS - 1)
+        };
+        for exp in 0..64u32 {
+            let v = 1u64 << exp;
+            for probe in [v.saturating_sub(1), v, v + 1, v + v / 3] {
+                assert_eq!(
+                    Histogram::index_of(probe),
+                    reference(probe),
+                    "probe={probe}"
+                );
+            }
+        }
+        assert_eq!(Histogram::index_of(u64::MAX), BUCKETS - 1);
     }
 
     #[test]

@@ -96,6 +96,12 @@ pub struct MultiQueueNic<T> {
     codel: Option<Vec<Codel>>,
     /// The polling core is busy with earlier packets until this instant.
     poller_free_at: Nanos,
+    /// Per-ring adaptive estimate of the per-packet poll cost, seeded at
+    /// [`RX_POLL_COST`] and folded toward the observed handoff cost by an
+    /// integer EWMA (`est += (sample - est) >> 3`). Stays exactly at the
+    /// seed while observed bursts cost the nominal amount, so runs without
+    /// poller perturbation reproduce the fixed-cost clock bit-for-bit.
+    poll_cost_est: Vec<Nanos>,
 }
 
 impl<T> MultiQueueNic<T> {
@@ -119,6 +125,7 @@ impl<T> MultiQueueNic<T> {
             #[cfg(feature = "overload")]
             codel: None,
             poller_free_at: Nanos::ZERO,
+            poll_cost_est: vec![RX_POLL_COST; cfg.n_rings],
             cfg,
         }
     }
@@ -240,6 +247,41 @@ impl<T> MultiQueueNic<T> {
         let done = start + RX_POLL_COST * n as u64;
         self.poller_free_at = done;
         done
+    }
+
+    /// The ring's current per-packet poll-cost estimate. Starts at
+    /// [`RX_POLL_COST`] and tracks the observed cost as
+    /// [`MultiQueueNic::poller_admit_on`] folds samples in — the honest
+    /// per-packet figure admission control should charge for NIC-side
+    /// delay, rather than the nominal constant.
+    pub fn poll_cost(&self, ring: usize) -> Nanos {
+        self.poll_cost_est[ring]
+    }
+
+    /// Ring-aware variant of [`MultiQueueNic::poller_admit`]: advances
+    /// the serialization clock exactly as that method does (nominal
+    /// [`RX_POLL_COST`] per packet), then delays the handoff by `extra`
+    /// (stall time the poll visit itself suffered — fault injection, IRQ
+    /// steals — which holds up this burst's delivery but does not occupy
+    /// the poll loop for later bursts). The burst's *observed* per-packet
+    /// cost, stall included, is folded back into the ring's estimate by
+    /// an integer EWMA with a 1/8 gain, so sustained perturbation raises
+    /// the per-packet figure admission control charges for NIC-side
+    /// delay. With `extra` zero the sample equals the nominal cost and
+    /// nothing drifts; the returned handoff always matches
+    /// `poller_admit(now, n) + extra`.
+    pub fn poller_admit_on(&mut self, now: Nanos, ring: usize, n: usize, extra: Nanos) -> Nanos {
+        let start = now.max(self.poller_free_at);
+        let done = start + RX_POLL_COST * n as u64;
+        self.poller_free_at = done;
+        let handoff = done + extra;
+        if n > 0 {
+            let sample = (handoff.0 - start.0) / n as u64;
+            let est = self.poll_cost_est[ring].0 as i64;
+            let next = est + ((sample as i64 - est) >> 3);
+            self.poll_cost_est[ring] = Nanos(next.max(0) as u64);
+        }
+        handoff
     }
 
     /// Current occupancy of `ring`.
@@ -421,5 +463,70 @@ mod tests {
         // After the poller goes idle, the clock restarts at `now`.
         let late = d2 + Nanos::from_us(5);
         assert_eq!(n.poller_admit(late, 1), late + RX_POLL_COST);
+    }
+
+    #[test]
+    fn adaptive_poll_cost_is_inert_without_perturbation() {
+        let mut n = nic(2, 16);
+        assert_eq!(n.poll_cost(0), RX_POLL_COST);
+        // With no extra stall the sample equals the estimate, the
+        // estimate never drifts, and the clock matches the fixed-cost
+        // variant burst for burst.
+        let mut fixed = nic(2, 16);
+        let mut now = Nanos::ZERO;
+        for i in 0..50usize {
+            let k = 1 + i % 7;
+            let a = n.poller_admit_on(now, i % 2, k, Nanos::ZERO);
+            let b = fixed.poller_admit(now, k);
+            assert_eq!(a, b, "burst {i} diverged");
+            now += Nanos(130);
+        }
+        assert_eq!(n.poll_cost(0), RX_POLL_COST);
+        assert_eq!(n.poll_cost(1), RX_POLL_COST);
+    }
+
+    #[test]
+    fn adaptive_poll_cost_tracks_sustained_stalls() {
+        let mut n = nic(2, 16);
+        // Every 4-packet burst on ring 0 suffers a 400 ns stall: the true
+        // per-packet cost is RX_POLL_COST + 100. The EWMA converges
+        // toward it from the seed, monotonically, without overshooting.
+        let mut now = Nanos::ZERO;
+        let mut prev = n.poll_cost(0);
+        for _ in 0..200 {
+            let handoff = n.poller_admit_on(now, 0, 4, Nanos(400));
+            now = handoff + Nanos::from_us(2);
+            let est = n.poll_cost(0);
+            assert!(est >= prev, "estimate regressed: {est:?} < {prev:?}");
+            prev = est;
+        }
+        let est = n.poll_cost(0);
+        assert!(
+            est > RX_POLL_COST && est <= RX_POLL_COST + Nanos(100),
+            "estimate {est:?} outside (seed, seed+100]"
+        );
+        // Convergence should get within EWMA quantization of the truth.
+        assert!(est >= RX_POLL_COST + Nanos(90), "estimate {est:?} stalled");
+        // The untouched ring keeps the seed.
+        assert_eq!(n.poll_cost(1), RX_POLL_COST);
+    }
+
+    #[test]
+    fn adaptive_poll_cost_recovers_after_stalls_stop() {
+        let mut n = nic(1, 16);
+        let mut now = Nanos::ZERO;
+        for _ in 0..200 {
+            now = n.poller_admit_on(now, 0, 4, Nanos(400)) + Nanos::from_us(2);
+        }
+        let inflated = n.poll_cost(0);
+        assert!(inflated > RX_POLL_COST);
+        for _ in 0..200 {
+            now = n.poller_admit_on(now, 0, 4, Nanos::ZERO) + Nanos::from_us(2);
+        }
+        let recovered = n.poll_cost(0);
+        assert!(
+            recovered < inflated && recovered <= RX_POLL_COST + Nanos(1),
+            "estimate {recovered:?} failed to decay from {inflated:?}"
+        );
     }
 }

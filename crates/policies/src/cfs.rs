@@ -6,6 +6,12 @@
 //! min_granularity)`, sleeper compensation on wakeup (the reason CFS beats
 //! RR on schbench wakeup latency, §5.1), and wakeup preemption gated by a
 //! wakeup granularity.
+//!
+//! Runqueues live in a dense array indexed through [`CoreMap`] (sparse
+//! core lists don't allocate dead queues) and the total queued count is
+//! a cached counter, so `queue_len` — called on every core-allocation
+//! probe — is O(1) instead of O(#cores). Decisions are bit-identical to
+//! [`crate::reference::Cfs`].
 
 use std::collections::BTreeSet;
 
@@ -13,6 +19,8 @@ use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use skyloft::task::{TaskId, TaskTable};
 use skyloft::SchedParams;
 use skyloft_sim::Nanos;
+
+use crate::coremap::CoreMap;
 
 /// Weight of a nice-0 task, as in Linux.
 pub const NICE0_WEIGHT: u64 = 1024;
@@ -40,7 +48,10 @@ impl CfsRq {
 /// CFS policy state.
 pub struct Cfs {
     rqs: Vec<CfsRq>,
+    map: CoreMap,
     cores: Vec<CoreId>,
+    /// Cached Σ of per-rq lengths (O(1) `queue_len`).
+    queued_total: usize,
     params: SchedParams,
 }
 
@@ -49,7 +60,9 @@ impl Cfs {
     pub fn new(params: SchedParams) -> Self {
         Cfs {
             rqs: Vec::new(),
+            map: CoreMap::default(),
             cores: Vec::new(),
+            queued_total: 0,
             params,
         }
     }
@@ -67,12 +80,12 @@ impl Cfs {
     }
 
     fn queued(&self, cpu: CoreId) -> usize {
-        self.rqs[cpu].tree.len()
+        self.rqs[self.map.rq(cpu)].tree.len()
     }
 
     /// Total queued tasks across all cores.
     pub fn total_queued(&self) -> usize {
-        self.rqs.iter().map(|r| r.tree.len()).sum()
+        self.queued_total
     }
 }
 
@@ -86,9 +99,10 @@ impl Policy for Cfs {
     }
 
     fn sched_init(&mut self, env: &SchedEnv) {
-        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
-        self.rqs = (0..=max).map(|_| CfsRq::new()).collect();
+        self.map = CoreMap::new(&env.worker_cores);
+        self.rqs = (0..self.map.len()).map(|_| CfsRq::new()).collect();
         self.cores = env.worker_cores.clone();
+        self.queued_total = 0;
     }
 
     fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, _now: Nanos) {
@@ -110,8 +124,8 @@ impl Policy for Cfs {
         flags: EnqueueFlags,
         _now: Nanos,
     ) {
-        let cpu = cpu.unwrap_or(self.cores[0]);
-        let rq_min = self.rqs[cpu].min_vruntime;
+        let rqi = self.map.rq(cpu.unwrap_or(self.cores[0]));
+        let rq_min = self.rqs[rqi].min_vruntime;
         let task = tasks.get_mut(t);
         match flags {
             EnqueueFlags::New => {
@@ -130,14 +144,17 @@ impl Policy for Cfs {
             }
         }
         let key = (task.pd.vruntime, t);
-        self.rqs[cpu].tree.insert(key);
+        self.rqs[rqi].tree.insert(key);
+        self.queued_total += 1;
     }
 
     fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
-        let (vr, t) = self.rqs[cpu].leftmost()?;
-        self.rqs[cpu].tree.remove(&(vr, t));
-        let rq = &mut self.rqs[cpu];
+        let rqi = self.map.rq(cpu);
+        let (vr, t) = self.rqs[rqi].leftmost()?;
+        let rq = &mut self.rqs[rqi];
+        rq.tree.remove(&(vr, t));
         rq.min_vruntime = rq.min_vruntime.max(vr);
+        self.queued_total -= 1;
         let task = tasks.get_mut(t);
         task.pd.slice_used = Nanos::ZERO;
         Some(t)
@@ -159,7 +176,7 @@ impl Policy for Cfs {
             task.pd.vruntime += Self::calc_delta(delta, task.pd.weight);
             (task.pd.vruntime, ran)
         };
-        let Some((left_vr, _)) = self.rqs[cpu].leftmost() else {
+        let Some((left_vr, _)) = self.rqs[self.map.rq(cpu)].leftmost() else {
             return false;
         };
         // check_preempt_tick: preempt once the slice is used up, or if the
@@ -194,13 +211,15 @@ impl Policy for Cfs {
             .iter()
             .copied()
             .filter(|&c| c != cpu)
-            .max_by_key(|&c| self.rqs[c].tree.len())?;
+            .max_by_key(|&c| self.rqs[self.map.rq(c)].tree.len())?;
         // Steal the *last* (largest-vruntime) entity: it would have run
         // latest on its own queue, so migrating it costs the least locality.
-        let (vr, t) = self.rqs[victim].tree.last().copied()?;
-        self.rqs[victim].tree.remove(&(vr, t));
+        let vi = self.map.rq(victim);
+        let (vr, t) = self.rqs[vi].tree.last().copied()?;
+        self.rqs[vi].tree.remove(&(vr, t));
+        self.queued_total -= 1;
         // Re-normalize to the thief's queue.
-        let rq_min = self.rqs[cpu].min_vruntime;
+        let rq_min = self.rqs[self.map.rq(cpu)].min_vruntime;
         let task = tasks.get_mut(t);
         task.pd.vruntime = task.pd.vruntime.max(rq_min);
         task.pd.slice_used = Nanos::ZERO;
@@ -329,5 +348,22 @@ mod tests {
         let stolen = p.sched_balance(&mut tasks, 1, Nanos::ZERO).unwrap();
         assert_eq!(stolen, a);
         assert_eq!(tasks.get(a).pd.vruntime, 9_999);
+    }
+
+    #[test]
+    fn sparse_core_list_uses_dense_runqueues() {
+        let mut p = Cfs::new(SchedParams::SKYLOFT_CFS);
+        p.sched_init(&SchedEnv {
+            worker_cores: vec![5, 40],
+            dispatcher: None,
+        });
+        assert_eq!(p.rqs.len(), 2, "no dead queues for core-id holes");
+        let mut tasks = TaskTable::new();
+        let a = tasks.insert(|id| Task::bare(id, 0));
+        p.task_init(&mut tasks, a, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, a, Some(40), EnqueueFlags::New, Nanos::ZERO);
+        assert_eq!(p.queue_len(), Some(1));
+        assert_eq!(p.task_dequeue(&mut tasks, 40, Nanos::ZERO), Some(a));
+        assert_eq!(p.queue_len(), Some(0));
     }
 }

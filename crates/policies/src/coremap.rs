@@ -1,0 +1,101 @@
+//! Compact core→runqueue index for per-CPU policies.
+//!
+//! Per-CPU policies keep one runqueue per worker core. The naive layout —
+//! `Vec` indexed directly by `CoreId`, sized `max_core_id + 1` — allocates
+//! dead queues for every hole in a sparse core list (a 2-socket layout
+//! pinned to cores {0, 47} would carry 46 unused runqueues). [`CoreMap`]
+//! keeps a dense runqueue array sized by the number of *actual* worker
+//! cores and translates `CoreId` → dense slot through a small lookup
+//! table, so policies pay for the cores they use, not the largest id.
+
+use skyloft::ops::CoreId;
+
+/// Sentinel in the sparse table for core ids that own no runqueue.
+const NO_RQ: u32 = u32::MAX;
+
+/// Maps sparse `CoreId`s onto dense runqueue indices `0..len()`.
+#[derive(Debug, Default)]
+pub struct CoreMap {
+    /// Sparse table: `idx[core] == NO_RQ` if `core` owns no runqueue.
+    idx: Vec<u32>,
+    /// Number of mapped cores (== number of runqueues to allocate).
+    len: usize,
+}
+
+impl CoreMap {
+    /// Builds the map from a policy's worker-core list. Dense indices are
+    /// assigned in list order, so `cores[i]` owns runqueue `i`.
+    pub fn new(cores: &[CoreId]) -> Self {
+        let max = cores.iter().copied().max().unwrap_or(0);
+        let mut idx = vec![NO_RQ; max + 1];
+        for (slot, &c) in cores.iter().enumerate() {
+            idx[c] = slot as u32;
+        }
+        // With no worker cores at all, fall back to a single runqueue owned
+        // by core 0 — the same shape `cpu.unwrap_or(cores[0])` call sites
+        // assumed before (enqueue with no placement went to queue 0).
+        if cores.is_empty() {
+            idx[0] = 0;
+            return CoreMap { idx, len: 1 };
+        }
+        CoreMap {
+            idx,
+            len: cores.len(),
+        }
+    }
+
+    /// Dense runqueue index for `core`. Panics (debug) / returns queue 0
+    /// (release) for an unmapped core — unmapped cores never reach policy
+    /// callbacks in a correctly configured machine.
+    #[inline]
+    pub fn rq(&self, core: CoreId) -> usize {
+        let slot = self.idx.get(core).copied().unwrap_or(NO_RQ);
+        debug_assert!(slot != NO_RQ, "core {core} has no runqueue");
+        if slot == NO_RQ {
+            0
+        } else {
+            slot as usize
+        }
+    }
+
+    /// Number of runqueues the policy should allocate.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no cores are mapped (only before `sched_init`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_layout_for_sparse_cores() {
+        let m = CoreMap::new(&[3, 47]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.rq(3), 0);
+        assert_eq!(m.rq(47), 1);
+    }
+
+    #[test]
+    fn contiguous_cores_map_identity() {
+        let m = CoreMap::new(&[0, 1, 2, 3]);
+        assert_eq!(m.len(), 4);
+        for c in 0..4 {
+            assert_eq!(m.rq(c), c);
+        }
+    }
+
+    #[test]
+    fn empty_core_list_falls_back_to_queue_zero() {
+        let m = CoreMap::new(&[]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.rq(0), 0);
+    }
+}

@@ -10,25 +10,143 @@
 //! latency-sensitive task with positive lag gets a near-immediate, but
 //! bounded, claim to the CPU — the mechanism behind EEVDF's lower wakeup
 //! latencies in Figure 5.
+//!
+//! # Hot-path structure
+//!
+//! This implementation follows Linux's incremental scheme rather than
+//! recomputing aggregates per pick:
+//!
+//! * `V` comes from two accumulators maintained at enqueue/dequeue —
+//!   `avg_load = Σ wᵢ` and `avg_vruntime = Σ (vᵢ − min_vruntime)·wᵢ`,
+//!   the latter *rebased* on `min_vruntime` so the products stay small
+//!   and a signed `i128` cannot overflow even at `u64`-limit vruntimes.
+//!   `V = min_vruntime + ⌊avg_vruntime / avg_load⌋`, identical to the
+//!   direct `⌊Σ vᵢwᵢ / Σ wᵢ⌋` because `min_vruntime·avg_load` is a
+//!   multiple of the divisor. Eligibility needs no division at all:
+//!   `v ≤ V ⟺ (v − min_vruntime)·avg_load ≤ avg_vruntime`.
+//! * Picks walk a `BTreeSet<(deadline, TaskId)>` in ascending order and
+//!   take the first eligible entry — by construction the minimum
+//!   `(vd, id)` pair among eligible tasks, the reference scan's exact
+//!   result including the `TaskId` tie-break.
+//! * Dequeue of a specific task is O(log n): the task's `pd.rq_slot`
+//!   indexes a tombstoned insertion-order vector (preserving the
+//!   "balance steals the newest arrival" semantics) and the deadline key
+//!   removes it from the tree.
+//!
+//! Decisions are bit-identical to [`crate::reference::Eevdf`]; the
+//! differential proptests in `tests/differential.rs` hold the two to
+//! pick-for-pick equality.
+
+use std::collections::BTreeSet;
 
 use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
-use skyloft::task::{TaskId, TaskTable};
+use skyloft::task::{PolicyData, TaskId, TaskTable};
 use skyloft::SchedParams;
 use skyloft_sim::Nanos;
 
 use crate::cfs::NICE0_WEIGHT;
+use crate::coremap::CoreMap;
 
 struct EevdfRq {
-    /// Queued (waiting) tasks; small per-core populations make a linear
-    /// scan cheaper than an augmented tree.
-    queue: Vec<TaskId>,
-    /// Monotonic floor tracking the queue's virtual time.
+    /// Queued tasks in arrival order, with tombstones for removed slots;
+    /// `pd.rq_slot` is a task's index here. Kept so `sched_balance` can
+    /// still steal the newest arrival in O(1).
+    order: Vec<Option<TaskId>>,
+    /// Number of live (non-tombstone) entries in `order`.
+    live: usize,
+    /// Queued tasks keyed by `(virtual deadline, id)`; ascending iteration
+    /// visits candidates in the pick's tie-break order.
+    by_deadline: BTreeSet<(u64, TaskId)>,
+    /// Monotonic floor tracking the queue's virtual time; also the base
+    /// the `avg_vruntime` accumulator is rebased on.
     min_vruntime: u64,
+    /// Σ weight over queued tasks.
+    avg_load: u64,
+    /// Σ (vruntime − min_vruntime)·weight over queued tasks. Signed:
+    /// wakeup placement `V − lag` can land below the floor.
+    avg_vruntime: i128,
+}
+
+impl EevdfRq {
+    fn new() -> Self {
+        EevdfRq {
+            order: Vec::new(),
+            live: 0,
+            by_deadline: BTreeSet::new(),
+            min_vruntime: 0,
+            avg_load: 0,
+            avg_vruntime: 0,
+        }
+    }
+
+    /// Weighted average virtual time `V`, from the accumulators.
+    fn v(&self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        if self.avg_load == 0 {
+            // Degenerate all-zero-weight queue: Σ vᵢwᵢ / max(Σwᵢ, 1) = 0.
+            return Some(0);
+        }
+        let v = self.min_vruntime as i128 + self.avg_vruntime.div_euclid(self.avg_load as i128);
+        Some(v as u64)
+    }
+
+    /// Division-free eligibility: `v ≤ V`.
+    fn eligible(&self, vruntime: u64) -> bool {
+        if self.avg_load == 0 {
+            return Some(vruntime) <= self.v();
+        }
+        (vruntime as i128 - self.min_vruntime as i128) * self.avg_load as i128 <= self.avg_vruntime
+    }
+
+    /// Adds a task to every index and folds it into the accumulators.
+    fn attach(&mut self, t: TaskId, pd: &mut PolicyData) {
+        pd.rq_slot = self.order.len() as u32;
+        self.order.push(Some(t));
+        self.live += 1;
+        self.by_deadline.insert((pd.deadline, t));
+        self.avg_vruntime += (pd.vruntime as i128 - self.min_vruntime as i128) * pd.weight as i128;
+        self.avg_load += pd.weight as u64;
+    }
+
+    /// Removes a task from every index and subtracts it from the
+    /// accumulators. `pd` must be the exact values it was attached with.
+    fn detach(&mut self, t: TaskId, pd: &PolicyData) {
+        debug_assert_eq!(self.order[pd.rq_slot as usize], Some(t));
+        self.order[pd.rq_slot as usize] = None;
+        self.live -= 1;
+        self.by_deadline.remove(&(pd.deadline, t));
+        self.avg_vruntime -= (pd.vruntime as i128 - self.min_vruntime as i128) * pd.weight as i128;
+        self.avg_load -= pd.weight as u64;
+        while matches!(self.order.last(), Some(None)) {
+            self.order.pop();
+        }
+    }
+
+    /// Raises the floor to `candidate` (if higher) and rebases the
+    /// accumulator: Σ(vᵢ − m₁)wᵢ = Σ(vᵢ − m₀)wᵢ − (m₁ − m₀)·Σwᵢ.
+    fn update_min(&mut self, candidate: u64) {
+        let new_min = self.min_vruntime.max(candidate);
+        if new_min != self.min_vruntime {
+            self.avg_vruntime -= (new_min - self.min_vruntime) as i128 * self.avg_load as i128;
+            self.min_vruntime = new_min;
+        }
+    }
+
+    /// The most recently enqueued live task (balance's steal victim).
+    fn newest(&mut self) -> Option<TaskId> {
+        while matches!(self.order.last(), Some(None)) {
+            self.order.pop();
+        }
+        self.order.last().copied().flatten()
+    }
 }
 
 /// EEVDF policy state.
 pub struct Eevdf {
     rqs: Vec<EevdfRq>,
+    map: CoreMap,
     cores: Vec<CoreId>,
     params: SchedParams,
 }
@@ -38,29 +156,18 @@ impl Eevdf {
     pub fn new(params: SchedParams) -> Self {
         Eevdf {
             rqs: Vec::new(),
+            map: CoreMap::default(),
             cores: Vec::new(),
             params,
         }
     }
 
-    /// Weighted average virtual time `V` of the queued tasks.
-    ///
-    /// Linux tracks this incrementally (`avg_vruntime`); with per-core
-    /// populations of at most a few dozen tasks a direct computation is
-    /// simpler and exact.
-    fn avg_vruntime(&self, tasks: &TaskTable, cpu: CoreId) -> Option<u64> {
-        let rq = &self.rqs[cpu];
-        if rq.queue.is_empty() {
-            return None;
-        }
-        let mut num: u128 = 0;
-        let mut den: u128 = 0;
-        for &t in &rq.queue {
-            let pd = &tasks.get(t).pd;
-            num += pd.vruntime as u128 * pd.weight as u128;
-            den += pd.weight as u128;
-        }
-        Some((num / den.max(1)) as u64)
+    /// Weighted average virtual time `V` of the tasks queued on `cpu`,
+    /// read from the incremental accumulators in O(1). The task table is
+    /// unused (the direct-summation oracle needs it; the shared signature
+    /// keeps the two interchangeable in differential tests).
+    pub fn avg_vruntime(&self, _tasks: &TaskTable, cpu: CoreId) -> Option<u64> {
+        self.rqs[self.map.rq(cpu)].v()
     }
 
     /// Virtual deadline of a task: `ve + base_slice * 1024/weight`.
@@ -68,30 +175,37 @@ impl Eevdf {
         vruntime + self.params.min_granularity.0 * NICE0_WEIGHT / weight.max(1) as u64
     }
 
-    /// EEVDF pick: earliest virtual deadline among eligible tasks.
+    /// EEVDF pick: earliest virtual deadline among eligible tasks —
+    /// first eligible entry in `(vd, id)` order.
     fn pick(&self, tasks: &TaskTable, cpu: CoreId) -> Option<TaskId> {
-        let v = self.avg_vruntime(tasks, cpu)?;
-        let rq = &self.rqs[cpu];
-        let mut best: Option<(u64, TaskId)> = None;
-        for &t in &rq.queue {
-            let pd = &tasks.get(t).pd;
-            // Eligibility: lag = V - ve >= 0.
-            if pd.vruntime > v {
-                continue;
-            }
-            let vd = pd.deadline;
-            if best.is_none_or(|(bd, bt)| vd < bd || (vd == bd && t < bt)) {
-                best = Some((vd, t));
+        let rq = &self.rqs[self.map.rq(cpu)];
+        for &(_, t) in &rq.by_deadline {
+            if rq.eligible(tasks.get(t).pd.vruntime) {
+                return Some(t);
             }
         }
         // The weighted average guarantees at least one eligible task.
-        debug_assert!(best.is_some(), "no eligible task despite non-empty queue");
-        best.map(|(_, t)| t)
+        debug_assert!(rq.live == 0, "no eligible task despite non-empty queue");
+        None
+    }
+
+    /// Compacts a runqueue's order vector once tombstones dominate,
+    /// reassigning the surviving tasks' `rq_slot` indices.
+    fn maybe_compact(&mut self, rqi: usize, tasks: &mut TaskTable) {
+        let rq = &mut self.rqs[rqi];
+        if rq.order.len() >= 8 && rq.live * 2 < rq.order.len() {
+            rq.order.retain(Option::is_some);
+            for (i, slot) in rq.order.iter().enumerate() {
+                if let Some(t) = slot {
+                    tasks.get_mut(*t).pd.rq_slot = i as u32;
+                }
+            }
+        }
     }
 
     /// Total queued tasks across all cores.
     pub fn total_queued(&self) -> usize {
-        self.rqs.iter().map(|r| r.queue.len()).sum()
+        self.rqs.iter().map(|r| r.live).sum()
     }
 }
 
@@ -105,13 +219,8 @@ impl Policy for Eevdf {
     }
 
     fn sched_init(&mut self, env: &SchedEnv) {
-        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
-        self.rqs = (0..=max)
-            .map(|_| EevdfRq {
-                queue: Vec::new(),
-                min_vruntime: 0,
-            })
-            .collect();
+        self.map = CoreMap::new(&env.worker_cores);
+        self.rqs = (0..self.map.len()).map(|_| EevdfRq::new()).collect();
         self.cores = env.worker_cores.clone();
     }
 
@@ -136,49 +245,46 @@ impl Policy for Eevdf {
         _now: Nanos,
     ) {
         let cpu = cpu.unwrap_or(self.cores[0]);
-        let v = self
-            .avg_vruntime(tasks, cpu)
-            .unwrap_or(self.rqs[cpu].min_vruntime);
-        {
-            let task = tasks.get_mut(t);
-            match flags {
-                EnqueueFlags::New => {
-                    // New tasks join with zero lag.
-                    task.pd.vruntime = v;
-                }
-                EnqueueFlags::Wakeup => {
-                    // place_entity: re-enter at V minus the preserved lag,
-                    // so sleeping neither gains nor loses service.
-                    let lag = task.pd.lag.clamp(
-                        -(self.params.min_granularity.0 as i64),
-                        self.params.min_granularity.0 as i64,
-                    );
-                    task.pd.vruntime = (v as i128 - lag as i128).max(0) as u64;
-                }
-                EnqueueFlags::Preempted | EnqueueFlags::Yield => {
-                    // Keep vruntime: the deadline carries over.
-                }
+        let rqi = self.map.rq(cpu);
+        let v = self.rqs[rqi].v().unwrap_or(self.rqs[rqi].min_vruntime);
+        let task = tasks.get_mut(t);
+        match flags {
+            EnqueueFlags::New => {
+                // New tasks join with zero lag.
+                task.pd.vruntime = v;
             }
-            task.pd.deadline = self.deadline(task.pd.vruntime, task.pd.weight);
+            EnqueueFlags::Wakeup => {
+                // place_entity: re-enter at V minus the preserved lag,
+                // so sleeping neither gains nor loses service.
+                let lag = task.pd.lag.clamp(
+                    -(self.params.min_granularity.0 as i64),
+                    self.params.min_granularity.0 as i64,
+                );
+                task.pd.vruntime = (v as i128 - lag as i128).max(0) as u64;
+            }
+            EnqueueFlags::Preempted | EnqueueFlags::Yield => {
+                // Keep vruntime: the deadline carries over.
+            }
         }
-        self.rqs[cpu].queue.push(t);
+        task.pd.deadline = self.deadline(task.pd.vruntime, task.pd.weight);
+        self.rqs[rqi].attach(t, &mut task.pd);
     }
 
     fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
         let t = self.pick(tasks, cpu)?;
-        let rq = &mut self.rqs[cpu];
-        rq.queue.retain(|&x| x != t);
-        let task = tasks.get_mut(t);
-        rq.min_vruntime = rq.min_vruntime.max(task.pd.vruntime);
-        task.pd.slice_used = Nanos::ZERO;
+        let rqi = self.map.rq(cpu);
+        let pd = tasks.get(t).pd;
+        self.rqs[rqi].detach(t, &pd);
+        self.rqs[rqi].update_min(pd.vruntime);
+        self.maybe_compact(rqi, tasks);
+        tasks.get_mut(t).pd.slice_used = Nanos::ZERO;
         Some(t)
     }
 
     fn task_block(&mut self, tasks: &mut TaskTable, t: TaskId, cpu: CoreId, _now: Nanos) {
         // Preserve the task's lag across the sleep.
-        let v = self
-            .avg_vruntime(tasks, cpu)
-            .unwrap_or(self.rqs[cpu].min_vruntime);
+        let rq = &self.rqs[self.map.rq(cpu)];
+        let v = rq.v().unwrap_or(rq.min_vruntime);
         let task = tasks.get_mut(t);
         task.pd.lag = v as i64 - task.pd.vruntime as i64;
     }
@@ -201,7 +307,7 @@ impl Policy for Eevdf {
         // Once the current request (base slice) is fulfilled, the task
         // would issue a new request with a later deadline; if any waiter is
         // queued, the eligible-earliest-deadline pick goes to the queue.
-        slice_done && !self.rqs[cpu].queue.is_empty()
+        slice_done && self.rqs[self.map.rq(cpu)].live > 0
     }
 
     fn check_wakeup_preempt(
@@ -214,7 +320,7 @@ impl Policy for Eevdf {
         _now: Nanos,
     ) -> bool {
         // Preempt if the woken task is eligible with an earlier deadline.
-        let Some(v) = self.avg_vruntime(tasks, cpu) else {
+        let Some(v) = self.rqs[self.map.rq(cpu)].v() else {
             return false;
         };
         let w = &tasks.get(woken).pd;
@@ -227,9 +333,13 @@ impl Policy for Eevdf {
             .iter()
             .copied()
             .filter(|&c| c != cpu)
-            .max_by_key(|&c| self.rqs[c].queue.len())?;
-        let t = self.rqs[victim].queue.pop()?;
-        let rq_min = self.rqs[cpu].min_vruntime;
+            .max_by_key(|&c| self.rqs[self.map.rq(c)].live)?;
+        let vi = self.map.rq(victim);
+        let t = self.rqs[vi].newest()?;
+        let pd = tasks.get(t).pd;
+        self.rqs[vi].detach(t, &pd);
+        self.maybe_compact(vi, tasks);
+        let rq_min = self.rqs[self.map.rq(cpu)].min_vruntime;
         let task = tasks.get_mut(t);
         task.pd.vruntime = task.pd.vruntime.max(rq_min);
         task.pd.deadline = self.deadline(task.pd.vruntime, task.pd.weight);
@@ -268,16 +378,20 @@ mod tests {
         let a = mk(&mut p, &mut tasks);
         let b = mk(&mut p, &mut tasks);
         let c = mk(&mut p, &mut tasks);
-        p.task_enqueue(&mut tasks, a, Some(0), EnqueueFlags::New, Nanos::ZERO);
-        p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::New, Nanos::ZERO);
-        p.task_enqueue(&mut tasks, c, Some(0), EnqueueFlags::New, Nanos::ZERO);
-        // Make b ineligible (vruntime ahead of V) and give c a later
-        // deadline than a.
-        tasks.get_mut(b).pd.vruntime = 1_000_000;
-        tasks.get_mut(b).pd.deadline = 1_000_100; // earliest vd, but ineligible
-        tasks.get_mut(a).pd.deadline = 5_000_000;
-        tasks.get_mut(c).pd.deadline = 6_000_000;
-        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(a));
+        // b is far ahead in vruntime with a huge weight, which drags V just
+        // below its vruntime: b gets the earliest virtual deadline
+        // (100_012) yet is ineligible. Among the eligible pair, c's
+        // deadline (102_500) beats a's (107_500).
+        tasks.get_mut(a).pd.vruntime = 95_000;
+        tasks.get_mut(b).pd.vruntime = 100_000;
+        tasks.get_mut(b).pd.weight = 1_048_576;
+        tasks.get_mut(c).pd.vruntime = 90_000;
+        p.task_enqueue(&mut tasks, a, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, c, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+        assert_eq!(p.avg_vruntime(&tasks, 0), Some(99_985));
+        assert_eq!(tasks.get(b).pd.deadline, 100_012);
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(c));
     }
 
     #[test]
@@ -360,5 +474,98 @@ mod tests {
         p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
         // V = (1000*1024 + 3000*3072) / 4096 = 2500.
         assert_eq!(p.avg_vruntime(&tasks, 0), Some(2_500));
+    }
+
+    #[test]
+    fn accumulators_match_direct_sum_after_churn() {
+        let (mut p, mut tasks) = setup(1);
+        let mut queued = Vec::new();
+        for i in 0..10u64 {
+            let t = mk(&mut p, &mut tasks);
+            tasks.get_mut(t).pd.vruntime = i * 1_000;
+            tasks.get_mut(t).pd.weight = 1024 + (i as u32) * 512;
+            p.task_enqueue(&mut tasks, t, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+            queued.push(t);
+        }
+        for _ in 0..4 {
+            let t = p.task_dequeue(&mut tasks, 0, Nanos::ZERO).unwrap();
+            queued.retain(|&x| x != t);
+        }
+        // The incremental V must equal the direct weighted average of the
+        // survivors, with the same truncating division as the oracle.
+        let mut num: u128 = 0;
+        let mut den: u128 = 0;
+        for &t in &queued {
+            let pd = &tasks.get(t).pd;
+            num += pd.vruntime as u128 * pd.weight as u128;
+            den += pd.weight as u128;
+        }
+        assert_eq!(p.avg_vruntime(&tasks, 0), Some((num / den) as u64));
+    }
+
+    #[test]
+    fn rebased_accumulators_survive_u64_limit_vruntimes() {
+        let (mut p, mut tasks) = setup(1);
+        let a = mk(&mut p, &mut tasks);
+        let b = mk(&mut p, &mut tasks);
+        tasks.get_mut(a).pd.vruntime = u64::MAX - 100_000;
+        tasks.get_mut(b).pd.vruntime = u64::MAX - 300_000;
+        p.task_enqueue(&mut tasks, a, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+        p.task_enqueue(&mut tasks, b, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+        assert_eq!(p.avg_vruntime(&tasks, 0), Some(u64::MAX - 200_000));
+        // a is ahead of V (ineligible); b must be picked despite a key
+        // far above the queue's floor.
+        assert_eq!(p.task_dequeue(&mut tasks, 0, Nanos::ZERO), Some(b));
+        // After the floor jumps to b's vruntime the lone survivor still
+        // averages exactly.
+        assert_eq!(p.avg_vruntime(&tasks, 0), Some(u64::MAX - 100_000));
+    }
+
+    #[test]
+    fn balance_steals_newest_from_longest_queue() {
+        let (mut p, mut tasks) = setup(2);
+        let mut ids = Vec::new();
+        for i in 0..3u64 {
+            let t = mk(&mut p, &mut tasks);
+            tasks.get_mut(t).pd.vruntime = 10_000 + i;
+            p.task_enqueue(&mut tasks, t, Some(1), EnqueueFlags::Preempted, Nanos::ZERO);
+            ids.push(t);
+        }
+        // Core 0 is empty: it steals the most recent arrival on core 1.
+        assert_eq!(p.sched_balance(&mut tasks, 0, Nanos::ZERO), Some(ids[2]));
+        assert_eq!(p.total_queued(), 2);
+    }
+
+    #[test]
+    fn slot_compaction_keeps_picks_and_balance_consistent() {
+        let (mut p, mut tasks) = setup(2);
+        // Interleave enough enqueue/dequeue churn on core 0 to trigger
+        // tombstone compaction, then verify structural integrity by
+        // draining everything in both directions.
+        let mut live = Vec::new();
+        for round in 0..6u64 {
+            for i in 0..4u64 {
+                let t = mk(&mut p, &mut tasks);
+                tasks.get_mut(t).pd.vruntime = round * 100 + i;
+                p.task_enqueue(&mut tasks, t, Some(0), EnqueueFlags::Preempted, Nanos::ZERO);
+                live.push(t);
+            }
+            for _ in 0..3 {
+                let t = p.task_dequeue(&mut tasks, 0, Nanos::ZERO).unwrap();
+                live.retain(|&x| x != t);
+            }
+        }
+        assert_eq!(p.total_queued(), live.len());
+        // Drain half by stealing (newest-first), half by picking.
+        for _ in 0..3 {
+            let t = p.sched_balance(&mut tasks, 1, Nanos::ZERO).unwrap();
+            assert_eq!(t, *live.last().unwrap());
+            live.pop();
+        }
+        while let Some(t) = p.task_dequeue(&mut tasks, 0, Nanos::ZERO) {
+            live.retain(|&x| x != t);
+        }
+        assert!(live.is_empty());
+        assert_eq!(p.total_queued(), 0);
     }
 }

@@ -19,19 +19,41 @@
 //! Each policy is a few hundred lines including tests — the paper's claim
 //! that Skyloft's operations make schedulers this small is directly
 //! observable here (the `tab4_loc` bench target counts them).
+//!
+//! # The `reference-policy` feature
+//!
+//! [`reference`] holds frozen pre-optimization copies of every policy
+//! (full-scan EEVDF averages, O(n) dequeues, dense runqueue vectors).
+//! They are always compiled — differential tests drive both versions in
+//! one binary — and the `reference-policy` feature additionally swaps the
+//! crate-root re-exports ([`Cfs`], [`Eevdf`], …) to the reference
+//! versions, so the entire test suite and every figure sweep can run
+//! against the oracle (the `reference-queue`/`reference-deque` pattern).
+//! Module paths (`eevdf::Eevdf`, …) always name the optimized versions.
 
 #![warn(missing_docs)]
 
 pub mod cfs;
+pub mod coremap;
 pub mod eevdf;
+pub mod reference;
 pub mod rr;
 pub mod shinjuku;
 pub mod shinjuku_shenango;
 pub mod work_stealing;
 
+#[cfg(not(feature = "reference-policy"))]
 pub use cfs::Cfs;
+#[cfg(not(feature = "reference-policy"))]
 pub use eevdf::Eevdf;
+#[cfg(not(feature = "reference-policy"))]
 pub use rr::RoundRobin;
+#[cfg(not(feature = "reference-policy"))]
 pub use shinjuku::Shinjuku;
+#[cfg(not(feature = "reference-policy"))]
 pub use shinjuku_shenango::ShinjukuShenango;
+#[cfg(not(feature = "reference-policy"))]
 pub use work_stealing::WorkStealing;
+
+#[cfg(feature = "reference-policy")]
+pub use reference::{Cfs, Eevdf, RoundRobin, Shinjuku, ShinjukuShenango, WorkStealing};

@@ -1,0 +1,902 @@
+//! Reference policy implementations: the pre-optimization linear-scan
+//! versions, frozen as a differential oracle.
+//!
+//! The optimized policies in [`crate::eevdf`], [`crate::cfs`],
+//! [`crate::rr`], [`crate::shinjuku`], [`crate::shinjuku_shenango`] and
+//! [`crate::work_stealing`] must make **bit-identical scheduling
+//! decisions** to the implementations here — same pick, same tie-break
+//! (`(vd, TaskId)` order in EEVDF), same steal victim, same preemption
+//! verdicts — only cheaper. That obligation is enforced two ways, the same
+//! pattern the simulator's `reference-queue` and the uthread runtime's
+//! `reference-deque` features use:
+//!
+//! * the differential proptests in `tests/differential.rs` drive an
+//!   optimized policy and its reference twin through identical random
+//!   operation traces and assert pick-for-pick equality;
+//! * building with `--features reference-policy` swaps the crate's
+//!   re-exports (`skyloft_policies::Eevdf` etc.) to these versions, so the
+//!   whole test suite, the figure sweeps and the golden CSVs can be
+//!   reproduced against the oracle end to end.
+//!
+//! The code is intentionally a frozen copy (not a re-share of helpers with
+//! the optimized versions): sharing would let a bug travel into both sides
+//! and cancel out in the differential.
+
+use std::collections::VecDeque;
+
+use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
+use skyloft::task::{TaskId, TaskTable};
+use skyloft::SchedParams;
+use skyloft_sim::Nanos;
+
+use crate::cfs::NICE0_WEIGHT;
+
+// ---------------------------------------------------------------------
+// EEVDF (full-scan weighted average, O(n) pick, O(n) retain dequeue)
+// ---------------------------------------------------------------------
+
+struct EevdfRq {
+    /// Queued (waiting) tasks in arrival order; every pick scans it.
+    queue: Vec<TaskId>,
+    /// Monotonic floor tracking the queue's virtual time.
+    min_vruntime: u64,
+}
+
+/// Reference EEVDF: recomputes the weighted average `V` with a full queue
+/// scan on every pick and dequeues with an O(n) `retain`.
+pub struct Eevdf {
+    rqs: Vec<EevdfRq>,
+    cores: Vec<CoreId>,
+    params: SchedParams,
+}
+
+impl Eevdf {
+    /// Creates the policy; `params.min_granularity` is the base slice.
+    pub fn new(params: SchedParams) -> Self {
+        Eevdf {
+            rqs: Vec::new(),
+            cores: Vec::new(),
+            params,
+        }
+    }
+
+    /// Weighted average virtual time `V` of the queued tasks, by direct
+    /// summation (`Σ vᵢ·wᵢ / Σ wᵢ`, truncating u128 division).
+    pub fn avg_vruntime(&self, tasks: &TaskTable, cpu: CoreId) -> Option<u64> {
+        let rq = &self.rqs[cpu];
+        if rq.queue.is_empty() {
+            return None;
+        }
+        let mut num: u128 = 0;
+        let mut den: u128 = 0;
+        for &t in &rq.queue {
+            let pd = &tasks.get(t).pd;
+            num += pd.vruntime as u128 * pd.weight as u128;
+            den += pd.weight as u128;
+        }
+        Some((num / den.max(1)) as u64)
+    }
+
+    /// Virtual deadline of a task: `ve + base_slice * 1024/weight`.
+    fn deadline(&self, vruntime: u64, weight: u32) -> u64 {
+        vruntime + self.params.min_granularity.0 * NICE0_WEIGHT / weight.max(1) as u64
+    }
+
+    /// EEVDF pick: earliest virtual deadline among eligible tasks.
+    fn pick(&self, tasks: &TaskTable, cpu: CoreId) -> Option<TaskId> {
+        let v = self.avg_vruntime(tasks, cpu)?;
+        let rq = &self.rqs[cpu];
+        let mut best: Option<(u64, TaskId)> = None;
+        for &t in &rq.queue {
+            let pd = &tasks.get(t).pd;
+            // Eligibility: lag = V - ve >= 0.
+            if pd.vruntime > v {
+                continue;
+            }
+            let vd = pd.deadline;
+            if best.is_none_or(|(bd, bt)| vd < bd || (vd == bd && t < bt)) {
+                best = Some((vd, t));
+            }
+        }
+        // The weighted average guarantees at least one eligible task.
+        debug_assert!(best.is_some(), "no eligible task despite non-empty queue");
+        best.map(|(_, t)| t)
+    }
+
+    /// Total queued tasks across all cores.
+    pub fn total_queued(&self) -> usize {
+        self.rqs.iter().map(|r| r.queue.len()).sum()
+    }
+}
+
+impl Policy for Eevdf {
+    fn name(&self) -> &'static str {
+        "skyloft-eevdf"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.rqs = (0..=max)
+            .map(|_| EevdfRq {
+                queue: Vec::new(),
+                min_vruntime: 0,
+            })
+            .collect();
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, _now: Nanos) {
+        let task = tasks.get_mut(t);
+        task.pd.vruntime = 0;
+        task.pd.lag = 0;
+        task.pd.slice_used = Nanos::ZERO;
+        if task.pd.weight == 0 {
+            task.pd.weight = NICE0_WEIGHT as u32;
+        }
+    }
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        let v = self
+            .avg_vruntime(tasks, cpu)
+            .unwrap_or(self.rqs[cpu].min_vruntime);
+        {
+            let task = tasks.get_mut(t);
+            match flags {
+                EnqueueFlags::New => {
+                    // New tasks join with zero lag.
+                    task.pd.vruntime = v;
+                }
+                EnqueueFlags::Wakeup => {
+                    // place_entity: re-enter at V minus the preserved lag,
+                    // so sleeping neither gains nor loses service.
+                    let lag = task.pd.lag.clamp(
+                        -(self.params.min_granularity.0 as i64),
+                        self.params.min_granularity.0 as i64,
+                    );
+                    task.pd.vruntime = (v as i128 - lag as i128).max(0) as u64;
+                }
+                EnqueueFlags::Preempted | EnqueueFlags::Yield => {
+                    // Keep vruntime: the deadline carries over.
+                }
+            }
+            task.pd.deadline = self.deadline(task.pd.vruntime, task.pd.weight);
+        }
+        self.rqs[cpu].queue.push(t);
+    }
+
+    fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        let t = self.pick(tasks, cpu)?;
+        let rq = &mut self.rqs[cpu];
+        rq.queue.retain(|&x| x != t);
+        let task = tasks.get_mut(t);
+        rq.min_vruntime = rq.min_vruntime.max(task.pd.vruntime);
+        task.pd.slice_used = Nanos::ZERO;
+        Some(t)
+    }
+
+    fn task_block(&mut self, tasks: &mut TaskTable, t: TaskId, cpu: CoreId, _now: Nanos) {
+        // Preserve the task's lag across the sleep.
+        let v = self
+            .avg_vruntime(tasks, cpu)
+            .unwrap_or(self.rqs[cpu].min_vruntime);
+        let task = tasks.get_mut(t);
+        task.pd.lag = v as i64 - task.pd.vruntime as i64;
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        let slice_done = {
+            let task = tasks.get_mut(current);
+            let delta = ran.saturating_sub(task.pd.slice_used);
+            task.pd.slice_used = ran;
+            task.pd.vruntime += delta.0 * NICE0_WEIGHT / task.pd.weight.max(1) as u64;
+            ran >= self.params.min_granularity
+        };
+        // Once the current request (base slice) is fulfilled, the task
+        // would issue a new request with a later deadline; if any waiter is
+        // queued, the eligible-earliest-deadline pick goes to the queue.
+        slice_done && !self.rqs[cpu].queue.is_empty()
+    }
+
+    fn check_wakeup_preempt(
+        &mut self,
+        tasks: &TaskTable,
+        woken: TaskId,
+        cpu: CoreId,
+        current: TaskId,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt if the woken task is eligible with an earlier deadline.
+        let Some(v) = self.avg_vruntime(tasks, cpu) else {
+            return false;
+        };
+        let w = &tasks.get(woken).pd;
+        w.vruntime <= v && w.deadline < tasks.get(current).pd.deadline
+    }
+
+    fn sched_balance(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.rqs[c].queue.len())?;
+        let t = self.rqs[victim].queue.pop()?;
+        let rq_min = self.rqs[cpu].min_vruntime;
+        let task = tasks.get_mut(t);
+        task.pd.vruntime = task.pd.vruntime.max(rq_min);
+        task.pd.deadline = self.deadline(task.pd.vruntime, task.pd.weight);
+        task.pd.slice_used = Nanos::ZERO;
+        Some(t)
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+// ---------------------------------------------------------------------
+// CFS (dense max_core_id+1 runqueue vector, O(#cores) queue_len)
+// ---------------------------------------------------------------------
+
+struct CfsRq {
+    /// Tasks ordered by (vruntime, id).
+    tree: std::collections::BTreeSet<(u64, TaskId)>,
+    /// Monotonic floor for new/woken tasks' vruntime.
+    min_vruntime: u64,
+}
+
+impl CfsRq {
+    fn new() -> Self {
+        CfsRq {
+            tree: std::collections::BTreeSet::new(),
+            min_vruntime: 0,
+        }
+    }
+
+    fn leftmost(&self) -> Option<(u64, TaskId)> {
+        self.tree.first().copied()
+    }
+}
+
+/// Reference CFS: identical algorithm to [`crate::cfs::Cfs`] with the
+/// original dense `max_core_id + 1` runqueue layout and summed
+/// `queue_len`.
+pub struct Cfs {
+    rqs: Vec<CfsRq>,
+    cores: Vec<CoreId>,
+    params: SchedParams,
+}
+
+impl Cfs {
+    /// Creates the policy with Table 5 parameters.
+    pub fn new(params: SchedParams) -> Self {
+        Cfs {
+            rqs: Vec::new(),
+            cores: Vec::new(),
+            params,
+        }
+    }
+
+    /// Weight-scaled vruntime delta for `delta` wall time.
+    fn calc_delta(delta: Nanos, weight: u32) -> u64 {
+        delta.0 * NICE0_WEIGHT / weight.max(1) as u64
+    }
+
+    /// The dynamic slice: latency target shared among runnable tasks,
+    /// floored at the minimum granularity.
+    fn slice(&self, nr_running: usize) -> Nanos {
+        let shared = Nanos(self.params.sched_latency.0 / nr_running.max(1) as u64);
+        shared.max(self.params.min_granularity)
+    }
+
+    fn queued(&self, cpu: CoreId) -> usize {
+        self.rqs[cpu].tree.len()
+    }
+
+    /// Total queued tasks across all cores.
+    pub fn total_queued(&self) -> usize {
+        self.rqs.iter().map(|r| r.tree.len()).sum()
+    }
+}
+
+impl Policy for Cfs {
+    fn name(&self) -> &'static str {
+        "skyloft-cfs"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.rqs = (0..=max).map(|_| CfsRq::new()).collect();
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, _now: Nanos) {
+        let task = tasks.get_mut(t);
+        task.pd.vruntime = 0;
+        task.pd.slice_used = Nanos::ZERO;
+        if task.pd.weight == 0 {
+            task.pd.weight = NICE0_WEIGHT as u32;
+        }
+    }
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        let rq_min = self.rqs[cpu].min_vruntime;
+        let task = tasks.get_mut(t);
+        match flags {
+            EnqueueFlags::New => {
+                // New tasks start at the queue's minimum: no credit, no debt.
+                task.pd.vruntime = task.pd.vruntime.max(rq_min);
+            }
+            EnqueueFlags::Wakeup => {
+                // Sleeper compensation (place_entity): a woken task gets at
+                // most half a latency period of credit, so it runs soon but
+                // cannot starve the queue.
+                let credit = self.params.sched_latency.0 / 2;
+                task.pd.vruntime = task.pd.vruntime.max(rq_min.saturating_sub(credit));
+            }
+            EnqueueFlags::Preempted | EnqueueFlags::Yield => {
+                // Keep accumulated vruntime: fairness across preemptions.
+            }
+        }
+        let key = (task.pd.vruntime, t);
+        self.rqs[cpu].tree.insert(key);
+    }
+
+    fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        let (vr, t) = self.rqs[cpu].leftmost()?;
+        self.rqs[cpu].tree.remove(&(vr, t));
+        let rq = &mut self.rqs[cpu];
+        rq.min_vruntime = rq.min_vruntime.max(vr);
+        let task = tasks.get_mut(t);
+        task.pd.slice_used = Nanos::ZERO;
+        Some(t)
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Account the running task's vruntime since the last tick.
+        let (cur_vr, slice_total) = {
+            let task = tasks.get_mut(current);
+            let delta = ran.saturating_sub(task.pd.slice_used);
+            task.pd.slice_used = ran;
+            task.pd.vruntime += Self::calc_delta(delta, task.pd.weight);
+            (task.pd.vruntime, ran)
+        };
+        let Some((left_vr, _)) = self.rqs[cpu].leftmost() else {
+            return false;
+        };
+        // check_preempt_tick: preempt once the slice is used up, or if the
+        // leftmost waiter is far behind in vruntime.
+        let slice = self.slice(self.queued(cpu) + 1);
+        if slice_total >= slice && left_vr < cur_vr {
+            return true;
+        }
+        cur_vr > left_vr + self.params.sched_latency.0
+    }
+
+    fn check_wakeup_preempt(
+        &mut self,
+        tasks: &TaskTable,
+        woken: TaskId,
+        _cpu: CoreId,
+        current: TaskId,
+        _ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // check_preempt_wakeup: preempt if the woken task's vruntime is
+        // ahead (smaller) by more than the wakeup granularity.
+        let wakeup_gran = self.params.wakeup_gran.0;
+        let wv = tasks.get(woken).pd.vruntime;
+        let cv = tasks.get(current).pd.vruntime;
+        wv + wakeup_gran < cv
+    }
+
+    fn sched_balance(&mut self, tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.rqs[c].tree.len())?;
+        // Steal the *last* (largest-vruntime) entity: it would have run
+        // latest on its own queue, so migrating it costs the least locality.
+        let (vr, t) = self.rqs[victim].tree.last().copied()?;
+        self.rqs[victim].tree.remove(&(vr, t));
+        // Re-normalize to the thief's queue.
+        let rq_min = self.rqs[cpu].min_vruntime;
+        let task = tasks.get_mut(t);
+        task.pd.vruntime = task.pd.vruntime.max(rq_min);
+        task.pd.slice_used = Nanos::ZERO;
+        Some(t)
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-robin (dense queue vector)
+// ---------------------------------------------------------------------
+
+/// Reference round-robin: identical algorithm to [`crate::rr::RoundRobin`]
+/// with the original dense queue layout.
+pub struct RoundRobin {
+    queues: Vec<VecDeque<TaskId>>,
+    cores: Vec<CoreId>,
+    slice: Option<Nanos>,
+}
+
+impl RoundRobin {
+    /// Creates the policy with the given time slice (`None` = FIFO).
+    pub fn new(slice: Option<Nanos>) -> Self {
+        RoundRobin {
+            queues: Vec::new(),
+            cores: Vec::new(),
+            slice,
+        }
+    }
+
+    fn rq(&mut self, cpu: CoreId) -> &mut VecDeque<TaskId> {
+        &mut self.queues[cpu]
+    }
+
+    /// Total queued tasks across all cores.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Policy for RoundRobin {
+    fn name(&self) -> &'static str {
+        if self.slice.is_some() {
+            "skyloft-rr"
+        } else {
+            "skyloft-fifo"
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.queues = vec![VecDeque::new(); max + 1];
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        self.rq(cpu).push_back(t);
+    }
+
+    fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        self.rq(cpu).pop_front()
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        match self.slice {
+            Some(s) => ran >= s && !self.queues[cpu].is_empty(),
+            None => false,
+        }
+    }
+
+    fn sched_balance(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        // Pull from the longest queue (simple periodic balancing, as the
+        // kernel's RT pull logic would).
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.queues[c].len())?;
+        // Queues hold only *waiting* tasks (the running task is not queued),
+        // so stealing even a lone waiter keeps the machine work-conserving.
+        self.queues[victim].pop_back()
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Work stealing (dense queue vector)
+// ---------------------------------------------------------------------
+
+/// Reference work stealing: identical algorithm to
+/// [`crate::work_stealing::WorkStealing`] with the original dense queue
+/// layout.
+pub struct WorkStealing {
+    queues: Vec<VecDeque<TaskId>>,
+    cores: Vec<CoreId>,
+    /// Preemption quantum; `None` = cooperative (Shenango's model).
+    quantum: Option<Nanos>,
+    /// Successful steals (observability).
+    pub steals: u64,
+}
+
+impl WorkStealing {
+    /// Creates the policy. `quantum = None` disables preemption.
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        WorkStealing {
+            queues: Vec::new(),
+            cores: Vec::new(),
+            quantum,
+            steals: 0,
+        }
+    }
+
+    /// Total queued tasks.
+    pub fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+impl Policy for WorkStealing {
+    fn name(&self) -> &'static str {
+        if self.quantum.is_some() {
+            "skyloft-ws-preempt"
+        } else {
+            "skyloft-ws"
+        }
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PerCpu
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
+        self.queues = vec![VecDeque::new(); max + 1];
+        self.cores = env.worker_cores.clone();
+    }
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        _flags: EnqueueFlags,
+        _now: Nanos,
+    ) {
+        let cpu = cpu.unwrap_or(self.cores[0]);
+        self.queues[cpu].push_back(t);
+    }
+
+    fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
+        self.queues[cpu].pop_front()
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt over-quantum tasks when local work is waiting; remote
+        // waiters are served by stealing instead of bouncing the current
+        // task.
+        self.quantum
+            .is_some_and(|q| ran >= q && !self.queues[cpu].is_empty())
+    }
+
+    fn sched_balance(
+        &mut self,
+        _tasks: &mut TaskTable,
+        cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        // Steal from the longest queue (Shenango steals on idle).
+        let victim = self
+            .cores
+            .iter()
+            .copied()
+            .filter(|&c| c != cpu)
+            .max_by_key(|&c| self.queues[c].len())?;
+        let stolen = self.queues[victim].pop_back();
+        if stolen.is_some() {
+            self.steals += 1;
+        }
+        stolen
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.total_queued())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shinjuku (centralized FCFS)
+// ---------------------------------------------------------------------
+
+/// Reference Shinjuku: the centralized preemptive-FCFS policy, identical
+/// to [`crate::shinjuku::Shinjuku`].
+pub struct Shinjuku {
+    queue: VecDeque<(TaskId, Nanos)>,
+    quantum: Option<Nanos>,
+    /// Requests preempted at least once (observability).
+    pub preempted_requests: u64,
+}
+
+impl Shinjuku {
+    /// Creates the policy; `quantum = None` gives non-preemptive FCFS
+    /// (the "centralized FCFS" baseline shape).
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        Shinjuku {
+            queue: VecDeque::new(),
+            quantum,
+            preempted_requests: 0,
+        }
+    }
+}
+
+impl Policy for Shinjuku {
+    fn name(&self) -> &'static str {
+        "skyloft-shinjuku"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Centralized
+    }
+
+    fn sched_init(&mut self, _env: &SchedEnv) {}
+
+    fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_terminate(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
+
+    fn task_enqueue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        t: TaskId,
+        _cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        now: Nanos,
+    ) {
+        if flags == EnqueueFlags::Preempted {
+            self.preempted_requests += 1;
+        }
+        // FCFS: both fresh and preempted requests join the tail.
+        self.queue.push_back((t, now));
+    }
+
+    fn task_dequeue(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _now: Nanos,
+    ) -> Option<TaskId> {
+        self.queue.pop_front().map(|(t, _)| t)
+    }
+
+    fn sched_poll(
+        &mut self,
+        _tasks: &mut TaskTable,
+        idle_workers: &[CoreId],
+        _now: Nanos,
+        out: &mut Vec<(CoreId, TaskId)>,
+    ) {
+        for &core in idle_workers {
+            match self.queue.pop_front() {
+                Some((t, _)) => out.push((core, t)),
+                None => break,
+            }
+        }
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        _tasks: &mut TaskTable,
+        _cpu: CoreId,
+        _current: TaskId,
+        ran: Nanos,
+        _now: Nanos,
+    ) -> bool {
+        // Preempt a worker over quantum only when requests are waiting:
+        // bouncing a lone request through the queue buys nothing.
+        self.quantum
+            .is_some_and(|q| ran >= q && !self.queue.is_empty())
+    }
+
+    fn quantum(&self) -> Option<Nanos> {
+        self.quantum
+    }
+
+    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        Some(self.queue.len())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shinjuku + Shenango core allocation
+// ---------------------------------------------------------------------
+
+/// Reference Shinjuku+Shenango: wraps the reference [`Shinjuku`] with the
+/// same EWMA congestion signal as
+/// [`crate::shinjuku_shenango::ShinjukuShenango`].
+pub struct ShinjukuShenango {
+    inner: Shinjuku,
+    /// EWMA of the head-of-line queueing delay, in nanoseconds.
+    ewma_delay_ns: f64,
+    /// EWMA smoothing factor per observation.
+    alpha: f64,
+}
+
+impl ShinjukuShenango {
+    /// Creates the policy with the given preemption quantum.
+    pub fn new(quantum: Option<Nanos>) -> Self {
+        ShinjukuShenango {
+            inner: Shinjuku::new(quantum),
+            ewma_delay_ns: 0.0,
+            alpha: 0.25,
+        }
+    }
+
+    /// The smoothed congestion signal.
+    pub fn smoothed_delay(&self) -> Nanos {
+        Nanos(self.ewma_delay_ns as u64)
+    }
+
+    /// Feeds one queue-delay observation into the EWMA (called by the
+    /// allocator harness each decision interval).
+    pub fn observe_delay(&mut self, tasks: &TaskTable, now: Nanos) {
+        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO).0 as f64;
+        self.ewma_delay_ns = self.alpha * inst + (1.0 - self.alpha) * self.ewma_delay_ns;
+    }
+}
+
+impl Policy for ShinjukuShenango {
+    fn name(&self) -> &'static str {
+        "skyloft-shinjuku-shenango"
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Centralized
+    }
+
+    fn sched_init(&mut self, env: &SchedEnv) {
+        self.inner.sched_init(env);
+    }
+
+    fn task_init(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos) {
+        self.inner.task_init(tasks, t, now);
+    }
+
+    fn task_terminate(&mut self, tasks: &mut TaskTable, t: TaskId, now: Nanos) {
+        self.inner.task_terminate(tasks, t, now);
+    }
+
+    fn task_enqueue(
+        &mut self,
+        tasks: &mut TaskTable,
+        t: TaskId,
+        cpu: Option<CoreId>,
+        flags: EnqueueFlags,
+        now: Nanos,
+    ) {
+        self.inner.task_enqueue(tasks, t, cpu, flags, now);
+    }
+
+    fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, now: Nanos) -> Option<TaskId> {
+        self.inner.task_dequeue(tasks, cpu, now)
+    }
+
+    fn sched_poll(
+        &mut self,
+        tasks: &mut TaskTable,
+        idle_workers: &[CoreId],
+        now: Nanos,
+        out: &mut Vec<(CoreId, TaskId)>,
+    ) {
+        self.inner.sched_poll(tasks, idle_workers, now, out);
+    }
+
+    fn sched_timer_tick(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        current: TaskId,
+        ran: Nanos,
+        now: Nanos,
+    ) -> bool {
+        self.inner.sched_timer_tick(tasks, cpu, current, ran, now)
+    }
+
+    fn quantum(&self) -> Option<Nanos> {
+        self.inner.quantum()
+    }
+
+    /// The allocator's congestion probe: reports the max of the
+    /// instantaneous and smoothed delays so a spike is never hidden by
+    /// the average.
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO);
+        let smoothed = self.smoothed_delay();
+        if inst == Nanos::ZERO && smoothed == Nanos::ZERO {
+            None
+        } else {
+            Some(inst.max(smoothed))
+        }
+    }
+
+    fn queue_len(&self) -> Option<usize> {
+        self.inner.queue_len()
+    }
+}

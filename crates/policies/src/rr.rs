@@ -1,6 +1,11 @@
 //! Per-CPU round-robin with time slicing (Skyloft RR, §5.1; 141 LoC in
 //! Table 4). With `slice = None` the policy degenerates to per-CPU FIFO
 //! (the "Skyloft-FIFO, infinite time slice" series of Figure 6).
+//!
+//! Runqueues live in a dense array indexed through [`CoreMap`] (sparse
+//! core lists don't allocate dead queues) and `queue_len` reads a cached
+//! counter instead of summing per-core lengths. Decisions are
+//! bit-identical to [`crate::reference::RoundRobin`].
 
 use std::collections::VecDeque;
 
@@ -8,10 +13,15 @@ use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use skyloft::task::{TaskId, TaskTable};
 use skyloft_sim::Nanos;
 
+use crate::coremap::CoreMap;
+
 /// Round-robin policy state: one FIFO runqueue per core.
 pub struct RoundRobin {
     queues: Vec<VecDeque<TaskId>>,
+    map: CoreMap,
     cores: Vec<CoreId>,
+    /// Cached Σ of per-queue lengths (O(1) `queue_len`).
+    queued_total: usize,
     slice: Option<Nanos>,
 }
 
@@ -20,18 +30,21 @@ impl RoundRobin {
     pub fn new(slice: Option<Nanos>) -> Self {
         RoundRobin {
             queues: Vec::new(),
+            map: CoreMap::default(),
             cores: Vec::new(),
+            queued_total: 0,
             slice,
         }
     }
 
     fn rq(&mut self, cpu: CoreId) -> &mut VecDeque<TaskId> {
-        &mut self.queues[cpu]
+        let rqi = self.map.rq(cpu);
+        &mut self.queues[rqi]
     }
 
     /// Total queued tasks across all cores.
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queued_total
     }
 }
 
@@ -49,9 +62,10 @@ impl Policy for RoundRobin {
     }
 
     fn sched_init(&mut self, env: &SchedEnv) {
-        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
-        self.queues = vec![VecDeque::new(); max + 1];
+        self.map = CoreMap::new(&env.worker_cores);
+        self.queues = vec![VecDeque::new(); self.map.len()];
         self.cores = env.worker_cores.clone();
+        self.queued_total = 0;
     }
 
     fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
@@ -68,10 +82,15 @@ impl Policy for RoundRobin {
     ) {
         let cpu = cpu.unwrap_or(self.cores[0]);
         self.rq(cpu).push_back(t);
+        self.queued_total += 1;
     }
 
     fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
-        self.rq(cpu).pop_front()
+        let t = self.rq(cpu).pop_front();
+        if t.is_some() {
+            self.queued_total -= 1;
+        }
+        t
     }
 
     fn sched_timer_tick(
@@ -83,7 +102,7 @@ impl Policy for RoundRobin {
         _now: Nanos,
     ) -> bool {
         match self.slice {
-            Some(s) => ran >= s && !self.queues[cpu].is_empty(),
+            Some(s) => ran >= s && !self.queues[self.map.rq(cpu)].is_empty(),
             None => false,
         }
     }
@@ -101,10 +120,14 @@ impl Policy for RoundRobin {
             .iter()
             .copied()
             .filter(|&c| c != cpu)
-            .max_by_key(|&c| self.queues[c].len())?;
+            .max_by_key(|&c| self.queues[self.map.rq(c)].len())?;
         // Queues hold only *waiting* tasks (the running task is not queued),
         // so stealing even a lone waiter keeps the machine work-conserving.
-        self.queues[victim].pop_back()
+        let t = self.rq(victim).pop_back();
+        if t.is_some() {
+            self.queued_total -= 1;
+        }
+        t
     }
 
     fn queue_len(&self) -> Option<usize> {
@@ -189,5 +212,21 @@ mod tests {
         p2.task_enqueue(&mut tasks, t, Some(0), EnqueueFlags::New, Nanos::ZERO);
         assert_eq!(p2.sched_balance(&mut tasks, 1, Nanos::ZERO), Some(t));
         assert_eq!(p2.sched_balance(&mut tasks, 1, Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn sparse_core_list_uses_dense_queues() {
+        let mut p = RoundRobin::new(None);
+        p.sched_init(&SchedEnv {
+            worker_cores: vec![2, 63],
+            dispatcher: None,
+        });
+        assert_eq!(p.queues.len(), 2, "no dead queues for core-id holes");
+        let mut tasks = TaskTable::new();
+        let a = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, Some(63), EnqueueFlags::New, Nanos::ZERO);
+        assert_eq!(p.queue_len(), Some(1));
+        assert_eq!(p.task_dequeue(&mut tasks, 63, Nanos::ZERO), Some(a));
+        assert_eq!(p.queue_len(), Some(0));
     }
 }

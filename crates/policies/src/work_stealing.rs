@@ -7,6 +7,11 @@
 //! preemptive *without modifying the scheduler* — a RocksDB SCAN that
 //! exceeds the quantum is preempted and re-queued locally, so queued GETs
 //! behind it (or thieves) get the core (Figure 8b).
+//!
+//! Runqueues live in a dense array indexed through [`CoreMap`] (sparse
+//! core lists don't allocate dead queues) and `queue_len` reads a cached
+//! counter instead of summing per-core lengths. Decisions are
+//! bit-identical to [`crate::reference::WorkStealing`].
 
 use std::collections::VecDeque;
 
@@ -14,10 +19,15 @@ use skyloft::ops::{CoreId, EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use skyloft::task::{TaskId, TaskTable};
 use skyloft_sim::Nanos;
 
+use crate::coremap::CoreMap;
+
 /// Work-stealing policy state.
 pub struct WorkStealing {
     queues: Vec<VecDeque<TaskId>>,
+    map: CoreMap,
     cores: Vec<CoreId>,
+    /// Cached Σ of per-queue lengths (O(1) `queue_len`).
+    queued_total: usize,
     /// Preemption quantum; `None` = cooperative (Shenango's model).
     quantum: Option<Nanos>,
     /// Successful steals (observability).
@@ -29,7 +39,9 @@ impl WorkStealing {
     pub fn new(quantum: Option<Nanos>) -> Self {
         WorkStealing {
             queues: Vec::new(),
+            map: CoreMap::default(),
             cores: Vec::new(),
+            queued_total: 0,
             quantum,
             steals: 0,
         }
@@ -37,7 +49,7 @@ impl WorkStealing {
 
     /// Total queued tasks.
     pub fn total_queued(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queued_total
     }
 }
 
@@ -55,9 +67,10 @@ impl Policy for WorkStealing {
     }
 
     fn sched_init(&mut self, env: &SchedEnv) {
-        let max = env.worker_cores.iter().copied().max().unwrap_or(0);
-        self.queues = vec![VecDeque::new(); max + 1];
+        self.map = CoreMap::new(&env.worker_cores);
+        self.queues = vec![VecDeque::new(); self.map.len()];
         self.cores = env.worker_cores.clone();
+        self.queued_total = 0;
     }
 
     fn task_init(&mut self, _tasks: &mut TaskTable, _t: TaskId, _now: Nanos) {}
@@ -72,12 +85,17 @@ impl Policy for WorkStealing {
         _flags: EnqueueFlags,
         _now: Nanos,
     ) {
-        let cpu = cpu.unwrap_or(self.cores[0]);
-        self.queues[cpu].push_back(t);
+        let rqi = self.map.rq(cpu.unwrap_or(self.cores[0]));
+        self.queues[rqi].push_back(t);
+        self.queued_total += 1;
     }
 
     fn task_dequeue(&mut self, _tasks: &mut TaskTable, cpu: CoreId, _now: Nanos) -> Option<TaskId> {
-        self.queues[cpu].pop_front()
+        let t = self.queues[self.map.rq(cpu)].pop_front();
+        if t.is_some() {
+            self.queued_total -= 1;
+        }
+        t
     }
 
     fn sched_timer_tick(
@@ -92,7 +110,7 @@ impl Policy for WorkStealing {
         // waiters are served by stealing instead of bouncing the current
         // task.
         self.quantum
-            .is_some_and(|q| ran >= q && !self.queues[cpu].is_empty())
+            .is_some_and(|q| ran >= q && !self.queues[self.map.rq(cpu)].is_empty())
     }
 
     fn sched_balance(
@@ -107,10 +125,11 @@ impl Policy for WorkStealing {
             .iter()
             .copied()
             .filter(|&c| c != cpu)
-            .max_by_key(|&c| self.queues[c].len())?;
-        let stolen = self.queues[victim].pop_back();
+            .max_by_key(|&c| self.queues[self.map.rq(c)].len())?;
+        let stolen = self.queues[self.map.rq(victim)].pop_back();
         if stolen.is_some() {
             self.steals += 1;
+            self.queued_total -= 1;
         }
         stolen
     }
@@ -189,5 +208,22 @@ mod tests {
         p.sched_balance(&mut tasks, 2, Nanos::ZERO).unwrap();
         assert_eq!(p.queues[1].len(), 2, "stole from the longest queue");
         assert_eq!(p.queues[0].len(), 1);
+    }
+
+    #[test]
+    fn sparse_core_list_uses_dense_queues() {
+        let mut p = WorkStealing::new(None);
+        p.sched_init(&SchedEnv {
+            worker_cores: vec![7, 31],
+            dispatcher: None,
+        });
+        assert_eq!(p.queues.len(), 2, "no dead queues for core-id holes");
+        let mut tasks = TaskTable::new();
+        let a = mk(&mut tasks);
+        p.task_enqueue(&mut tasks, a, Some(31), EnqueueFlags::New, Nanos::ZERO);
+        assert_eq!(p.queue_len(), Some(1));
+        // The mapped sibling core steals across the id gap.
+        assert_eq!(p.sched_balance(&mut tasks, 7, Nanos::ZERO), Some(a));
+        assert_eq!(p.queue_len(), Some(0));
     }
 }
