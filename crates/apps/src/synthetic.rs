@@ -59,6 +59,49 @@ const CLIENT_IP: u32 = 0x0a00_0001;
 const SERVER_IP: u32 = 0x0a00_0002;
 const SERVER_PORT: u16 = 11_211;
 
+/// First source port of the synthetic client population; request `seq`
+/// uses port `FLOW_PORT_BASE + seq % FLOW_COUNT`.
+const FLOW_PORT_BASE: u16 = 20_000;
+/// Distinct client flows the generator cycles through.
+const FLOW_COUNT: u64 = 20_000;
+
+/// Per-flow Toeplitz hash cache for the synthetic client population.
+///
+/// Only the source port varies between flows, and the generator cycles
+/// through [`FLOW_COUNT`] of them, so in steady state every packet of a
+/// flow after its first reuses the hash instead of re-walking the
+/// 12-byte tuple. The hash depends on the RSS *key* alone — never
+/// rewritten mid-run — not the indirection table, so cached values stay
+/// valid across chaos indirection rewrites; steering still goes through
+/// the live table via [`RssHasher::ring_for_hash`]. Each slot remembers
+/// the port it was filled for, so an out-of-pattern port can never alias
+/// another flow's hash.
+struct FlowHashCache {
+    slots: Vec<Option<(u16, u32)>>,
+}
+
+impl FlowHashCache {
+    fn new() -> Self {
+        FlowHashCache {
+            slots: vec![None; FLOW_COUNT as usize],
+        }
+    }
+
+    /// The Toeplitz hash of the flow with source port `src_port`,
+    /// computed on first use and cached thereafter.
+    fn hash(&mut self, h: &RssHasher, src_port: u16) -> u32 {
+        let idx = usize::from(src_port.wrapping_sub(FLOW_PORT_BASE)) % self.slots.len();
+        match self.slots[idx] {
+            Some((port, hash)) if port == src_port => hash,
+            _ => {
+                let hash = h.hash_flow(CLIENT_IP, SERVER_IP, src_port, SERVER_PORT);
+                self.slots[idx] = Some((src_port, hash));
+                hash
+            }
+        }
+    }
+}
+
 /// Seed of the wire-transit jitter RNG. A fixed constant, not wall-clock
 /// derived: a sweep point must replay identically whether it runs on the
 /// serial or the threaded harness.
@@ -153,6 +196,7 @@ fn schedule_next_direct(
     let mut pending = first;
     let mut seq: u64 = 0;
     let mut wire = Rng::seed_from_u64(WIRE_SEED);
+    let mut flow_cache = rss.as_ref().map(|_| FlowHashCache::new());
     let hook = move |m: &mut Machine, q: &mut EventQueue<Event>| {
         let req = pending;
         let fate = match net.as_mut() {
@@ -163,8 +207,14 @@ fn schedule_next_direct(
             Some(h) => {
                 // Model a distinct client flow per request (varying
                 // source port), hashed by the NIC onto a worker ring.
-                let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
-                let core = h.ring_for_flow(CLIENT_IP, SERVER_IP, src_port, SERVER_PORT);
+                // Steady-state flows hash once: the cache keyed by source
+                // port skips the Toeplitz walk after a flow's first packet.
+                let src_port = FLOW_PORT_BASE.wrapping_add((seq % FLOW_COUNT) as u16);
+                let hash = flow_cache
+                    .as_mut()
+                    .expect("cache exists with rss")
+                    .hash(h, src_port);
+                let core = h.ring_for_hash(hash);
                 (Some(core), skyloft_net::nic::per_request_overhead())
             }
             None => (None, Nanos::ZERO),
@@ -335,6 +385,10 @@ struct PlaneState {
     loss_pending: u64,
     /// Rolls the choice of which indirection entry a chaos fault wedges.
     stick_seq: u64,
+    /// Per-flow Toeplitz hash cache: steady-state flows hash once, and
+    /// [`nic_rx`] steers by cached hash through the live indirection
+    /// table.
+    flow_cache: FlowHashCache,
 }
 
 /// Installs an open-loop arrival process routed through an explicitly
@@ -401,6 +455,7 @@ pub fn install_open_loop_ctl(
         }),
         loss_pending: 0,
         stick_seq: 0,
+        flow_cache: FlowHashCache::new(),
     }));
 
     // The arrival chain: one Recur carrying the generator, as on the
@@ -415,7 +470,7 @@ pub fn install_open_loop_ctl(
             Some(p) => p.loss.fate(),
             None => PacketFate::Deliver,
         };
-        let src_port = 20_000u16.wrapping_add((seq % 20_000) as u16);
+        let src_port = FLOW_PORT_BASE.wrapping_add((seq % FLOW_COUNT) as u16);
         seq += 1;
         let now = q.now();
         {
@@ -647,10 +702,12 @@ fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState
         m.stats.retries_spent += 1;
         m.note_net(now, None, NetTrace::NetRetry);
     }
-    match s
-        .nic
-        .enqueue_flow(now, CLIENT_IP, SERVER_IP, pkt.src_port, SERVER_PORT, pkt)
-    {
+    // Steer by the cached flow hash (identical to `enqueue_flow`, minus
+    // the repeat Toeplitz walk); the indirection lookup still reads the
+    // live table, so chaos rewrites keep steering exactly as before.
+    let s = &mut *s;
+    let hash = s.flow_cache.hash(s.nic.hasher(), pkt.src_port);
+    match s.nic.enqueue_hashed(now, hash, pkt) {
         Ok(ring) => {
             if pkt.attempt == 0 {
                 m.stats.net_in_flight += 1;
@@ -662,7 +719,7 @@ fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState
                 m.stats.rx_ring_drops += 1;
             }
             m.note_net(now, Some(ring), NetTrace::RxDrop);
-            client_loss(q, st, &mut s, pkt);
+            client_loss(q, st, s, pkt);
         }
     }
 }

@@ -472,6 +472,7 @@ impl Machine {
         for t in skipped {
             self.policy
                 .task_enqueue(&mut self.tasks, t, Some(core), EnqueueFlags::Preempted, now);
+            self.dispatch_gen += 1;
         }
         cand
     }
@@ -710,6 +711,7 @@ impl Machine {
                     EnqueueFlags::Preempted,
                     now,
                 );
+                self.dispatch_gen += 1;
                 break;
             };
             self.policy.task_enqueue(
@@ -719,6 +721,7 @@ impl Machine {
                 EnqueueFlags::Preempted,
                 now,
             );
+            self.dispatch_gen += 1;
             self.tasks.get_mut(t).last_cpu = Some(target);
             migrated += 1;
             #[cfg(feature = "trace")]

@@ -412,6 +412,21 @@ pub struct Machine {
     /// earlier placements until this time (ghOSt's transaction commits make
     /// this the throughput bottleneck, §5.2).
     dispatcher_free_at: Nanos,
+    /// Re-entrancy guard for [`Machine::dispatch`]: a trigger landing while
+    /// a pass is committing placements folds into that pass instead of
+    /// re-entering (and double-charging `dispatcher_free_at`).
+    in_dispatch: bool,
+    /// Set by a dispatch trigger that arrived mid-pass; the pass loop
+    /// re-polls before returning.
+    dispatch_dirty: bool,
+    /// Monotone change counter for the centralized dispatch inputs: bumped
+    /// by every policy enqueue and every idle-set 0→1 transition. Together
+    /// with `last_poll` it coalesces same-timestamp dispatch triggers —
+    /// see [`Machine::dispatch`].
+    pub(crate) dispatch_gen: u64,
+    /// `(timestamp, dispatch_gen)` at the last completed dispatch pass. A
+    /// re-trigger with both unchanged is provably fruitless and skipped.
+    last_poll: (Nanos, u64),
     pub(crate) started: bool,
     /// Scheduling trace rings + runtime invariant checker (see
     /// [`crate::trace`]); fed by [`Machine::handle`] on every event.
@@ -484,6 +499,11 @@ impl Machine {
             poll_scratch: Vec::new(),
             oneshot_pool: Vec::new(),
             dispatcher_free_at: Nanos::ZERO,
+            in_dispatch: false,
+            dispatch_dirty: false,
+            dispatch_gen: 0,
+            // Sentinel generation: the first dispatch must never be skipped.
+            last_poll: (Nanos::ZERO, u64::MAX),
             plat: cfg.plat,
             started: false,
             #[cfg(feature = "trace")]
@@ -612,9 +632,21 @@ impl Machine {
     }
 
     /// Runs the machine until `deadline`. Returns events processed.
+    ///
+    /// Events are drained in same-timestamp batches
+    /// ([`skyloft_sim::run_batched_until`]), so per-event fixed costs —
+    /// the deadline compare, the wheel re-probe, the trace-activity check
+    /// and the post-event invariant validation — are paid once per batch.
+    /// Handler order is identical to the serial event-at-a-time loop
+    /// (same `(time, seq)` order; see [`Machine::handle_batch`]).
     pub fn run(&mut self, q: &mut EventQueue<Event>, deadline: Nanos) -> u64 {
         assert!(self.started, "call start() first");
-        skyloft_sim::run_until(self, q, deadline, |m, ev, q| m.handle(ev, q))
+        let mut batch = Vec::new();
+        let mut handled = 0u64;
+        skyloft_sim::run_batched_until(self, q, deadline, &mut batch, |m, at, b, q| {
+            handled += m.handle_batch(at, b, q);
+        });
+        handled
     }
 
     /// Busy nanoseconds of an application since the last stats reset,
@@ -865,6 +897,46 @@ impl Machine {
         self.check_invariants(q.now());
     }
 
+    /// Processes one same-timestamp batch of events drained by
+    /// [`skyloft_sim::EventQueue::pop_batch`].
+    ///
+    /// Decision-identical to calling [`Machine::handle`] on each event in
+    /// `(time, seq)` order: claims are redeemed one at a time, so a
+    /// handler that cancels a later event of the *same* timestamp (a
+    /// preemption cancelling a pending segment completion) makes that
+    /// claim redeem to `None` and the event is skipped, exactly as if it
+    /// had been removed from the wheel. The batch prologue hoists the
+    /// trace-activity check, and the invariant validation runs once at the
+    /// end of the batch — a subset of the serial per-event checkpoints, so
+    /// any state that validates serially validates here too. Returns the
+    /// number of events handled.
+    pub fn handle_batch(
+        &mut self,
+        at: Nanos,
+        batch: &mut Vec<skyloft_sim::BatchSlot>,
+        q: &mut EventQueue<Event>,
+    ) -> u64 {
+        #[cfg(not(feature = "trace"))]
+        let _ = at;
+        #[cfg(feature = "trace")]
+        let tracing = self.tracer.is_active();
+        let mut handled = 0;
+        for claim in batch.drain(..) {
+            let Some(ev) = q.take_batched(claim) else {
+                continue;
+            };
+            #[cfg(feature = "trace")]
+            if tracing {
+                self.trace_raw(&ev, at);
+            }
+            self.dispatch_event(ev, q);
+            handled += 1;
+        }
+        #[cfg(feature = "trace")]
+        self.check_invariants(at);
+        handled
+    }
+
     /// Dispatches one event to its handler.
     fn dispatch_event(&mut self, ev: Event, q: &mut EventQueue<Event>) {
         match ev {
@@ -901,6 +973,7 @@ impl Machine {
                         EnqueueFlags::Preempted,
                         now,
                     );
+                    self.dispatch_gen += 1;
                     return;
                 }
                 debug_assert!(self.cores[core].current.is_none());
@@ -1303,6 +1376,7 @@ impl Machine {
             PolicyKind::Centralized => {
                 self.policy
                     .task_enqueue(&mut self.tasks, t, hint, flags, now);
+                self.dispatch_gen += 1;
                 self.dispatch(q);
             }
             PolicyKind::PerCpu => {
@@ -1389,14 +1463,56 @@ impl Machine {
         let c = &self.cores[core];
         let dispatchable = c.role == CoreRole::Worker && c.is_idle() && !c.granted_to_be;
         let bit = 1u64 << (core % 64);
+        let word = &mut self.idle_mask[core / 64];
         if dispatchable {
-            self.idle_mask[core / 64] |= bit;
+            // A 0→1 transition grows the dispatchable set: invalidate any
+            // completed dispatch pass at this timestamp.
+            if *word & bit == 0 {
+                *word |= bit;
+                self.dispatch_gen += 1;
+            }
         } else {
-            self.idle_mask[core / 64] &= !bit;
+            *word &= !bit;
         }
     }
 
     /// Centralized dispatch: hand queued tasks to idle LC-owned workers.
+    ///
+    /// Same-timestamp dispatch triggers are coalesced behind a change
+    /// generation: the preempt/yield paths fire `dispatch` twice in a row
+    /// (once from the re-enqueue, once from the freed core's schedule
+    /// loop), and the second trigger — same timestamp, no enqueue, no new
+    /// idle core since the completed pass — is provably fruitless, so one
+    /// `sched_poll` serves the whole burst. Coalescing never *defers* a
+    /// productive poll (that could reorder placements); it only skips
+    /// exact re-polls, so decisions are byte-identical to polling on every
+    /// trigger. A trigger landing while a pass is mid-commit sets the
+    /// dirty flag and folds into the current pass instead of re-entering
+    /// and double-charging `dispatcher_free_at`.
+    pub(crate) fn dispatch(&mut self, q: &mut EventQueue<Event>) {
+        if self.policy.kind() != PolicyKind::Centralized {
+            return;
+        }
+        if self.in_dispatch {
+            self.dispatch_dirty = true;
+            return;
+        }
+        if self.last_poll == (q.now(), self.dispatch_gen) {
+            return;
+        }
+        self.in_dispatch = true;
+        loop {
+            self.dispatch_dirty = false;
+            self.dispatch_pass(q);
+            if !self.dispatch_dirty {
+                break;
+            }
+        }
+        self.in_dispatch = false;
+    }
+
+    /// One dispatch pass: poll the policy over the usable idle set and
+    /// commit the placements on the serialized dispatcher core.
     ///
     /// Runs at dispatch rate on the hot path, so the idle list and the
     /// placement list live in machine-owned scratch buffers instead of
@@ -1404,10 +1520,7 @@ impl Machine {
     /// incrementally maintained bitmask instead of a `worker_cores` scan
     /// (only `core_usable`, which depends on the current time under
     /// injected stalls, is checked per set bit).
-    pub(crate) fn dispatch(&mut self, q: &mut EventQueue<Event>) {
-        if self.policy.kind() != PolicyKind::Centralized {
-            return;
-        }
+    fn dispatch_pass(&mut self, q: &mut EventQueue<Event>) {
         let mut idle = std::mem::take(&mut self.idle_scratch);
         idle.clear();
         for (wi, &word) in self.idle_mask.iter().enumerate() {
@@ -1434,6 +1547,10 @@ impl Machine {
         }
         if idle.is_empty() {
             self.idle_scratch = idle;
+            // An empty usable-idle set is still a completed (vacuous)
+            // pass: until an enqueue or an idle transition bumps the
+            // generation, nothing at this timestamp can make it fruitful.
+            self.last_poll = (q.now(), self.dispatch_gen);
             return;
         }
         let now = q.now();
@@ -1456,6 +1573,9 @@ impl Machine {
         self.dispatcher_free_at = busy_until;
         self.idle_scratch = idle;
         self.poll_scratch = placements;
+        // Committing placements only *clears* idle bits, so the generation
+        // recorded here still matches the inputs this pass saw.
+        self.last_poll = (now, self.dispatch_gen);
     }
 
     /// The per-core main scheduling loop (§4.1's idle user thread).

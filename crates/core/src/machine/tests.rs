@@ -659,3 +659,94 @@ fn utimer_emulation_preempts_via_ipis() {
         m.stats.preemptions
     );
 }
+
+#[cfg(feature = "trace")]
+#[test]
+fn runtime_trace_disable_records_nothing() {
+    // The cached `tracing_active` flag must make the emit paths a single
+    // branch: with the ring disabled at runtime, no TraceEvent is
+    // constructed (nothing buffered, nothing evicted), while scheduling
+    // decisions and the independently-controlled invariant checker are
+    // unaffected.
+    let run_one = |active: bool| {
+        let (mut m, mut q) = percpu_machine(2, Box::new(GlobalFifo::new()));
+        m.tracer.set_active(active);
+        for i in 0..8 {
+            m.spawn_request(&mut q, 0, Nanos::from_us(20 + i * 3), 0, None);
+        }
+        m.run(&mut q, Nanos::from_ms(1));
+        m
+    };
+    let off = run_one(false);
+    assert!(off.tracer.is_empty(), "disabled ring must stay empty");
+    assert_eq!(
+        off.tracer.dropped(),
+        0,
+        "nothing constructed, nothing evicted"
+    );
+    assert!(
+        off.tracer.checker.checks_run() > 0,
+        "checker is independent"
+    );
+    let on = run_one(true);
+    assert!(!on.tracer.is_empty());
+    // Identical decisions either way.
+    assert_eq!(off.stats.completed, on.stats.completed);
+    assert_eq!(
+        off.stats.resp_hist.percentile(99.0),
+        on.stats.resp_hist.percentile(99.0)
+    );
+}
+
+#[test]
+fn batched_run_is_decision_identical_to_serial_handling() {
+    // Machine-level differential for the batch pipeline: the same workload
+    // driven through `Machine::run` (same-timestamp batches, coalesced
+    // dispatch triggers) and through the serial event-at-a-time loop must
+    // produce identical statistics. Bursts of arrivals share timestamps
+    // with quantum checks and preemptions, so this exercises multi-event
+    // batches, the dispatch generation skip, and intra-batch cancellation
+    // (a preemption cancelling a same-timestamp segment completion).
+    let build = || {
+        let (mut m, mut q) = central_machine(2, Some(Nanos::from_us(5)), None);
+        m.start(&mut q);
+        for i in 0..60u64 {
+            let at = Nanos((i / 5) * 5_000);
+            let service = Nanos::from_us(3 + (i % 7) * 4);
+            let class = (i % 3) as u8;
+            q.schedule(
+                at,
+                Event::Call(Call(Box::new(move |m, q| {
+                    m.spawn_request(q, 0, service, class, None);
+                }))),
+            );
+        }
+        (m, q)
+    };
+    let deadline = Nanos::from_ms(20);
+    let (mut serial_m, mut serial_q) = build();
+    skyloft_sim::run_until(&mut serial_m, &mut serial_q, deadline, |m, ev, q| {
+        m.handle(ev, q)
+    });
+    let (mut batched_m, mut batched_q) = build();
+    batched_m.run(&mut batched_q, deadline);
+    assert_eq!(batched_m.stats.completed, serial_m.stats.completed);
+    assert!(batched_m.stats.completed > 0, "workload must complete work");
+    assert_eq!(batched_m.stats.preemptions, serial_m.stats.preemptions);
+    assert!(serial_m.stats.preemptions > 0, "workload must preempt");
+    assert_eq!(batched_m.stats.app_switches, serial_m.stats.app_switches);
+    assert_eq!(
+        batched_m.stats.uthread_switches,
+        serial_m.stats.uthread_switches
+    );
+    assert_eq!(batched_m.stats.spurious_ipis, serial_m.stats.spurious_ipis);
+    for p in [50.0, 90.0, 99.0, 100.0] {
+        assert_eq!(
+            batched_m.stats.resp_hist.percentile(p),
+            serial_m.stats.resp_hist.percentile(p),
+            "p{p} diverged"
+        );
+    }
+    assert_eq!(batched_q.now(), serial_q.now());
+    assert_eq!(batched_q.len(), serial_q.len());
+}

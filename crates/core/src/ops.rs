@@ -84,6 +84,44 @@ pub trait Policy {
     /// `task_dequeue`: selects and removes the next task to run on `cpu`.
     fn task_dequeue(&mut self, tasks: &mut TaskTable, cpu: CoreId, now: Nanos) -> Option<TaskId>;
 
+    /// Batched `task_enqueue` for a burst of tasks that become runnable at
+    /// the same instant (a same-timestamp event batch). The default is a
+    /// loop of singles; policies with aggregate bookkeeping (EEVDF's
+    /// weighted-average accumulators, CFS's cached counters) override it to
+    /// fold the whole burst into one aggregate update. Overrides MUST be
+    /// decision-identical to the serial loop — the batch differential
+    /// proptests in `tests/differential.rs` hold them to it.
+    fn enqueue_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        batch: &[(TaskId, Option<CoreId>, EnqueueFlags)],
+        now: Nanos,
+    ) {
+        for &(t, hint, flags) in batch {
+            self.task_enqueue(tasks, t, hint, flags, now);
+        }
+    }
+
+    /// Batched `task_dequeue`: picks up to `max` tasks from `cpu`'s queue,
+    /// appending them to `out` in pick order. The default is a loop of
+    /// singles; overrides may defer per-pick floor/aggregate maintenance to
+    /// once per batch but MUST return the exact serial pick sequence.
+    fn pick_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        max: usize,
+        now: Nanos,
+        out: &mut Vec<TaskId>,
+    ) {
+        for _ in 0..max {
+            match self.task_dequeue(tasks, cpu, now) {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+    }
+
     /// `task_block`: the current task on `cpu` suspended itself.
     fn task_block(&mut self, _tasks: &mut TaskTable, _t: TaskId, _cpu: CoreId, _now: Nanos) {}
 
@@ -243,5 +281,28 @@ mod tests {
         assert!(placements.is_empty());
         assert_eq!(p.quantum(), None);
         assert_eq!(p.queue_delay(&tasks, Nanos(1)), None);
+    }
+
+    #[test]
+    fn default_batch_ops_are_loops_of_singles() {
+        use crate::task::Task;
+        let mut tasks = TaskTable::new();
+        let mut p = Fifo {
+            q: Default::default(),
+        };
+        let ids: Vec<TaskId> = (0..3)
+            .map(|_| tasks.insert(|id| Task::bare(id, 0)))
+            .collect();
+        let batch: Vec<(TaskId, Option<CoreId>, EnqueueFlags)> = ids
+            .iter()
+            .map(|&t| (t, Some(0), EnqueueFlags::New))
+            .collect();
+        p.enqueue_batch(&mut tasks, &batch, Nanos(1));
+        let mut picked = Vec::new();
+        p.pick_batch(&mut tasks, 0, 2, Nanos(2), &mut picked);
+        assert_eq!(picked, &ids[..2]);
+        // `max` larger than the queue drains it and stops.
+        p.pick_batch(&mut tasks, 0, 10, Nanos(3), &mut picked);
+        assert_eq!(picked, ids);
     }
 }

@@ -296,6 +296,8 @@ pub struct Tracer {
     rings: Vec<Ring>,
     capacity: usize,
     dropped: u64,
+    /// Master runtime recording switch (see [`Tracer::set_active`]).
+    active: bool,
     /// The runtime invariant checker driven by [`Machine::handle`].
     pub checker: InvariantChecker,
 }
@@ -319,8 +321,27 @@ impl Tracer {
                 .collect(),
             capacity,
             dropped: 0,
+            active: true,
             checker: InvariantChecker::default(),
         }
+    }
+
+    /// Whether recording is active (see [`Tracer::set_active`]).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Enables or disables recording at runtime.
+    ///
+    /// While inactive, the machine's emit paths take one predictable
+    /// branch and construct no [`TraceEvent`] at all — benchmark drivers
+    /// can turn the ring off without rebuilding the machine or compiling
+    /// out the `trace` feature. Scheduling decisions are unaffected either
+    /// way, and the invariant checker is controlled independently through
+    /// [`InvariantChecker::enabled`].
+    pub fn set_active(&mut self, on: bool) {
+        self.active = on;
     }
 
     /// Appends an event to its core's ring (machine-wide events go to the
@@ -641,6 +662,9 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
 impl Machine {
     /// Records the raw event entering [`Machine::handle`].
     pub(crate) fn trace_raw(&mut self, ev: &Event, now: Nanos) {
+        if !self.tracer.active {
+            return;
+        }
         let (core, task, kind) = match ev {
             Event::TimerFire { core } => (Some(*core), None, TraceKind::TimerFire),
             Event::IpiArrive {
@@ -681,6 +705,12 @@ impl Machine {
         task: Option<TaskId>,
         kind: TraceKind,
     ) {
+        // The cached runtime flag is the whole fast path: when the ring is
+        // off, every emit site is a single well-predicted branch with no
+        // TraceEvent construction or app resolution behind it.
+        if !self.tracer.active {
+            return;
+        }
         let app = task
             .filter(|&t| self.tasks.contains(t))
             .map(|t| self.tasks.get(t).app);

@@ -11,6 +11,53 @@
 /// Number of entries in the RSS indirection table (82599-class NICs).
 pub const INDIRECTION_ENTRIES: usize = 128;
 
+/// Longest flow tuple covered by the per-byte lookup tables (an IPv4
+/// 4-tuple: two addresses plus two ports). Longer inputs fall back to the
+/// bit-serial reference.
+const MAX_TUPLE_BYTES: usize = 12;
+
+/// Builds the DPDK-style per-byte-position lookup tables for `key`.
+///
+/// The Toeplitz hash is GF(2)-linear in the input bits: each set input
+/// bit XORs a 32-bit window of the key into the result, and windows
+/// depend only on the bit's absolute position. So the contribution of a
+/// whole byte value at a given byte position is a constant, and
+/// `lut[pos][b]` precomputes it — hashing a tuple becomes one table XOR
+/// per byte instead of eight window shifts per byte.
+fn build_lut(key: &[u8; 40]) -> Box<[[u32; 256]; MAX_TUPLE_BYTES]> {
+    // The 32 key bits starting at absolute bit offset `bit`, zero-padded
+    // past the end of the key (matching the serial implementation).
+    let key_window = |bit: usize| -> u32 {
+        let mut w = 0u32;
+        for k in bit..bit + 32 {
+            let b = if k / 8 < key.len() {
+                (key[k / 8] >> (7 - (k % 8))) & 1
+            } else {
+                0
+            };
+            w = (w << 1) | b as u32;
+        }
+        w
+    };
+    let mut lut = Box::new([[0u32; 256]; MAX_TUPLE_BYTES]);
+    for (pos, table) in lut.iter_mut().enumerate() {
+        let mut windows = [0u32; 8];
+        for (j, w) in windows.iter_mut().enumerate() {
+            *w = key_window(pos * 8 + j);
+        }
+        for (b, entry) in table.iter_mut().enumerate() {
+            let mut h = 0u32;
+            for (j, &w) in windows.iter().enumerate() {
+                if (b >> (7 - j)) & 1 == 1 {
+                    h ^= w;
+                }
+            }
+            *entry = h;
+        }
+    }
+    lut
+}
+
 /// Toeplitz hasher over a 40-byte secret key plus the 128-entry
 /// indirection table, as NICs implement RSS.
 #[derive(Clone, Debug)]
@@ -19,6 +66,9 @@ pub struct RssHasher {
     n_rings: usize,
     /// `table[hash & 0x7f]` is the ring receiving the flow.
     table: [u16; INDIRECTION_ENTRIES],
+    /// Per-byte-position hash contributions (see [`build_lut`]), rebuilt
+    /// only when the key changes.
+    lut: Box<[[u32; 256]; MAX_TUPLE_BYTES]>,
 }
 
 impl RssHasher {
@@ -47,7 +97,22 @@ impl RssHasher {
             key: Self::DEFAULT_KEY,
             n_rings,
             table,
+            lut: build_lut(&Self::DEFAULT_KEY),
         }
+    }
+
+    /// The current 40-byte RSS secret key.
+    pub fn key(&self) -> &[u8; 40] {
+        &self.key
+    }
+
+    /// Replaces the secret key and rebuilds the per-byte lookup tables
+    /// (the one-time cost that buys table-XOR hashing on every packet).
+    /// Existing flows will rehash — on hardware, drivers only do this
+    /// before bringing the interface up.
+    pub fn set_key(&mut self, key: [u8; 40]) {
+        self.key = key;
+        self.lut = build_lut(&key);
     }
 
     /// Number of rings the indirection table spreads over.
@@ -81,7 +146,27 @@ impl RssHasher {
     /// The Toeplitz hash of `input` (the flow tuple bytes), conformant to
     /// the Microsoft RSS verification suite (see the pinned vectors in the
     /// tests below).
+    ///
+    /// Flow tuples up to 12 bytes (every IPv4 case) take the per-byte
+    /// lookup-table path: one XOR per input byte. Longer inputs fall back
+    /// to [`RssHasher::toeplitz_serial`]; both produce identical hashes
+    /// (pinned by the differential test below).
     pub fn toeplitz(&self, input: &[u8]) -> u32 {
+        if input.len() > MAX_TUPLE_BYTES {
+            return self.toeplitz_serial(input);
+        }
+        let mut result = 0u32;
+        for (pos, &byte) in input.iter().enumerate() {
+            result ^= self.lut[pos][byte as usize];
+        }
+        result
+    }
+
+    /// Bit-serial reference Toeplitz: the textbook sliding-window
+    /// formulation. Kept as the specification the lookup-table fast path
+    /// is tested against, and as the fallback for inputs longer than the
+    /// precomputed tables.
+    pub fn toeplitz_serial(&self, input: &[u8]) -> u32 {
         let mut result: u32 = 0;
         // The key is consumed as a sliding 32-bit window, one bit per input
         // bit.
@@ -205,6 +290,64 @@ mod tests {
                 "ring {i} got {c} of 4000 flows — bad spread: {counts:?}"
             );
         }
+    }
+
+    #[test]
+    fn lut_matches_bit_serial_reference() {
+        // The lookup-table fast path must agree with the bit-serial
+        // reference for every input length it covers, under the default
+        // and a rotated key. Inputs sweep all byte positions and values.
+        let mut h = RssHasher::new(4);
+        let mut rotated = RssHasher::DEFAULT_KEY;
+        rotated.rotate_left(7);
+        for key in [RssHasher::DEFAULT_KEY, rotated] {
+            h.set_key(key);
+            let mut state = 0x1234_5678_9abc_def0u64;
+            for len in 0..=MAX_TUPLE_BYTES {
+                for _ in 0..32 {
+                    let mut input = [0u8; MAX_TUPLE_BYTES];
+                    for b in input.iter_mut() {
+                        // xorshift64 keeps the sweep deterministic.
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        *b = state as u8;
+                    }
+                    assert_eq!(
+                        h.toeplitz(&input[..len]),
+                        h.toeplitz_serial(&input[..len]),
+                        "len {len} input {input:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_inputs_use_serial_fallback() {
+        // An IPv6 4-tuple (36 bytes) exceeds the table span; the public
+        // entry point must still hash it (via the serial path).
+        let h = RssHasher::new(2);
+        let input = [0xabu8; 36];
+        assert_eq!(h.toeplitz(&input), h.toeplitz_serial(&input));
+    }
+
+    #[test]
+    fn set_key_rebuilds_tables() {
+        let mut h = RssHasher::new(4);
+        let before = h.hash_flow(0x0a000001, 0x0a000002, 40000, 11211);
+        let mut key = RssHasher::DEFAULT_KEY;
+        key[0] ^= 0xff;
+        h.set_key(key);
+        assert_eq!(h.key(), &key);
+        let after = h.hash_flow(0x0a000001, 0x0a000002, 40000, 11211);
+        assert_ne!(before, after, "new key must change hashes");
+        h.set_key(RssHasher::DEFAULT_KEY);
+        assert_eq!(
+            h.hash_flow(0x0a000001, 0x0a000002, 40000, 11211),
+            before,
+            "restoring the key restores the hash"
+        );
     }
 
     #[test]

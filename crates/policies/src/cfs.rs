@@ -160,6 +160,76 @@ impl Policy for Cfs {
         Some(t)
     }
 
+    fn enqueue_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        batch: &[(TaskId, Option<CoreId>, EnqueueFlags)],
+        now: Nanos,
+    ) {
+        // Single-runqueue fast path: one core→rq translation, one
+        // `min_vruntime` load, and one counter update for the whole burst.
+        // CFS enqueues never move the floor, so the serial loop's per-task
+        // reads all see the same value — the fusion is trivially
+        // decision-identical. Mixed-hint bursts fall back to singles.
+        let Some(&(_, hint0, _)) = batch.first() else {
+            return;
+        };
+        let rqi = self.map.rq(hint0.unwrap_or(self.cores[0]));
+        if batch
+            .iter()
+            .any(|&(_, h, _)| self.map.rq(h.unwrap_or(self.cores[0])) != rqi)
+        {
+            for &(t, hint, flags) in batch {
+                self.task_enqueue(tasks, t, hint, flags, now);
+            }
+            return;
+        }
+        let credit = self.params.sched_latency.0 / 2;
+        let rq = &mut self.rqs[rqi];
+        let rq_min = rq.min_vruntime;
+        for &(t, _, flags) in batch {
+            let task = tasks.get_mut(t);
+            match flags {
+                EnqueueFlags::New => {
+                    task.pd.vruntime = task.pd.vruntime.max(rq_min);
+                }
+                EnqueueFlags::Wakeup => {
+                    task.pd.vruntime = task.pd.vruntime.max(rq_min.saturating_sub(credit));
+                }
+                EnqueueFlags::Preempted | EnqueueFlags::Yield => {}
+            }
+            rq.tree.insert((task.pd.vruntime, t));
+        }
+        self.queued_total += batch.len();
+    }
+
+    fn pick_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        max: usize,
+        _now: Nanos,
+        out: &mut Vec<TaskId>,
+    ) {
+        // Leftmost picks in a straight run; the monotone floor is the max
+        // of the popped vruntimes, folded in once (`max` is associative),
+        // and the cached total is decremented once.
+        let rq = &mut self.rqs[self.map.rq(cpu)];
+        let mut floor = rq.min_vruntime;
+        let mut picked = 0;
+        while picked < max {
+            let Some((vr, t)) = rq.tree.pop_first() else {
+                break;
+            };
+            floor = floor.max(vr);
+            tasks.get_mut(t).pd.slice_used = Nanos::ZERO;
+            out.push(t);
+            picked += 1;
+        }
+        rq.min_vruntime = floor;
+        self.queued_total -= picked;
+    }
+
     fn sched_timer_tick(
         &mut self,
         tasks: &mut TaskTable,

@@ -281,6 +281,104 @@ impl Policy for Eevdf {
         Some(t)
     }
 
+    fn enqueue_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        batch: &[(TaskId, Option<CoreId>, EnqueueFlags)],
+        now: Nanos,
+    ) {
+        // The fused path needs the whole burst on one runqueue; mixed-hint
+        // bursts (rare) fall back to the serial loop.
+        let Some(&(_, hint0, _)) = batch.first() else {
+            return;
+        };
+        let rqi = self.map.rq(hint0.unwrap_or(self.cores[0]));
+        if batch
+            .iter()
+            .any(|&(_, h, _)| self.map.rq(h.unwrap_or(self.cores[0])) != rqi)
+        {
+            for &(t, hint, flags) in batch {
+                self.task_enqueue(tasks, t, hint, flags, now);
+            }
+            return;
+        }
+        // One aggregate update per batch: the accumulators live in locals
+        // across the burst and are stored back once. Each task still sees
+        // the V produced by its predecessors (same math as the serial
+        // loop, minus the per-task field round-trips).
+        let base_slice = self.params.min_granularity.0;
+        let lag_clamp = self.params.min_granularity.0 as i64;
+        let rq = &mut self.rqs[rqi];
+        let min = rq.min_vruntime;
+        let mut load = rq.avg_load;
+        let mut avg = rq.avg_vruntime;
+        let mut live = rq.live;
+        for &(t, _, flags) in batch {
+            let v = if live == 0 {
+                min
+            } else if load == 0 {
+                0
+            } else {
+                (min as i128 + avg.div_euclid(load as i128)) as u64
+            };
+            let task = tasks.get_mut(t);
+            match flags {
+                EnqueueFlags::New => {
+                    task.pd.vruntime = v;
+                }
+                EnqueueFlags::Wakeup => {
+                    let lag = task.pd.lag.clamp(-lag_clamp, lag_clamp);
+                    task.pd.vruntime = (v as i128 - lag as i128).max(0) as u64;
+                }
+                EnqueueFlags::Preempted | EnqueueFlags::Yield => {}
+            }
+            task.pd.deadline =
+                task.pd.vruntime + base_slice * NICE0_WEIGHT / task.pd.weight.max(1) as u64;
+            task.pd.rq_slot = rq.order.len() as u32;
+            rq.order.push(Some(t));
+            live += 1;
+            rq.by_deadline.insert((task.pd.deadline, t));
+            avg += (task.pd.vruntime as i128 - min as i128) * task.pd.weight as i128;
+            load += task.pd.weight as u64;
+        }
+        rq.live = live;
+        rq.avg_load = load;
+        rq.avg_vruntime = avg;
+    }
+
+    fn pick_batch(
+        &mut self,
+        tasks: &mut TaskTable,
+        cpu: CoreId,
+        max: usize,
+        _now: Nanos,
+        out: &mut Vec<TaskId>,
+    ) {
+        // The serial dequeue rebases `min_vruntime` after every pick; the
+        // eligibility test and V are exactly invariant under that rebase
+        // (both sides shift by Δ·load), so one rebase to the max picked
+        // vruntime after the batch yields the identical pick sequence —
+        // and one tombstone-compaction check instead of `max`.
+        let rqi = self.map.rq(cpu);
+        let mut floor = self.rqs[rqi].min_vruntime;
+        let mut picked = 0;
+        while picked < max {
+            let Some(t) = self.pick(tasks, cpu) else {
+                break;
+            };
+            let pd = tasks.get(t).pd;
+            self.rqs[rqi].detach(t, &pd);
+            floor = floor.max(pd.vruntime);
+            tasks.get_mut(t).pd.slice_used = Nanos::ZERO;
+            out.push(t);
+            picked += 1;
+        }
+        if picked > 0 {
+            self.rqs[rqi].update_min(floor);
+            self.maybe_compact(rqi, tasks);
+        }
+    }
+
     fn task_block(&mut self, tasks: &mut TaskTable, t: TaskId, cpu: CoreId, _now: Nanos) {
         // Preserve the task's lag across the sleep.
         let rq = &self.rqs[self.map.rq(cpu)];

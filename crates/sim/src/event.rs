@@ -69,6 +69,16 @@ struct Slot<E> {
     payload: Option<E>,
 }
 
+/// A claim on one event drained by [`EventQueue::pop_batch`].
+///
+/// The underlying payload slot stays live (and cancellable through its
+/// [`Token`]) until the claim is redeemed with
+/// [`EventQueue::take_batched`]. Deliberately not `Copy`/`Clone`: each
+/// claim must be redeemed exactly once, and move semantics make
+/// double-redemption a compile error.
+#[derive(Debug)]
+pub struct BatchSlot(u32);
+
 /// A parked `(time, seq)` key plus the payload slot it refers to.
 #[derive(Clone, Copy, Debug)]
 struct Entry {
@@ -266,6 +276,89 @@ impl<E> EventQueue<E> {
                 return None;
             }
         }
+    }
+
+    /// Drains *every* pending entry sharing the minimum live timestamp
+    /// (strictly before `deadline`) into `out`, in `(time, seq)` order,
+    /// advances the clock to that timestamp, and returns it. `out` is
+    /// cleared first — callers keep one scratch buffer alive across calls
+    /// so the batch path never allocates in steady state.
+    ///
+    /// The drained [`BatchSlot`]s are *claims*, not payloads: each must be
+    /// redeemed exactly once with [`EventQueue::take_batched`], which
+    /// yields the event — or `None` if it was cancelled in the meantime.
+    /// This indirection is what makes batching decision-identical to a
+    /// serial [`EventQueue::pop_before`] loop: a handler that cancels a
+    /// later event *of the same timestamp* (a preemption cancelling the
+    /// pending segment completion) still hits a live, cancellable slot,
+    /// exactly as it would were the event still parked in the wheel.
+    ///
+    /// Cost-wise the batch pays the deadline compare, wheel re-probe, and
+    /// refill check once per *batch* instead of once per event: same
+    /// timestamp ⇒ same granule ⇒ same level-0 bucket, so after the head
+    /// probe the remaining batch entries are contiguous at the tail of the
+    /// materialized window and the drain is a straight run of `Vec::pop`s.
+    /// Equivalence with the serial loop is pinned by the `reference-queue`
+    /// differential proptests.
+    pub fn pop_batch(&mut self, deadline: Nanos, out: &mut Vec<BatchSlot>) -> Option<Nanos> {
+        out.clear();
+        // Head probe inlined (rather than `peek_time` + a second probe):
+        // the first live entry is claimed by the same pass that finds it,
+        // so a singleton batch — the common case on workloads without
+        // timestamp ties — costs one probe, like the serial `pop_before`.
+        let at = 'head: loop {
+            while let Some(e) = self.cur.last().copied() {
+                if self.slots[e.slot as usize].payload.is_some() {
+                    if e.at >= deadline {
+                        return None;
+                    }
+                    self.cur.pop();
+                    out.push(BatchSlot(e.slot));
+                    break 'head e.at;
+                }
+                self.cur.pop();
+                self.recycle(e.slot);
+            }
+            if !self.refill() {
+                return None;
+            }
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
+        loop {
+            while let Some(e) = self.cur.last().copied() {
+                if e.at != at {
+                    return Some(at);
+                }
+                self.cur.pop();
+                if self.slots[e.slot as usize].payload.is_some() {
+                    out.push(BatchSlot(e.slot));
+                } else {
+                    self.recycle(e.slot);
+                }
+            }
+            // The window emptied on a batch boundary. A refill cannot
+            // surface an earlier key (the head probe saw the global
+            // minimum), so continue only while the next granule still
+            // holds entries at exactly `at`.
+            if !self.refill() {
+                return Some(at);
+            }
+        }
+    }
+
+    /// Redeems one [`BatchSlot`] drained by [`EventQueue::pop_batch`]:
+    /// returns the event, or `None` if it was cancelled after the batch
+    /// was drained. Each slot must be redeemed exactly once (enforced by
+    /// move semantics — [`BatchSlot`] is not `Copy`); the payload slot is
+    /// recycled here either way.
+    pub fn take_batched(&mut self, claim: BatchSlot) -> Option<E> {
+        let payload = self.slots[claim.0 as usize].payload.take();
+        self.recycle(claim.0);
+        if payload.is_some() {
+            self.live -= 1;
+        }
+        payload
     }
 
     /// Advances the clock to `t` if it is in the future (used by drivers
@@ -675,6 +768,112 @@ mod tests {
         }
         assert_eq!(fired, 1000);
         assert_eq!(q.now(), Nanos(10_000_000));
+    }
+
+    /// Drains one batch and redeems every claim, returning the payloads.
+    fn redeem_all<E>(q: &mut EventQueue<E>, deadline: Nanos) -> Option<(Nanos, Vec<E>)> {
+        let mut batch = Vec::new();
+        let at = q.pop_batch(deadline, &mut batch)?;
+        let evs = batch.drain(..).filter_map(|s| q.take_batched(s)).collect();
+        Some((at, evs))
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_tied_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..8 {
+            q.schedule(Nanos(100), i);
+        }
+        q.schedule(Nanos(101), 100); // same granule, later timestamp
+        q.schedule(Nanos(900), 200);
+        let (at, evs) = redeem_all(&mut q, Nanos(1_000)).unwrap();
+        assert_eq!(at, Nanos(100));
+        assert_eq!(evs, (0..8).collect::<Vec<_>>());
+        assert_eq!(q.now(), Nanos(100));
+        assert_eq!(
+            redeem_all(&mut q, Nanos(1_000)),
+            Some((Nanos(101), vec![100]))
+        );
+        assert_eq!(
+            redeem_all(&mut q, Nanos(1_000)),
+            Some((Nanos(900), vec![200]))
+        );
+        assert_eq!(redeem_all(&mut q, Nanos(1_000)), None);
+    }
+
+    #[test]
+    fn pop_batch_respects_deadline_and_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(10), 2);
+        q.schedule(Nanos(10), 3);
+        q.schedule(Nanos(25), 4);
+        q.cancel(t);
+        assert_eq!(redeem_all(&mut q, Nanos(20)), Some((Nanos(10), vec![2, 3])));
+        // The event at the deadline stays put, exactly like `pop_before`.
+        assert_eq!(redeem_all(&mut q, Nanos(20)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Nanos(25), 4)));
+    }
+
+    #[test]
+    fn batched_entries_stay_cancellable_until_taken() {
+        // The property that makes batching safe for the machine: a handler
+        // running mid-batch can still cancel a later event of the *same*
+        // timestamp (preemption cancelling a pending segment completion),
+        // exactly as if the event were still parked in the wheel.
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(Nanos(10), 1);
+        let t2 = q.schedule(Nanos(10), 2);
+        let t3 = q.schedule(Nanos(10), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(Nanos(100), &mut batch), Some(Nanos(10)));
+        assert_eq!(batch.len(), 3);
+        // Cancel the middle event after the batch was drained but before
+        // it was redeemed: the cancel must succeed and return the payload.
+        assert_eq!(q.cancel(t2), Some(2));
+        let got: Vec<_> = batch.drain(..).filter_map(|s| q.take_batched(s)).collect();
+        assert_eq!(got, vec![1, 3]);
+        // Redeemed slots are recycled, so the original tokens go stale.
+        assert_eq!(q.cancel(t1), None);
+        assert_eq!(q.cancel(t3), None);
+        assert_eq!(q.len(), 0);
+        // The queue stays fully usable afterwards (slots were recycled).
+        q.schedule(Nanos(20), 9);
+        assert_eq!(q.pop(), Some((Nanos(20), 9)));
+    }
+
+    #[test]
+    fn pop_batch_matches_repeated_pop_across_levels() {
+        // Ties scattered over wheel levels and the overflow heap: the
+        // concatenation of batches must equal the serial pop sequence.
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..200u64 {
+                let t = match i % 5 {
+                    0 => 1_000,
+                    1 => 1_000_000,
+                    2 => 40_000_000,
+                    3 => 1_000_000_000,
+                    _ => 20_000_000_000,
+                };
+                q.schedule(Nanos(t + (i % 3) * 512), i);
+            }
+            q
+        };
+        let mut serial = build();
+        let mut want = Vec::new();
+        while let Some((t, e)) = serial.pop() {
+            want.push((t, e));
+        }
+        let mut batched = build();
+        let mut got = Vec::new();
+        while let Some((at, evs)) = redeem_all(&mut batched, Nanos(u64::MAX)) {
+            for e in evs {
+                got.push((at, e));
+            }
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

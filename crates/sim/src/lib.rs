@@ -19,7 +19,7 @@ pub mod reference;
 pub mod rng;
 pub mod time;
 
-pub use event::{EventQueue, Token};
+pub use event::{BatchSlot, EventQueue, Token};
 pub use rng::{Distribution, Rng};
 pub use time::{Cycles, Nanos, CPU_GHZ};
 
@@ -39,6 +39,40 @@ pub fn run_until<S, E>(
     while let Some((_, ev)) = q.pop_before(deadline) {
         handle(state, ev, q);
         n += 1;
+    }
+    q.advance_to(deadline);
+    n
+}
+
+/// Batched form of [`run_until`]: drains events in same-timestamp batches
+/// via [`EventQueue::pop_batch`] and hands each batch of [`BatchSlot`]
+/// claims to `handle_batch` together with the shared timestamp, so
+/// per-event fixed costs (deadline compare, wheel re-probe,
+/// trace/invariant prologues in the caller) are paid once per batch.
+///
+/// `handle_batch` must drain the batch buffer, redeeming each claim with
+/// [`EventQueue::take_batched`] (which returns `None` for events cancelled
+/// by an earlier handler of the same batch — skip those, exactly as the
+/// serial loop never pops a cancelled event). Events scheduled *by* a
+/// handler at the batch's own timestamp land in a fresh batch on the next
+/// iteration — their `(time, seq)` keys are larger than everything drained,
+/// so the processing order is identical to [`run_until`]'s event-at-a-time
+/// order. The buffer is reused across iterations so the steady-state loop
+/// never allocates. Returns the number of batch entries drained (an upper
+/// bound on events handled; the two differ only when a handler cancels a
+/// same-timestamp event).
+pub fn run_batched_until<S, E>(
+    state: &mut S,
+    q: &mut EventQueue<E>,
+    deadline: Nanos,
+    batch: &mut Vec<BatchSlot>,
+    mut handle_batch: impl FnMut(&mut S, Nanos, &mut Vec<BatchSlot>, &mut EventQueue<E>),
+) -> u64 {
+    let mut n = 0;
+    while let Some(at) = q.pop_batch(deadline, batch) {
+        n += batch.len() as u64;
+        handle_batch(state, at, batch, q);
+        debug_assert!(batch.is_empty(), "handle_batch must drain the batch");
     }
     q.advance_to(deadline);
     n
@@ -93,6 +127,64 @@ mod tests {
             }
         });
         assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn run_batched_until_matches_serial_order() {
+        let build = || {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..30u32 {
+                q.schedule(Nanos(10 * (i as u64 / 3)), i);
+            }
+            q
+        };
+        let mut serial = build();
+        let mut want = Vec::new();
+        run_until(&mut want, &mut serial, Nanos(75), |s, e, _| s.push(e));
+        let mut batched = build();
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        let n = run_batched_until(
+            &mut got,
+            &mut batched,
+            Nanos(75),
+            &mut scratch,
+            |s: &mut Vec<u32>, _, b, q| s.extend(b.drain(..).filter_map(|c| q.take_batched(c))),
+        );
+        assert_eq!(got, want);
+        assert_eq!(n, want.len() as u64);
+        assert_eq!(batched.now(), serial.now());
+        assert_eq!(batched.len(), serial.len());
+    }
+
+    #[test]
+    fn run_batched_handlers_schedule_at_own_timestamp() {
+        // A handler scheduling at the batch's own timestamp must see that
+        // event in a *later* batch, preserving (time, seq) order.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(Nanos(5), 0);
+        q.schedule(Nanos(5), 1);
+        let mut batches: Vec<Vec<u32>> = Vec::new();
+        let mut scratch = Vec::new();
+        run_batched_until(
+            &mut batches,
+            &mut q,
+            Nanos(100),
+            &mut scratch,
+            |s, _, b, q| {
+                let mut evs: Vec<u32> = Vec::new();
+                for c in b.drain(..) {
+                    if let Some(e) = q.take_batched(c) {
+                        evs.push(e);
+                    }
+                }
+                if evs.contains(&0) {
+                    q.schedule(q.now(), 7);
+                }
+                s.push(evs);
+            },
+        );
+        assert_eq!(batches, vec![vec![0, 1], vec![7]]);
     }
 
     #[test]

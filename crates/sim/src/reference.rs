@@ -155,6 +155,21 @@ impl<E> ReferenceQueue<E> {
         }
     }
 
+    /// Serial definition of [`crate::EventQueue::pop_batch`]: repeated
+    /// [`ReferenceQueue::pop_before`] while the timestamp stays constant.
+    /// This *is* the batch-path specification — the wheel's bucket-walk
+    /// fast path is held to this loop by the differential proptests.
+    pub fn pop_batch(&mut self, deadline: Nanos, out: &mut Vec<E>) -> Option<Nanos> {
+        out.clear();
+        let (at, first) = self.pop_before(deadline)?;
+        out.push(first);
+        while self.peek_time() == Some(at) {
+            let (_, ev) = self.pop().expect("peeked live event");
+            out.push(ev);
+        }
+        Some(at)
+    }
+
     /// Advances the clock to `t` if it is in the future.
     pub fn advance_to(&mut self, t: Nanos) {
         if t > self.now {
@@ -187,14 +202,14 @@ mod differential_tests {
     //! results (token semantics included).
 
     use super::*;
-    use crate::{EventQueue, Token};
+    use crate::{BatchSlot, EventQueue, Token};
     use proptest::prelude::*;
 
     proptest! {
         #[test]
         fn wheel_matches_reference_heap(
             ops in prop::collection::vec(
-                (0u64..8, 0u64..30_000_000_000, 0usize..1024),
+                (0u64..9, 0u64..30_000_000_000, 0usize..1024),
                 1..250,
             ),
         ) {
@@ -202,6 +217,9 @@ mod differential_tests {
             let mut heap: ReferenceQueue<u64> = ReferenceQueue::new();
             let mut tokens: Vec<(Token, RefToken)> = Vec::new();
             let mut payload = 0u64;
+            let mut claims: Vec<BatchSlot> = Vec::new();
+            let mut batch_w: Vec<u64> = Vec::new();
+            let mut batch_h: Vec<u64> = Vec::new();
 
             for &(kind, delta, k) in &ops {
                 match kind {
@@ -215,8 +233,17 @@ mod differential_tests {
                         payload += 1;
                     }
                     // Near-future absolute schedule (the common case).
-                    1 | 2 => {
+                    1 => {
                         let at = Nanos(wheel.now().0 + delta % 100_000);
+                        let tw = wheel.schedule(at, payload);
+                        let th = heap.schedule(at, payload);
+                        tokens.push((tw, th));
+                        payload += 1;
+                    }
+                    // Quantized schedule: heavy same-timestamp collisions
+                    // so `pop_batch` regularly sees multi-event batches.
+                    2 => {
+                        let at = Nanos(wheel.now().0 + (delta % 8) * 1_000);
                         let tw = wheel.schedule(at, payload);
                         let th = heap.schedule(at, payload);
                         tokens.push((tw, th));
@@ -248,6 +275,20 @@ mod differential_tests {
                             wheel.pop_before(deadline),
                             heap.pop_before(deadline)
                         );
+                    }
+                    // Same-timestamp batch drain: the wheel's bucket-walk
+                    // fast path against the oracle's loop of serial pops.
+                    7 => {
+                        let deadline = Nanos(wheel.now().0 + 1 + delta % 1_000_000);
+                        prop_assert_eq!(
+                            wheel.pop_batch(deadline, &mut claims),
+                            heap.pop_batch(deadline, &mut batch_h)
+                        );
+                        batch_w.clear();
+                        batch_w.extend(
+                            claims.drain(..).filter_map(|c| wheel.take_batched(c)),
+                        );
+                        prop_assert_eq!(&batch_w, &batch_h);
                     }
                     _ => {
                         prop_assert_eq!(wheel.peek_time(), heap.peek_time());

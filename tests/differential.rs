@@ -91,7 +91,7 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
     for (op, sel, amt) in ops {
         now += Nanos(1 + amt % 9_973);
         let cpu = cores[sel % cores.len()];
-        match op % 9 {
+        match op % 11 {
             // Spawn a fresh task and enqueue it (two opcodes: keep the
             // population growing faster than terminate shrinks it).
             0 | 1 => {
@@ -194,6 +194,65 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                 ta.remove(t);
                 tb.remove(t);
             }
+            // Burst spawn via `enqueue_batch`: the optimized policy's fused
+            // batch path (single aggregate update) against the oracle's
+            // loop-of-singles default. Hints vary per task so the
+            // mixed-runqueue fallback is exercised too.
+            8 => {
+                let n = 1 + amt as usize % 5;
+                let mut batch_a = Vec::new();
+                let mut batch_b = Vec::new();
+                for i in 0..n {
+                    let a = ta.insert(|id| Task::bare(id, 0));
+                    let b = tb.insert(|id| Task::bare(id, 0));
+                    prop_assert_eq!(a, b, "mirrored tables diverged on insert");
+                    opt.task_init(&mut ta, a, now);
+                    oracle.task_init(&mut tb, b, now);
+                    let w = WEIGHTS[(sel + i) % WEIGHTS.len()];
+                    ta.get_mut(a).pd.weight = w;
+                    tb.get_mut(b).pd.weight = w;
+                    if let Some(base) = seed_vruntime {
+                        let vr = base + (amt + i as u64) % 100_000;
+                        ta.get_mut(a).pd.vruntime = vr;
+                        tb.get_mut(b).pd.vruntime = vr;
+                    }
+                    let hint = match amt % 3 {
+                        0 => Some(cpu),
+                        1 => Some(cores[(sel + i) % cores.len()]),
+                        _ => None,
+                    };
+                    let flags = if amt % 2 == 0 {
+                        EnqueueFlags::New
+                    } else {
+                        EnqueueFlags::Wakeup
+                    };
+                    batch_a.push((a, hint, flags));
+                    batch_b.push((b, hint, flags));
+                }
+                opt.enqueue_batch(&mut ta, &batch_a, now);
+                oracle.enqueue_batch(&mut tb, &batch_b, now);
+            }
+            // Burst pick via `pick_batch` on an idle core: the optimized
+            // deferred-rebase path against the oracle's repeated
+            // `task_dequeue`. Picked tasks terminate (centralized-drain
+            // shape) so both tables stay mirrored.
+            9 => {
+                if running.contains_key(&cpu) {
+                    continue;
+                }
+                let max = 1 + amt as usize % 4;
+                let mut out_a = Vec::new();
+                let mut out_b = Vec::new();
+                opt.pick_batch(&mut ta, cpu, max, now, &mut out_a);
+                oracle.pick_batch(&mut tb, cpu, max, now, &mut out_b);
+                prop_assert_eq!(&out_a, &out_b, "pick_batch diverged on core {}", cpu);
+                for t in out_a {
+                    opt.task_terminate(&mut ta, t, now);
+                    oracle.task_terminate(&mut tb, t, now);
+                    ta.remove(t);
+                    tb.remove(t);
+                }
+            }
             // Centralized dispatch to every idle worker (a no-op default
             // for per-CPU policies — trivially equal there).
             _ => {
@@ -255,7 +314,7 @@ proptest! {
     fn policies_match_reference_oracle(
         which in 0u8..6,
         cores_sel in 0u8..4,
-        ops in prop::collection::vec((0u8..9, 0usize..64, 0u64..50_000), 1..300),
+        ops in prop::collection::vec((0u8..11, 0usize..64, 0u64..50_000), 1..300),
     ) {
         run_trace(which, cores_sel, ops, None);
     }
@@ -266,7 +325,7 @@ proptest! {
     #[test]
     fn eevdf_matches_reference_near_u64_vruntime_limit(
         cores_sel in 0u8..4,
-        ops in prop::collection::vec((0u8..9, 0usize..64, 0u64..50_000), 1..200),
+        ops in prop::collection::vec((0u8..11, 0usize..64, 0u64..50_000), 1..200),
     ) {
         // Headroom keeps per-tick vruntime charging from wrapping while
         // the *accumulator* math (sum of v·w over a queue) would overflow
@@ -280,7 +339,7 @@ proptest! {
     #[test]
     fn cfs_matches_reference_on_sparse_layouts(
         cores_sel in 2u8..4,
-        ops in prop::collection::vec((0u8..9, 0usize..64, 0u64..50_000), 1..250),
+        ops in prop::collection::vec((0u8..11, 0usize..64, 0u64..50_000), 1..250),
     ) {
         run_trace(1, cores_sel, ops, None);
     }
