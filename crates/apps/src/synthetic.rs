@@ -29,12 +29,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use skyloft::machine::{Call, Event, Machine, NetTrace, Recur};
+use skyloft::stats::class_slot;
 use skyloft::task::RequestMeta;
 use skyloft::SpawnOpts;
 use skyloft_net::dataplane::{MultiQueueNic, NicConfig};
-use skyloft_net::loadgen::{Backoff, NetProfile, OpenLoop, RetryBudget, RetryPolicy};
+use skyloft_net::loadgen::{
+    Backoff, ClassRetryBudgets, NetProfile, OpenLoop, RetryBudget, RetryPolicy,
+};
 use skyloft_net::nic::{stack_overhead, wire_draw, PacketFate, WIRE_LATENCY};
-use skyloft_net::overload::{AdmissionConfig, AdmissionCtl, CodelConfig};
+use skyloft_net::overload::{AdmissionConfig, AdmissionCtl, CodelConfig, MAX_CLASSES};
 use skyloft_net::rss::{RssHasher, INDIRECTION_ENTRIES};
 use skyloft_sim::{Distribution, EventQueue, Nanos, Rng};
 
@@ -314,6 +317,10 @@ struct Pkt {
     sent_at: Nanos,
     service: Nanos,
     class: u8,
+    /// Owning application: tenants co-located on one shared NIC plane
+    /// spawn under their own app, so per-app accounting (busy shares,
+    /// SLO classes, fault scoping) attributes correctly.
+    app: usize,
     src_port: u16,
     /// Whether this is the second delivery of a duplicated datagram.
     copy: bool,
@@ -338,6 +345,15 @@ pub struct OverloadControl {
     /// Client-side retries: per-attempt timeout, decorrelated-jitter
     /// backoff, and a global retry budget.
     pub retry: Option<RetryPolicy>,
+    /// Per-class retry provisioning: `Some(fracs)` replaces the single
+    /// global retry bucket with one token bucket per SLO class, class
+    /// `c` filling at `fracs[c]` permille of its *own* offered load
+    /// (`None` entries inherit the policy-wide `budget_permille`). This
+    /// is how an `SloClass::retry_frac` reaches the client: a batch
+    /// tenant's timeout storm can then never drain the retry capacity a
+    /// latency-critical tenant was provisioned. Ignored unless `retry`
+    /// is also armed.
+    pub retry_frac: Option<[Option<u32>; MAX_CLASSES]>,
 }
 
 impl OverloadControl {
@@ -347,6 +363,7 @@ impl OverloadControl {
             codel: Some(CodelConfig::default()),
             admission: Some(AdmissionConfig::default()),
             retry: Some(RetryPolicy::default()),
+            retry_frac: None,
         }
     }
 }
@@ -354,8 +371,30 @@ impl OverloadControl {
 /// The retrying client's mutable state.
 struct RetryState {
     policy: RetryPolicy,
+    /// The single global bucket (used when `class_budget` is unarmed).
     budget: RetryBudget,
+    /// Per-class buckets, when [`OverloadControl::retry_frac`] armed
+    /// them; exactly one of the two bucket fields is live at a time.
+    class_budget: Option<ClassRetryBudgets>,
     backoff: Backoff,
+}
+
+impl RetryState {
+    /// Accrues budget for one offered request of `class`.
+    fn on_request(&mut self, class: u8) {
+        match self.class_budget.as_mut() {
+            Some(cb) => cb.on_request(class),
+            None => self.budget.on_request(),
+        }
+    }
+
+    /// Attempts to spend one retry token for `class`.
+    fn try_spend(&mut self, class: u8) -> bool {
+        match self.class_budget.as_mut() {
+            Some(cb) => cb.try_spend(class),
+            None => self.budget.try_spend(),
+        }
+    }
 }
 
 /// Driver state shared between the arrival chain, the in-flight wire
@@ -370,8 +409,9 @@ struct PlaneState {
     wire_rng: Rng,
     /// Datagrams currently transiting the wire toward the NIC.
     wire_pending: u64,
-    /// The arrival chain has generated its last request.
-    gen_done: bool,
+    /// Arrival chains still generating (one per tenant). The poller may
+    /// deregister only once every chain has produced its last request.
+    gens_live: usize,
     /// Per-attempt client abandon timeout for lost datagrams.
     timeout: Nanos,
     /// Deadline-aware admission controller, when armed.
@@ -415,19 +455,58 @@ pub fn install_open_loop_nic(
 /// whether or not any layer here is armed.
 pub fn install_open_loop_ctl(
     q: &mut EventQueue<Event>,
-    mut gen: OpenLoop,
+    gen: OpenLoop,
     app: usize,
     cfg: NicConfig,
     until: Nanos,
-    mut net: Option<NetProfile>,
+    net: Option<NetProfile>,
     ctl: OverloadControl,
 ) {
-    let base = q.now();
-    let Some(first) = gen.next() else { return };
-    let first_at = base + first.at;
-    if first_at >= until {
-        return;
-    }
+    install_tenants(
+        q,
+        vec![Tenant {
+            gen,
+            app,
+            class: None,
+        }],
+        cfg,
+        until,
+        net,
+        ctl,
+    );
+}
+
+/// One co-located application's share of a multi-tenant load: its own
+/// arrival process and application id, plus (optionally) a fixed SLO
+/// class stamped on every request it generates.
+pub struct Tenant {
+    /// This tenant's open-loop arrival process (an empty or zero-rate
+    /// generator installs nothing — a legal degenerate sweep point).
+    pub gen: OpenLoop,
+    /// Application the tenant's requests spawn under.
+    pub app: usize,
+    /// SLO class stamped on every generated request; `None` keeps the
+    /// generator's own service-threshold classification (the
+    /// single-tenant behavior).
+    pub class: Option<u8>,
+}
+
+/// Installs several tenants onto ONE shared NIC data plane: all arrival
+/// chains feed the same RSS rings and the same polling core, so tenants
+/// contend for ring slots, poll bandwidth, and workers exactly as
+/// co-located applications contend for a real NIC. With
+/// [`AdmissionConfig::class_slo`] armed, the polling core sheds each
+/// request against *its own class's* deadline and service estimate; with
+/// [`OverloadControl::retry_frac`] armed, each class retries from its
+/// own token bucket.
+pub fn install_tenants(
+    q: &mut EventQueue<Event>,
+    tenants: Vec<Tenant>,
+    cfg: NicConfig,
+    until: Nanos,
+    net: Option<NetProfile>,
+    ctl: OverloadControl,
+) {
     let timeout = ctl
         .retry
         .map(|r| r.timeout)
@@ -440,16 +519,29 @@ pub fn install_open_loop_ctl(
     if let Some(law) = ctl.codel {
         nic.set_codel(law);
     }
+    let class_budget = match (ctl.retry, ctl.retry_frac) {
+        (Some(policy), Some(fracs)) => {
+            let mut cb = ClassRetryBudgets::new(policy.budget_permille, policy.budget_burst);
+            for (c, frac) in fracs.iter().enumerate() {
+                if let Some(permille) = frac {
+                    cb.set_class(c as u8, *permille, policy.budget_burst);
+                }
+            }
+            Some(cb)
+        }
+        _ => None,
+    };
     let st = Rc::new(RefCell::new(PlaneState {
         handed: vec![0; nic.n_rings()],
         nic,
         wire_rng: Rng::seed_from_u64(WIRE_SEED),
         wire_pending: 0,
-        gen_done: false,
+        gens_live: 0,
         timeout,
         admission: ctl.admission.map(AdmissionCtl::new),
         retry: ctl.retry.map(|policy| RetryState {
             budget: RetryBudget::new(policy.budget_permille, policy.budget_burst),
+            class_budget,
             backoff: Backoff::new(policy.backoff_base, policy.backoff_cap, WIRE_SEED),
             policy,
         }),
@@ -458,14 +550,246 @@ pub fn install_open_loop_ctl(
         flow_cache: FlowHashCache::new(),
     }));
 
-    // The arrival chain: one Recur carrying the generator, as on the
-    // teleport path, but deliveries become wire-transit events toward the
-    // NIC instead of immediate spawns.
+    // One arrival chain per tenant, all feeding the shared plane; the
+    // poller starts one interval after the earliest first arrival.
+    let mut earliest: Option<Nanos> = None;
+    for tenant in tenants {
+        if let Some(first_at) = install_tenant_chain(q, tenant, until, net.clone(), &st) {
+            st.borrow_mut().gens_live += 1;
+            earliest = Some(earliest.map_or(first_at, |e| e.min(first_at)));
+        }
+    }
+    // Every tenant degenerate (zero rate, or first arrival past the
+    // horizon): nothing to poll for, install nothing.
+    let Some(first_at) = earliest else { return };
+
+    // The polling core: visits the rings every poll_interval, drains a
+    // burst from each ring whose worker has room (shedding what the drop
+    // law or the admission deadline says to), and hands the burst over
+    // once the per-packet poll cost has been paid on the (serial)
+    // polling core.
+    let st_poll = st;
+    let poller = move |m: &mut Machine, q: &mut EventQueue<Event>| {
+        let now = q.now();
+        let mut s = st_poll.borrow_mut();
+        if s.gens_live == 0
+            && s.wire_pending == 0
+            && s.loss_pending == 0
+            && s.nic.total_occupancy() == 0
+        {
+            // Everything generated has been delivered, dropped, or given
+            // up on; stop polling so runs can drain to an empty queue.
+            return None;
+        }
+        let extra = match m.chaos_rx_poll_fate() {
+            // The poll visit itself is lost: the rings keep aging.
+            None => return Some(now + poll_interval),
+            Some(d) => d,
+        };
+        if let Some(dur) = m.chaos_indirection_stick(now) {
+            wedge_indirection(q, &st_poll, &mut s, dur);
+        }
+        // Per-class admission resync, once per poll round: each class's
+        // in-service backlog is what was handed to workers and has
+        // neither completed nor been shed by the runqueue AQM — divided
+        // by the worker count, because the class law predicts a single
+        // queue draining at the class's per-request estimate while the
+        // machine drains RSS-spread backlog on all workers in parallel.
+        // Admits later this round grow it via `note_admitted`, so a
+        // batch admitted at ring 0 is already backlog for ring 3.
+        let classed = s.admission.as_ref().is_some_and(|a| a.has_classes());
+        if classed {
+            let workers = s.handed.len().max(1) as u64;
+            if let Some(adm) = s.admission.as_mut() {
+                for c in 0..MAX_CLASSES {
+                    let done = m.stats.completed_by_class[c] + m.stats.rq_sheds_by_class[c];
+                    let backlog = m.stats.delivered_by_class[c].saturating_sub(done);
+                    adm.set_class_backlog(c as u8, backlog / workers);
+                }
+            }
+        }
+        let mut worst_sojourn = Nanos::ZERO;
+        let mut backpressured = false;
+        for ring in 0..s.nic.n_rings() {
+            m.stats.rx_occ_hist.record(s.nic.occupancy(ring) as u64);
+            if let Some(sojourn) = s.nic.oldest_sojourn(ring, now) {
+                worst_sojourn = worst_sojourn.max(sojourn);
+            }
+            if s.nic.occupancy(ring) == 0 {
+                continue;
+            }
+            let finished = m.stats.finished_by_core.get(ring).copied().unwrap_or(0);
+            let outstanding = s.handed[ring].saturating_sub(finished) as usize;
+            let take = worker_depth.saturating_sub(outstanding).min(poll_batch);
+            if take == 0 {
+                backpressured = true;
+                continue; // backpressure: leave packets in the ring
+            }
+            let mut batch = Vec::with_capacity(take);
+            let mut shed = Vec::new();
+            let k = s.nic.drain(now, ring, take, &mut batch, &mut shed);
+            for pkt in shed {
+                if pkt.attempt == 0 {
+                    let c = class_slot(pkt.class);
+                    m.stats.aqm_drops += 1;
+                    m.stats.aqm_drops_by_class[c] += 1;
+                    m.stats.net_in_flight -= 1;
+                    m.stats.in_flight_by_class[c] -= 1;
+                }
+                m.note_net(now, Some(ring), NetTrace::AqmDrop);
+                client_loss(q, &st_poll, &mut s, pkt);
+            }
+            if k == 0 {
+                continue;
+            }
+            // Deadline-aware admission over the kept batch: a request
+            // whose predicted finish (behind the worker's backlog)
+            // already overruns its SLO budget is shed here, at poll
+            // cost, instead of burning a worker on a doomed response.
+            // The predicted start charges the ring's adaptive per-packet
+            // poll cost for the NIC-side delay ahead of this packet, so
+            // a perturbed poller (whose handoffs run late) sheds
+            // borderline requests it can no longer save.
+            let nic_cost = s.nic.poll_cost(ring);
+            let mut admitted: Vec<Pkt> = Vec::with_capacity(k);
+            for (_, pkt) in batch {
+                let doomed = match s.admission.as_ref() {
+                    // Class-aware: judged against the request's own
+                    // class deadline and that class's service estimate
+                    // and backlog, so a 5 ms batch SLO can never launder
+                    // a doomed 200 µs request through a blended mean.
+                    Some(adm) if classed => adm.should_shed_class(
+                        pkt.class,
+                        now + nic_cost * (admitted.len() as u64 + 1),
+                        pkt.send,
+                    ),
+                    Some(adm) => adm.should_shed(
+                        now + nic_cost * (admitted.len() as u64 + 1),
+                        pkt.send,
+                        outstanding + admitted.len(),
+                    ),
+                    None => false,
+                };
+                if doomed {
+                    if pkt.attempt == 0 {
+                        let c = class_slot(pkt.class);
+                        m.stats.admission_sheds += 1;
+                        m.stats.sheds_by_class[c] += 1;
+                        m.stats.net_in_flight -= 1;
+                        m.stats.in_flight_by_class[c] -= 1;
+                    }
+                    m.note_net(now, Some(ring), NetTrace::AdmissionShed);
+                    // Displacement: what dooms a tight-class request is
+                    // queued looser-class work, so reclaim one slot from
+                    // the loosest backlog per tight-class shed — the
+                    // feedback that makes the *next* request of this
+                    // class admittable (batch is shed first). A shed
+                    // batch request displaces nothing: no class is
+                    // looser than it.
+                    if classed {
+                        if let Some(slo) = s.admission.as_ref().and_then(|a| a.class_slo(pkt.class))
+                        {
+                            m.shed_for_class(slo);
+                        }
+                    }
+                    client_loss(q, &st_poll, &mut s, pkt);
+                } else {
+                    if let Some(adm) = s.admission.as_mut() {
+                        // The estimate must cover the full marginal cost
+                        // of a queued request, not just its service time,
+                        // or every borderline admit busts its deadline.
+                        if classed {
+                            adm.observe_class(pkt.class, pkt.service + stack_overhead());
+                            adm.note_admitted(pkt.class);
+                        } else {
+                            adm.observe(pkt.service + stack_overhead());
+                        }
+                    }
+                    admitted.push(pkt);
+                }
+            }
+            if admitted.is_empty() {
+                continue;
+            }
+            s.handed[ring] += admitted.len() as u64;
+            let handoff = s.nic.poller_admit_on(now, ring, k, extra);
+            m.note_net(now, Some(ring), NetTrace::RxPoll);
+            q.schedule(
+                handoff,
+                Event::Call(Call(Box::new(move |m: &mut Machine, q| {
+                    for pkt in admitted {
+                        if pkt.attempt == 0 {
+                            let c = class_slot(pkt.class);
+                            m.stats.net_in_flight -= 1;
+                            m.stats.in_flight_by_class[c] -= 1;
+                            m.stats.net_delivered += 1;
+                            m.stats.delivered_by_class[c] += 1;
+                        }
+                        let body = m.pooled_oneshot(pkt.service + stack_overhead());
+                        // The forward wire and all queueing are physical
+                        // on this path; backdating covers only the
+                        // response's return transit.
+                        let req = (!pkt.copy).then(|| RequestMeta {
+                            arrival: pkt.send.saturating_sub(WIRE_LATENCY),
+                            service: pkt.service,
+                            class: pkt.class,
+                        });
+                        m.spawn(
+                            q,
+                            body,
+                            SpawnOpts {
+                                app: pkt.app,
+                                pin: Some(ring),
+                                req,
+                                weight: 1024,
+                                record_wakeup: false,
+                            },
+                        );
+                    }
+                }))),
+            );
+        }
+        m.note_overload_sample(now, worst_sojourn, backpressured);
+        Some(now + poll_interval)
+    };
+    q.schedule(
+        first_at + poll_interval,
+        Event::Recur(Recur(Box::new(poller))),
+    );
+}
+
+/// Installs one tenant's arrival chain: a self-rescheduling Recur
+/// carrying the tenant's generator, whose deliveries become wire-transit
+/// events toward the shared NIC. Returns the first arrival instant, or
+/// `None` when the tenant is degenerate (empty generator, or first
+/// arrival at/past the horizon) and nothing was installed.
+fn install_tenant_chain(
+    q: &mut EventQueue<Event>,
+    tenant: Tenant,
+    until: Nanos,
+    mut net: Option<NetProfile>,
+    st: &Rc<RefCell<PlaneState>>,
+) -> Option<Nanos> {
+    let Tenant {
+        mut gen,
+        app,
+        class,
+    } = tenant;
+    let base = q.now();
+    let first = gen.next()?;
+    let first_at = base + first.at;
+    if first_at >= until {
+        return None;
+    }
     let mut pending = first;
     let mut seq: u64 = 0;
     let st_arr = st.clone();
     let hook = move |m: &mut Machine, q: &mut EventQueue<Event>| {
         let req = pending;
+        // A tenant with a registered SLO class stamps it on every
+        // request; otherwise the generator's service-threshold
+        // classification stands.
+        let req_class = class.unwrap_or(req.class);
         let fate = match net.as_mut() {
             Some(p) => p.loss.fate(),
             None => PacketFate::Deliver,
@@ -478,7 +802,7 @@ pub fn install_open_loop_ctl(
             // its fate — the budget tracks offered load, not successes.
             let mut s = st_arr.borrow_mut();
             if let Some(r) = s.retry.as_mut() {
-                r.budget.on_request();
+                r.on_request(req_class);
             }
         }
         match fate {
@@ -491,7 +815,8 @@ pub fn install_open_loop_ctl(
                     send: now,
                     sent_at: now,
                     service: req.service,
-                    class: req.class,
+                    class: req_class,
+                    app,
                     src_port,
                     copy: false,
                     attempt: 0,
@@ -516,7 +841,8 @@ pub fn install_open_loop_ctl(
                         send: now,
                         sent_at: now,
                         service: req.service,
-                        class: req.class,
+                        class: req_class,
+                        app,
                         src_port,
                         copy: copy == 1,
                         attempt: 0,
@@ -535,7 +861,7 @@ pub fn install_open_loop_ctl(
             Some(next) => {
                 let at = base + next.at;
                 if at >= until {
-                    st_arr.borrow_mut().gen_done = true;
+                    st_arr.borrow_mut().gens_live -= 1;
                     None
                 } else {
                     pending = next;
@@ -543,148 +869,13 @@ pub fn install_open_loop_ctl(
                 }
             }
             None => {
-                st_arr.borrow_mut().gen_done = true;
+                st_arr.borrow_mut().gens_live -= 1;
                 None
             }
         }
     };
     q.schedule(first_at, Event::Recur(Recur(Box::new(hook))));
-
-    // The polling core: visits the rings every poll_interval, drains a
-    // burst from each ring whose worker has room (shedding what the drop
-    // law or the admission deadline says to), and hands the burst over
-    // once the per-packet poll cost has been paid on the (serial)
-    // polling core.
-    let st_poll = st;
-    let poller = move |m: &mut Machine, q: &mut EventQueue<Event>| {
-        let now = q.now();
-        let mut s = st_poll.borrow_mut();
-        if s.gen_done && s.wire_pending == 0 && s.loss_pending == 0 && s.nic.total_occupancy() == 0
-        {
-            // Everything generated has been delivered, dropped, or given
-            // up on; stop polling so runs can drain to an empty queue.
-            return None;
-        }
-        let extra = match m.chaos_rx_poll_fate() {
-            // The poll visit itself is lost: the rings keep aging.
-            None => return Some(now + poll_interval),
-            Some(d) => d,
-        };
-        if let Some(dur) = m.chaos_indirection_stick(now) {
-            wedge_indirection(q, &st_poll, &mut s, dur);
-        }
-        let mut worst_sojourn = Nanos::ZERO;
-        let mut backpressured = false;
-        for ring in 0..s.nic.n_rings() {
-            m.stats.rx_occ_hist.record(s.nic.occupancy(ring) as u64);
-            if let Some(sojourn) = s.nic.oldest_sojourn(ring, now) {
-                worst_sojourn = worst_sojourn.max(sojourn);
-            }
-            if s.nic.occupancy(ring) == 0 {
-                continue;
-            }
-            let finished = m.stats.finished_by_core.get(ring).copied().unwrap_or(0);
-            let outstanding = s.handed[ring].saturating_sub(finished) as usize;
-            let take = worker_depth.saturating_sub(outstanding).min(poll_batch);
-            if take == 0 {
-                backpressured = true;
-                continue; // backpressure: leave packets in the ring
-            }
-            let mut batch = Vec::with_capacity(take);
-            let mut shed = Vec::new();
-            let k = s.nic.drain(now, ring, take, &mut batch, &mut shed);
-            for pkt in shed {
-                if pkt.attempt == 0 {
-                    m.stats.aqm_drops += 1;
-                    m.stats.net_in_flight -= 1;
-                }
-                m.note_net(now, Some(ring), NetTrace::AqmDrop);
-                client_loss(q, &st_poll, &mut s, pkt);
-            }
-            if k == 0 {
-                continue;
-            }
-            // Deadline-aware admission over the kept batch: a request
-            // whose predicted finish (behind the worker's backlog)
-            // already overruns its SLO budget is shed here, at poll
-            // cost, instead of burning a worker on a doomed response.
-            // The predicted start charges the ring's adaptive per-packet
-            // poll cost for the NIC-side delay ahead of this packet, so
-            // a perturbed poller (whose handoffs run late) sheds
-            // borderline requests it can no longer save.
-            let nic_cost = s.nic.poll_cost(ring);
-            let mut admitted: Vec<Pkt> = Vec::with_capacity(k);
-            for (_, pkt) in batch {
-                let doomed = match s.admission.as_ref() {
-                    Some(adm) => adm.should_shed(
-                        now + nic_cost * (admitted.len() as u64 + 1),
-                        pkt.send,
-                        outstanding + admitted.len(),
-                    ),
-                    None => false,
-                };
-                if doomed {
-                    if pkt.attempt == 0 {
-                        m.stats.admission_sheds += 1;
-                        m.stats.net_in_flight -= 1;
-                    }
-                    m.note_net(now, Some(ring), NetTrace::AdmissionShed);
-                    client_loss(q, &st_poll, &mut s, pkt);
-                } else {
-                    if let Some(adm) = s.admission.as_mut() {
-                        // The estimate must cover the full marginal cost
-                        // of a queued request, not just its service time,
-                        // or every borderline admit busts its deadline.
-                        adm.observe(pkt.service + stack_overhead());
-                    }
-                    admitted.push(pkt);
-                }
-            }
-            if admitted.is_empty() {
-                continue;
-            }
-            s.handed[ring] += admitted.len() as u64;
-            let handoff = s.nic.poller_admit_on(now, ring, k, extra);
-            m.note_net(now, Some(ring), NetTrace::RxPoll);
-            q.schedule(
-                handoff,
-                Event::Call(Call(Box::new(move |m: &mut Machine, q| {
-                    for pkt in admitted {
-                        if pkt.attempt == 0 {
-                            m.stats.net_in_flight -= 1;
-                            m.stats.net_delivered += 1;
-                        }
-                        let body = m.pooled_oneshot(pkt.service + stack_overhead());
-                        // The forward wire and all queueing are physical
-                        // on this path; backdating covers only the
-                        // response's return transit.
-                        let req = (!pkt.copy).then(|| RequestMeta {
-                            arrival: pkt.send.saturating_sub(WIRE_LATENCY),
-                            service: pkt.service,
-                            class: pkt.class,
-                        });
-                        m.spawn(
-                            q,
-                            body,
-                            SpawnOpts {
-                                app,
-                                pin: Some(ring),
-                                req,
-                                weight: 1024,
-                                record_wakeup: false,
-                            },
-                        );
-                    }
-                }))),
-            );
-        }
-        m.note_overload_sample(now, worst_sojourn, backpressured);
-        Some(now + poll_interval)
-    };
-    q.schedule(
-        first_at + poll_interval,
-        Event::Recur(Recur(Box::new(poller))),
-    );
+    Some(first_at)
 }
 
 /// A datagram reaches the NIC: RSS-steer it into its ring, or tail-drop
@@ -696,10 +887,13 @@ pub fn install_open_loop_ctl(
 fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState>>, pkt: Pkt) {
     let mut s = st.borrow_mut();
     s.wire_pending -= 1;
+    let c = class_slot(pkt.class);
     m.stats.net_generated += 1;
+    m.stats.generated_by_class[c] += 1;
     let now = q.now();
     if pkt.attempt > 0 {
         m.stats.retries_spent += 1;
+        m.stats.retries_by_class[c] += 1;
         m.note_net(now, None, NetTrace::NetRetry);
     }
     // Steer by the cached flow hash (identical to `enqueue_flow`, minus
@@ -711,12 +905,14 @@ fn nic_rx(m: &mut Machine, q: &mut EventQueue<Event>, st: &Rc<RefCell<PlaneState
         Ok(ring) => {
             if pkt.attempt == 0 {
                 m.stats.net_in_flight += 1;
+                m.stats.in_flight_by_class[c] += 1;
             }
             m.note_net(now, Some(ring), NetTrace::RxEnqueue);
         }
         Err(ring) => {
             if pkt.attempt == 0 {
                 m.stats.rx_ring_drops += 1;
+                m.stats.rx_drops_by_class[c] += 1;
             }
             m.note_net(now, Some(ring), NetTrace::RxDrop);
             client_loss(q, st, s, pkt);
@@ -767,7 +963,7 @@ fn lose_attempt(
     }
     let retry_delay = s.retry.as_mut().and_then(|r| {
         let more = pkt.attempt + 1 < r.policy.max_attempts;
-        (more && r.budget.try_spend()).then(|| r.backoff.next_delay())
+        (more && r.try_spend(pkt.class)).then(|| r.backoff.next_delay())
     });
     match retry_delay {
         Some(delay) => {
@@ -1151,6 +1347,185 @@ mod tests {
             p99_on < 2 * slo.0,
             "served p99 {p99_on} should hug the SLO with AQM on"
         );
+    }
+
+    #[test]
+    fn tenants_share_one_plane_and_shed_batch_first() {
+        let cfg = MachineConfig {
+            plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+            n_workers: 4,
+            seed: 3,
+            core_alloc: None,
+            utimer_period: None,
+        };
+        let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+        m.add_app("lc", AppKind::Lc);
+        m.add_app("batch", AppKind::Lc);
+        // The full class stack: registered SLO classes, the runqueue AQM
+        // (batch's 5 ms SLO makes it the sheddable class), and per-class
+        // deadline admission at the polling core.
+        m.set_slo_class(
+            0,
+            skyloft::conf::SloClass::latency_critical(Nanos::from_us(200)),
+        );
+        m.set_slo_class(1, skyloft::conf::SloClass::batch(Nanos::from_ms(5)));
+        // Microsecond-scale services need a tighter CoDel interval than
+        // the default: the shed rate scales as sqrt(count)/interval, and
+        // at ~1M rps a 500 us interval cannot shed excess batch work as
+        // fast as it arrives.
+        m.set_runqueue_aqm(skyloft::conf::RunqueueAqmConfig {
+            interval: Nanos::from_us(100),
+            ..Default::default()
+        });
+        let mut q = EventQueue::new();
+        m.start(&mut q);
+        // LC: 2 us requests at half the machine's work capacity (2 of 4
+        // cores). Batch: 50 us requests worth 6 cores of demand, so the
+        // mix offers ~2x total utilization.
+        let lc = Tenant {
+            gen: OpenLoop::new(
+                1_000_000.0,
+                Distribution::Constant(Nanos::from_us(2)),
+                Nanos::from_us(100),
+                10,
+            ),
+            app: 0,
+            class: Some(0),
+        };
+        let batch = Tenant {
+            gen: OpenLoop::new(
+                120_000.0,
+                Distribution::Constant(Nanos::from_us(50)),
+                Nanos::from_us(100),
+                11,
+            ),
+            app: 1,
+            class: Some(1),
+        };
+        let mut adm = skyloft_net::AdmissionConfig::default();
+        adm.class_slo[0] = Some(Nanos::from_us(200));
+        adm.class_slo[1] = Some(Nanos::from_ms(5));
+        let ctl = OverloadControl {
+            codel: Some(CodelConfig::default()),
+            admission: Some(adm),
+            retry: None,
+            retry_frac: None,
+        };
+        let mut nic = NicConfig::for_workers(4);
+        nic.client_timeout = Nanos::from_ms(1);
+        install_tenants(&mut q, vec![lc, batch], nic, Nanos::from_ms(10), None, ctl);
+        m.run(&mut q, Nanos::from_ms(60));
+        let s = &m.stats;
+        assert_ledger(s);
+        assert_eq!(s.net_in_flight, 0, "drained by end of run");
+        // Attribution: the class arrays must sum to the global counters,
+        // and each tenant's traffic lands in its own class slot.
+        assert_eq!(s.generated_by_class.iter().sum::<u64>(), s.net_generated);
+        assert_eq!(s.delivered_by_class.iter().sum::<u64>(), s.net_delivered);
+        assert_eq!(s.sheds_by_class.iter().sum::<u64>(), s.admission_sheds);
+        assert!(
+            s.generated_by_class[0] > 5_000,
+            "{:?}",
+            s.generated_by_class
+        );
+        assert!(s.generated_by_class[1] > 100, "{:?}", s.generated_by_class);
+        // Both apps did real work under their own accounting.
+        assert!(m.stats.busy_by_app[0] > 0 && m.stats.busy_by_app[1] > 0);
+        // Graceful degradation: overload is paid by the loose-SLO batch
+        // class, not the latency-critical one. With the live-class queue
+        // cap, admission sheds batch at the NIC before a deep runqueue
+        // forms; the scheduler-side AQM is the backstop for transients,
+        // and whenever it does fire its victims are batch-only — LC's
+        // tighter SLO keeps it off the victim list entirely.
+        assert!(
+            s.sheds_by_class[1] + s.rq_sheds_by_class[1] > 0,
+            "no batch request was ever shed at 2x overload"
+        );
+        assert_eq!(
+            s.rq_sheds_by_class[0], 0,
+            "the latency-critical class must never be scheduler-shed"
+        );
+        assert_eq!(s.rq_sheds_by_class[1], s.rq_sheds);
+        let lost = |c: usize| {
+            s.sheds_by_class[c]
+                + s.rx_drops_by_class[c]
+                + s.aqm_drops_by_class[c]
+                + s.rq_sheds_by_class[c]
+        };
+        let lc_loss_frac = lost(0) as f64 / s.generated_by_class[0] as f64;
+        let batch_loss_frac = lost(1) as f64 / s.generated_by_class[1].max(1) as f64;
+        assert!(
+            s.delivered_by_class[0] as f64 > 0.80 * s.generated_by_class[0] as f64,
+            "LC starved: {} of {} delivered (lost {:.3})",
+            s.delivered_by_class[0],
+            s.generated_by_class[0],
+            lc_loss_frac,
+        );
+        assert!(
+            batch_loss_frac > lc_loss_frac,
+            "batch was not shed first: batch {batch_loss_frac:.3} vs lc {lc_loss_frac:.3}"
+        );
+        // LC completions actually completed, under the LC app.
+        assert!(
+            s.completed_by_class[0] > 5_000,
+            "lc completions {}",
+            s.completed_by_class[0]
+        );
+    }
+
+    #[test]
+    fn zero_rate_tenants_install_nothing() {
+        let build = || {
+            let cfg = MachineConfig {
+                plat: Platform::skyloft_percpu(Topology::single(4), 100_000),
+                n_workers: 4,
+                seed: 3,
+                core_alloc: None,
+                utimer_period: None,
+            };
+            let mut m = Machine::new(cfg, Box::new(GlobalFifo::new()));
+            m.add_app("kv", AppKind::Lc);
+            let mut q = EventQueue::new();
+            m.start(&mut q);
+            (m, q)
+        };
+        let tenant = |rate: f64| Tenant {
+            gen: OpenLoop::new(
+                rate,
+                Distribution::Constant(Nanos::from_us(2)),
+                Nanos::from_us(100),
+                10,
+            ),
+            app: 0,
+            class: Some(0),
+        };
+        // A zero-rate co-tenant (the degenerate sweep point) is skipped;
+        // the live tenant still runs.
+        let (mut m, mut q) = build();
+        install_tenants(
+            &mut q,
+            vec![tenant(0.0), tenant(200_000.0)],
+            NicConfig::for_workers(4),
+            Nanos::from_ms(10),
+            None,
+            OverloadControl::default(),
+        );
+        m.run(&mut q, Nanos::from_ms(20));
+        assert!(m.stats.completed > 1_500, "completed {}", m.stats.completed);
+        // All tenants degenerate: nothing installs, nothing runs, and
+        // nothing panics.
+        let (mut m, mut q) = build();
+        install_tenants(
+            &mut q,
+            vec![tenant(0.0), tenant(0.0)],
+            NicConfig::for_workers(4),
+            Nanos::from_ms(10),
+            None,
+            OverloadControl::default(),
+        );
+        m.run(&mut q, Nanos::from_ms(20));
+        assert_eq!(m.stats.completed, 0);
+        assert_eq!(m.stats.net_generated, 0);
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Runqueue AQM: the CoDel drop law on *scheduler* queue sojourn.
+//!
+//! PR 6 put CoDel on the NIC RX rings, so overload entering through the
+//! data plane is bounded before it reaches the scheduler. But requests
+//! injected directly via `spawn_request` — or a backlog that builds up
+//! *inside* the runqueues because service times stretched — bypass that
+//! ring entirely. This module is the second containment ring: the machine
+//! samples every app's worst runqueue sojourn on a fixed poll period
+//! ([`crate::conf::RunqueueAqmConfig::poll_every`]) and feeds it through a
+//! per-app CoDel controller. When an app's controller fires, the machine
+//! condemns the oldest queued request of a *sheddable* app (see
+//! [`crate::machine::Machine::set_runqueue_aqm`] for the victim-selection
+//! rule); the condemned task is terminated, not run, at its next dequeue.
+//!
+//! The drop law is the same integer state machine as the RX-ring
+//! `Codel` in `skyloft-net` (Nichols & Jacobson, CACM 2012): quiescent
+//! below `target`; after sojourn stays above `target` for one full
+//! `interval` the controller enters the dropping state and fires at
+//! `interval/√count` spacing, resuming near the previous rate on quick
+//! re-entry. It is duplicated here rather than imported because
+//! `skyloft-net` deliberately depends only on `skyloft-sim`, so neither
+//! crate can reuse the other's copy of the law.
+//!
+//! Pure data structure: no RNG, no clock, driven with explicit `now`
+//! values, so it is deterministic and directly unit-testable.
+
+use skyloft_sim::Nanos;
+
+use crate::conf::RunqueueAqmConfig;
+use crate::task::{AppId, TaskId};
+
+/// Per-app CoDel state (the same fields as the RX-ring controller).
+#[derive(Clone, Copy, Debug, Default)]
+struct CodelState {
+    /// Instant dropping may begin (first-above + interval), while the
+    /// sojourn is currently above target.
+    first_above: Option<Nanos>,
+    /// Whether the controller is in the dropping state.
+    dropping: bool,
+    /// Next scheduled drop while dropping.
+    drop_next: Nanos,
+    /// Drops in the current episode (sets the √count rate).
+    count: u32,
+    /// `count` when the last episode ended (quick re-entry refinement).
+    last_count: u32,
+}
+
+/// Per-scan record of an app's oldest queued task.
+#[derive(Clone, Copy, Debug)]
+struct Oldest {
+    task: TaskId,
+    since: Nanos,
+}
+
+/// The machine-side runqueue AQM: one CoDel controller per application,
+/// plus the per-poll scan scratch (oldest queued task per app).
+#[derive(Debug)]
+pub struct RunqueueAqm {
+    cfg: RunqueueAqmConfig,
+    /// Controllers, indexed by `AppId` (grown on demand).
+    apps: Vec<CodelState>,
+    /// Scan scratch: the oldest queued task seen for each app this poll.
+    oldest: Vec<Option<Oldest>>,
+    /// Tasks condemned so far.
+    condemned: u64,
+}
+
+impl RunqueueAqm {
+    /// A quiescent AQM with the given law parameters.
+    pub fn new(cfg: RunqueueAqmConfig) -> Self {
+        RunqueueAqm {
+            cfg,
+            apps: Vec::new(),
+            oldest: Vec::new(),
+            condemned: 0,
+        }
+    }
+
+    /// The law parameters.
+    pub fn cfg(&self) -> RunqueueAqmConfig {
+        self.cfg
+    }
+
+    /// Tasks condemned so far.
+    pub fn condemned(&self) -> u64 {
+        self.condemned
+    }
+
+    /// Counts one condemned task (called by the machine when it marks a
+    /// victim).
+    pub fn note_condemned(&mut self) {
+        self.condemned += 1;
+    }
+
+    /// Resets the scan scratch for a poll over `n_apps` applications.
+    pub fn begin_scan(&mut self, n_apps: usize) {
+        self.oldest.clear();
+        self.oldest.resize(n_apps, None);
+        if self.apps.len() < n_apps {
+            self.apps.resize(n_apps, CodelState::default());
+        }
+    }
+
+    /// Records one queued task in the scan: keeps the oldest
+    /// (smallest `runnable_since`) per app.
+    pub fn observe(&mut self, app: AppId, task: TaskId, since: Nanos) {
+        let slot = &mut self.oldest[app];
+        if slot.is_none_or(|o| since < o.since) {
+            *slot = Some(Oldest { task, since });
+        }
+    }
+
+    /// The oldest queued task of `app` seen by the current scan, with its
+    /// `runnable_since`. `None` when the app has nothing queued.
+    pub fn app_oldest(&self, app: AppId) -> Option<(TaskId, Nanos)> {
+        self.oldest
+            .get(app)
+            .and_then(|o| o.map(|o| (o.task, o.since)))
+    }
+
+    /// Feeds `app`'s worst-sojourn sample into its controller. `target`
+    /// overrides the configured default (an app with a registered SLO
+    /// class is judged against half its own deadline). Returns `true`
+    /// when the drop law says to shed one queued request now.
+    pub fn on_sample(
+        &mut self,
+        app: AppId,
+        now: Nanos,
+        sojourn: Nanos,
+        target: Option<Nanos>,
+    ) -> bool {
+        if self.apps.len() <= app {
+            self.apps.resize(app + 1, CodelState::default());
+        }
+        let target = target.unwrap_or(self.cfg.target);
+        let interval = self.cfg.interval;
+        let c = &mut self.apps[app];
+        if sojourn < target {
+            c.first_above = None;
+            c.dropping = false;
+            return false;
+        }
+        match c.first_above {
+            None => {
+                c.first_above = Some(now + interval);
+                false
+            }
+            Some(fa) if !c.dropping => {
+                if now < fa {
+                    return false;
+                }
+                c.dropping = true;
+                c.count = if c.last_count > 2 && now < c.drop_next + interval {
+                    c.last_count - 2
+                } else {
+                    1
+                };
+                c.drop_next = control_law(now, interval, c.count);
+                true
+            }
+            Some(_) => {
+                if now < c.drop_next {
+                    return false;
+                }
+                c.count += 1;
+                c.last_count = c.count;
+                c.drop_next = control_law(c.drop_next, interval, c.count);
+                true
+            }
+        }
+    }
+}
+
+/// `t + interval/√count`: the CoDel control law spacing successive drops.
+fn control_law(t: Nanos, interval: Nanos, count: u32) -> Nanos {
+    t + Nanos((interval.0 as f64 / (count.max(1) as f64).sqrt()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> RunqueueAqmConfig {
+        RunqueueAqmConfig {
+            target: Nanos::from_us(50),
+            interval: Nanos::from_us(500),
+            poll_every: Nanos::from_us(10),
+            sheddable_slo: Nanos::from_ms(1),
+        }
+    }
+
+    fn tid(idx: u32) -> TaskId {
+        TaskId { idx, generation: 0 }
+    }
+
+    #[test]
+    fn below_target_never_fires() {
+        let mut a = RunqueueAqm::new(cfg());
+        for i in 0..10_000u64 {
+            assert!(!a.on_sample(0, Nanos(i * 100), Nanos::from_us(49), None));
+        }
+    }
+
+    #[test]
+    fn sustained_excess_fires_after_one_interval() {
+        let mut a = RunqueueAqm::new(cfg());
+        let sojourn = Nanos::from_us(200);
+        assert!(!a.on_sample(0, Nanos::ZERO, sojourn, None));
+        assert!(!a.on_sample(0, Nanos::from_us(499), sojourn, None));
+        assert!(a.on_sample(0, Nanos::from_us(500), sojourn, None));
+    }
+
+    #[test]
+    fn per_app_state_is_independent() {
+        let mut a = RunqueueAqm::new(cfg());
+        let high = Nanos::from_us(200);
+        // App 0 builds up an above-target episode; app 1 stays quiet.
+        assert!(!a.on_sample(0, Nanos::ZERO, high, None));
+        assert!(!a.on_sample(1, Nanos::ZERO, Nanos::from_us(1), None));
+        assert!(a.on_sample(0, Nanos::from_us(500), high, None));
+        // App 1's first above-target sample only arms its own interval.
+        assert!(!a.on_sample(1, Nanos::from_us(500), high, None));
+    }
+
+    #[test]
+    fn target_override_uses_class_deadline() {
+        let mut a = RunqueueAqm::new(cfg());
+        // 100 µs sojourn, 300 µs override target: quiescent forever.
+        for i in 0..200u64 {
+            assert!(!a.on_sample(
+                0,
+                Nanos(i * 10_000),
+                Nanos::from_us(100),
+                Some(Nanos::from_us(300)),
+            ));
+        }
+        // Same sojourn against a 40 µs override fires after an interval.
+        let tight = Some(Nanos::from_us(40));
+        assert!(!a.on_sample(1, Nanos::ZERO, Nanos::from_us(100), tight));
+        assert!(a.on_sample(1, Nanos::from_us(500), Nanos::from_us(100), tight));
+    }
+
+    #[test]
+    fn scan_tracks_oldest_per_app() {
+        let mut a = RunqueueAqm::new(cfg());
+        a.begin_scan(2);
+        a.observe(0, tid(1), Nanos(300));
+        a.observe(0, tid(2), Nanos(100));
+        a.observe(0, tid(3), Nanos(200));
+        a.observe(1, tid(4), Nanos(50));
+        assert_eq!(a.app_oldest(0), Some((tid(2), Nanos(100))));
+        assert_eq!(a.app_oldest(1), Some((tid(4), Nanos(50))));
+        a.begin_scan(2);
+        assert_eq!(a.app_oldest(0), None);
+    }
+
+    #[test]
+    fn recovery_resets_episode() {
+        let mut a = RunqueueAqm::new(cfg());
+        let high = Nanos::from_us(200);
+        let mut now = Nanos::ZERO;
+        for _ in 0..200 {
+            a.on_sample(0, now, high, None);
+            now += Nanos::from_us(10);
+        }
+        // Below target: controller leaves dropping; next excursion re-arms.
+        assert!(!a.on_sample(0, now, Nanos::from_us(1), None));
+        assert!(!a.on_sample(0, now + Nanos::from_us(10), high, None));
+    }
+}

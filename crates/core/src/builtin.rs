@@ -73,6 +73,15 @@ impl Policy for GlobalFifo {
         self.queue.pop_front()
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn.
+        self.queue
+            .iter()
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.queue.len())
     }
@@ -82,7 +91,7 @@ impl Policy for GlobalFifo {
 /// this is the skeleton of the Shinjuku policy (§5.2); without one it is a
 /// plain dispatcher-based FCFS.
 pub struct CentralizedFcfs {
-    queue: VecDeque<(TaskId, Nanos)>,
+    queue: VecDeque<TaskId>,
     quantum: Option<Nanos>,
 }
 
@@ -117,9 +126,9 @@ impl Policy for CentralizedFcfs {
         t: TaskId,
         _cpu: Option<CoreId>,
         _flags: EnqueueFlags,
-        now: Nanos,
+        _now: Nanos,
     ) {
-        self.queue.push_back((t, now));
+        self.queue.push_back(t);
     }
 
     fn task_dequeue(
@@ -128,7 +137,7 @@ impl Policy for CentralizedFcfs {
         _cpu: CoreId,
         _now: Nanos,
     ) -> Option<TaskId> {
-        self.queue.pop_front().map(|(t, _)| t)
+        self.queue.pop_front()
     }
 
     fn sched_poll(
@@ -140,7 +149,7 @@ impl Policy for CentralizedFcfs {
     ) {
         for &core in idle_workers {
             match self.queue.pop_front() {
-                Some((t, _)) => out.push((core, t)),
+                Some(t) => out.push((core, t)),
                 None => break,
             }
         }
@@ -166,8 +175,13 @@ impl Policy for CentralizedFcfs {
         self.quantum
     }
 
-    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
-        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn.
+        self.queue
+            .iter()
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
     }
 
     fn queue_len(&self) -> Option<usize> {
@@ -216,6 +230,7 @@ mod tests {
         let mut tasks = TaskTable::new();
         assert_eq!(p.queue_delay(&tasks, Nanos(100)), None);
         let t = tasks.insert(|id| crate::task::Task::bare(id, 0));
+        tasks.get_mut(t).runnable_since = Nanos(100);
         p.task_enqueue(&mut tasks, t, None, EnqueueFlags::New, Nanos(100));
         assert_eq!(p.queue_delay(&tasks, Nanos(250)), Some(Nanos(150)));
     }

@@ -86,6 +86,17 @@ pub struct FaultPlan {
     /// ring for the fault's duration (models a stuck NIC redirection
     /// update), concentrating load on one RX ring.
     pub stuck_indirection: Option<PeriodicFault>,
+    /// Scope core-level faults (arming drops, IPI drops/delays, page
+    /// faults, stalls) to cores whose *active application* is this one;
+    /// `None` (the default) injects machine-wide. Scoping is
+    /// draw-then-filter: the injection RNG is consumed exactly as in an
+    /// unscoped run and only the fault's *effect* is suppressed on
+    /// non-matching cores, so adding a scope never perturbs the fault
+    /// schedule other apps would have seen — the RNG-neutrality the
+    /// replay tests in `tests/chaos.rs` pin down. Data-plane faults
+    /// (RX-poll drops/delays, indirection sticks) hit the shared NIC and
+    /// are deliberately *not* scoped.
+    pub target_app: Option<AppId>,
 }
 
 impl FaultPlan {
@@ -166,6 +177,13 @@ impl FaultPlan {
             mean_interval,
             duration,
         });
+        self
+    }
+
+    /// Scopes core-level faults to cores actively running `app` (see
+    /// [`FaultPlan::target_app`] for the exact semantics).
+    pub fn scope_to_app(mut self, app: AppId) -> Self {
+        self.target_app = Some(app);
         self
     }
 }
@@ -314,14 +332,29 @@ impl Machine {
     // Injection hooks (called from the machine's event handlers)
     // ------------------------------------------------------------------
 
+    /// Whether `core` is outside the plan's fault scope: a `target_app`
+    /// is set and the core is not actively running it. Scoped-out cores
+    /// still consume the same injection RNG draws (draw-then-filter);
+    /// only the fault's effect is suppressed.
+    fn chaos_scoped_out(&self, core: CoreId) -> bool {
+        match self.chaos.as_ref().and_then(|e| e.plan.target_app) {
+            Some(app) => self.cores[core].cur_app != Some(app),
+            None => false,
+        }
+    }
+
     /// Whether the §3.2 handler's re-arm self-IPI should be dropped now.
     /// Marks the core's arming as lost so the watchdog (and the invariant
     /// checker's budget) know the empty PIR is an injected state.
     pub(crate) fn chaos_drop_arming(&mut self, core: CoreId) -> bool {
+        let scoped_out = self.chaos_scoped_out(core);
         let Some(eng) = self.chaos.as_mut() else {
             return false;
         };
         if !eng.rng.chance(eng.plan.drop_arming_p) {
+            return false;
+        }
+        if scoped_out {
             return false;
         }
         eng.stats.armings_dropped += 1;
@@ -329,10 +362,17 @@ impl Machine {
         true
     }
 
-    /// Fate of a preempt/revoke notification: `None` means the fabric lost
-    /// it (any posted PIR bit stays set, but the core is never
-    /// interrupted); `Some(d)` adds `d` of extra delivery latency.
-    pub(crate) fn chaos_ipi_extra_delay(&mut self, purpose: IpiPurpose) -> Option<Nanos> {
+    /// Fate of a preempt/revoke notification to `core`: `None` means the
+    /// fabric lost it (any posted PIR bit stays set, but the core is never
+    /// interrupted); `Some(d)` adds `d` of extra delivery latency. Both
+    /// chance draws happen before the scope filter so scoped plans stay
+    /// RNG-aligned with unscoped ones.
+    pub(crate) fn chaos_ipi_extra_delay(
+        &mut self,
+        core: CoreId,
+        purpose: IpiPurpose,
+    ) -> Option<Nanos> {
+        let scoped_out = self.chaos_scoped_out(core);
         let Some(eng) = self.chaos.as_mut() else {
             return Some(Nanos::ZERO);
         };
@@ -341,6 +381,9 @@ impl Machine {
             IpiPurpose::Revoke => (eng.plan.drop_revoke_p, eng.plan.delay_revoke),
         };
         if eng.rng.chance(drop_p) {
+            if scoped_out {
+                return Some(Nanos::ZERO);
+            }
             match purpose {
                 IpiPurpose::Preempt => eng.stats.preempts_dropped += 1,
                 IpiPurpose::Revoke => eng.stats.revokes_dropped += 1,
@@ -349,6 +392,9 @@ impl Machine {
         }
         if let Some((p, d)) = delay {
             if eng.rng.chance(p) {
+                if scoped_out {
+                    return Some(Nanos::ZERO);
+                }
                 match purpose {
                     IpiPurpose::Preempt => eng.stats.preempts_delayed += 1,
                     IpiPurpose::Revoke => eng.stats.revokes_delayed += 1,
@@ -828,6 +874,12 @@ impl Machine {
             let idx = eng.rng.next_below(self.worker_cores.len() as u64) as usize;
             (self.worker_cores[idx], pf.duration)
         };
+        // Draw-then-filter: the gap and victim draws above happened
+        // regardless of scope, so scoped plans replay on the same
+        // schedule; only the injection itself is suppressed.
+        if self.chaos_scoped_out(core) {
+            return;
+        }
         if self.inject_page_fault(q, core, duration) {
             self.chaos
                 .as_mut()
@@ -850,6 +902,10 @@ impl Machine {
             let idx = eng.rng.next_below(self.worker_cores.len() as u64) as usize;
             (self.worker_cores[idx], st.duration)
         };
+        // Draw-then-filter, as in on_page_fault_tick.
+        if self.chaos_scoped_out(core) {
+            return;
+        }
         if self.inject_stall(q, core, duration) {
             self.chaos
                 .as_mut()

@@ -219,6 +219,89 @@ impl Default for CoreAllocConfig {
     }
 }
 
+/// Per-application SLO class (DESIGN.md §16).
+///
+/// Registered on an application via `Machine::set_slo_class`; every
+/// class-aware overload decision reads it: deadline admission sheds a
+/// request against *its own application's* `slo` rather than a machine
+/// global, the load generator scales its per-class retry token bucket by
+/// `retry_frac`, and the runqueue AQM treats applications with a looser
+/// SLO as sheddable before tighter ones. Applications without a class
+/// behave exactly as before this type existed — every consumer falls back
+/// to its pre-class global path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloClass {
+    /// The application's service-level objective: the response-time bound
+    /// its requests are admitted against.
+    pub slo: Nanos,
+    /// Relative weight among classes (1024 = baseline). Reserved for
+    /// weighted shedding; recorded per class so policy experiments can
+    /// read it back.
+    pub weight: u32,
+    /// Fraction of this class's offered load it may spend on retries,
+    /// in permille (‰) of generated requests.
+    pub retry_frac: u32,
+}
+
+impl SloClass {
+    /// A latency-critical class: tight SLO, full weight, modest retries.
+    pub fn latency_critical(slo: Nanos) -> Self {
+        SloClass {
+            slo,
+            weight: 1024,
+            retry_frac: 100,
+        }
+    }
+
+    /// A batch/best-effort class: loose SLO, reduced weight, few retries.
+    pub fn batch(slo: Nanos) -> Self {
+        SloClass {
+            slo,
+            weight: 256,
+            retry_frac: 20,
+        }
+    }
+}
+
+/// Runqueue-AQM configuration (the scheduler-side containment ring,
+/// DESIGN.md §16).
+///
+/// The RX-ring CoDel (DESIGN.md §13) bounds sojourn for load that enters
+/// through the NIC; load injected directly via `spawn_request` bypasses
+/// it. This second ring watches the *runqueues* instead: every
+/// `poll_every`, the machine measures each application's worst queued-task
+/// sojourn (the policies' unified `queue_delay` clock) and feeds it into a
+/// per-application CoDel instance. Past target/interval the AQM sheds the
+/// oldest queued request of a *sheddable* application — one whose
+/// [`SloClass::slo`] is at least `sheddable_slo` (unclassed applications
+/// are never shed) — and feeds the sojourn into the brownout controller
+/// so scheduler-side congestion also revokes BE cores.
+#[derive(Clone, Copy, Debug)]
+pub struct RunqueueAqmConfig {
+    /// CoDel target: runqueue sojourn below this is acceptable. An
+    /// application with an [`SloClass`] uses `slo / 2` as its personal
+    /// target instead.
+    pub target: Nanos,
+    /// CoDel initial interval: sojourn must stay above target this long
+    /// before the first shed.
+    pub interval: Nanos,
+    /// How often the machine samples the runqueues.
+    pub poll_every: Nanos,
+    /// Applications whose class SLO is at least this loose are sheddable.
+    pub sheddable_slo: Nanos,
+}
+
+impl Default for RunqueueAqmConfig {
+    fn default() -> Self {
+        RunqueueAqmConfig {
+            target: Nanos::from_us(50),
+            interval: Nanos::from_us(500),
+            poll_every: Nanos::from_us(10),
+            sheddable_slo: Nanos::from_ms(1),
+        }
+    }
+}
+
 /// Brownout controller configuration (overload control, DESIGN.md §13).
 ///
 /// The polling core feeds the machine a congestion sample per poll visit
@@ -359,6 +442,23 @@ mod tests {
     fn core_alloc_defaults_match_shenango() {
         let c = CoreAllocConfig::default();
         assert_eq!(c.interval, Nanos::from_us(5));
+    }
+
+    #[test]
+    fn slo_class_presets() {
+        let lc = SloClass::latency_critical(Nanos::from_us(200));
+        let be = SloClass::batch(Nanos::from_ms(5));
+        assert!(lc.slo < be.slo);
+        assert!(lc.weight > be.weight);
+        assert!(lc.retry_frac > be.retry_frac);
+    }
+
+    #[test]
+    fn runqueue_aqm_defaults_are_ordered() {
+        let c = RunqueueAqmConfig::default();
+        assert!(c.target < c.interval);
+        assert!(c.poll_every < c.interval);
+        assert!(c.sheddable_slo > c.target, "only loose classes shed");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aqm;
 pub mod builtin;
 #[cfg(feature = "chaos")]
 pub mod chaos;
@@ -51,10 +52,12 @@ pub mod task;
 #[cfg(feature = "trace")]
 pub mod trace;
 
+pub use aqm::RunqueueAqm;
 #[cfg(feature = "chaos")]
 pub use chaos::FaultPlan;
 pub use conf::{
-    BrownoutConfig, CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, SchedParams,
+    BrownoutConfig, CoreAllocConfig, Platform, PreemptMechanism, RecoveryConfig, RunqueueAqmConfig,
+    SchedParams, SloClass,
 };
 pub use machine::{
     AppKind, Call, Event, IpiPurpose, Machine, MachineConfig, NetTrace, Recur, SpawnOpts,

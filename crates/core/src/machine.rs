@@ -25,11 +25,12 @@ use skyloft_kmod::FaultMonitor;
 use skyloft_kmod::{Kmod, Tid};
 use skyloft_sim::{EventQueue, Nanos, Rng, Token};
 
+use crate::aqm::RunqueueAqm;
 #[cfg(feature = "chaos")]
 use crate::chaos::{ChaosEngine, ChaosEvent};
 #[cfg(feature = "chaos")]
 use crate::conf::RecoveryConfig;
-use crate::conf::{CoreAllocConfig, Platform, PreemptMechanism};
+use crate::conf::{CoreAllocConfig, Platform, PreemptMechanism, RunqueueAqmConfig, SloClass};
 use crate::ops::{EnqueueFlags, Policy, PolicyKind, SchedEnv};
 use crate::stats::Stats;
 use crate::task::{AppId, Behavior, RequestMeta, Step, Task, TaskId, TaskState, TaskTable};
@@ -126,6 +127,8 @@ pub enum Event {
     },
     /// Periodic core-allocator decision (§5.2 multi-application runs).
     CoreAllocTick,
+    /// Periodic runqueue-AQM sojourn poll ([`Machine::set_runqueue_aqm`]).
+    RqAqmTick,
     /// Fault-injection or recovery machinery (see [`crate::chaos`]).
     #[cfg(feature = "chaos")]
     Chaos(ChaosEvent),
@@ -163,6 +166,10 @@ pub struct AppDesc {
     pub kind: AppKind,
     /// Live task count.
     pub live_tasks: usize,
+    /// SLO class registered via [`Machine::set_slo_class`]; `None` means
+    /// the app predates per-class overload control (never shed by the
+    /// runqueue AQM, judged against global thresholds only).
+    pub slo: Option<SloClass>,
 }
 
 /// Per-core scheduler state.
@@ -249,6 +256,19 @@ impl CoreState {
     pub fn is_idle(&self) -> bool {
         self.current.is_none() && !self.incoming
     }
+}
+
+/// One per-app brownout controller: the same EWMA + hysteresis law as the
+/// global controller ([`Machine::note_overload_sample`]), but fed from the
+/// app's own runqueue sojourn so each SLO class engages and releases on
+/// its own thresholds instead of one machine-wide band.
+#[derive(Debug)]
+struct AppBrownout {
+    cfg: crate::conf::BrownoutConfig,
+    ewma: Nanos,
+    engaged: bool,
+    last_transition: Nanos,
+    transitions: u64,
 }
 
 /// Machine construction parameters.
@@ -377,6 +397,13 @@ pub struct Machine {
     brownout_last_transition: Nanos,
     /// Engage/release transitions performed, total.
     brownout_transitions: u64,
+    /// Per-app brownout controllers ([`Machine::set_app_brownout`]),
+    /// indexed by `AppId`; an engaged entry makes the machine behave as
+    /// browned-out exactly like the global controller.
+    app_brownout: Vec<Option<AppBrownout>>,
+    /// Runqueue AQM ([`Machine::set_runqueue_aqm`]): CoDel on scheduler
+    /// queue sojourn, the second containment ring behind the RX-ring AQM.
+    rq_aqm: Option<RunqueueAqm>,
     /// Recovery knobs for injected faults (see [`crate::chaos`]); the
     /// machinery only activates while a fault plan is installed.
     #[cfg(feature = "chaos")]
@@ -486,6 +513,8 @@ impl Machine {
             browned_out: false,
             brownout_last_transition: Nanos::ZERO,
             brownout_transitions: 0,
+            app_brownout: Vec::new(),
+            rq_aqm: None,
             #[cfg(feature = "chaos")]
             recovery: RecoveryConfig::default(),
             #[cfg(feature = "chaos")]
@@ -524,6 +553,7 @@ impl Machine {
             name: name.to_string(),
             kind,
             live_tasks: 0,
+            slo: None,
         });
         self.stats.busy_by_app.push(0);
         for &core in &self.worker_cores.clone() {
@@ -628,6 +658,9 @@ impl Machine {
         if let (Some(alloc), Some(_)) = (&self.core_alloc, self.be_app) {
             q.schedule(alloc.interval, Event::CoreAllocTick);
         }
+        if let Some(aqm) = &self.rq_aqm {
+            q.schedule(aqm.cfg().poll_every, Event::RqAqmTick);
+        }
         self.chaos_start(q);
     }
 
@@ -719,9 +752,108 @@ impl Machine {
         self.brownout = Some(cfg);
     }
 
-    /// Whether the brownout controller is currently shedding BE share.
+    /// Registers `app`'s SLO class: its per-class deadline, scheduling
+    /// weight and retry fraction. Apps without a class keep the legacy
+    /// (global-threshold, never-shed) behaviour.
+    pub fn set_slo_class(&mut self, app: AppId, slo: SloClass) {
+        self.apps[app].slo = Some(slo);
+    }
+
+    /// Arms the runqueue AQM: every `poll_every` the machine feeds each
+    /// app's worst runqueue sojourn into a per-app CoDel controller; past
+    /// target/interval, the controller condemns the oldest queued task of
+    /// a *sheddable* app (one whose [`SloClass::slo`] is at least
+    /// `sheddable_slo`). Condemned tasks are terminated, not run, when a
+    /// scheduling path next dequeues them. Must be called before
+    /// [`Machine::start`].
+    pub fn set_runqueue_aqm(&mut self, cfg: RunqueueAqmConfig) {
+        assert!(!self.started, "arm the runqueue AQM before start");
+        self.rq_aqm = Some(RunqueueAqm::new(cfg));
+    }
+
+    /// Arms a per-app brownout controller with its own hysteresis band,
+    /// fed from the app's runqueue sojourn by the runqueue AQM tick. Any
+    /// engaged per-app controller makes the machine behave browned-out
+    /// exactly like the global one.
+    pub fn set_app_brownout(&mut self, app: AppId, cfg: crate::conf::BrownoutConfig) {
+        assert!(app < self.apps.len(), "unknown app");
+        if self.app_brownout.len() <= app {
+            self.app_brownout.resize_with(app + 1, || None);
+        }
+        self.app_brownout[app] = Some(AppBrownout {
+            cfg,
+            ewma: Nanos::ZERO,
+            engaged: false,
+            last_transition: Nanos::ZERO,
+            transitions: 0,
+        });
+    }
+
+    /// Whether any brownout controller (global or per-app) is shedding.
     pub fn browned_out(&self) -> bool {
         self.browned_out
+            || self
+                .app_brownout
+                .iter()
+                .any(|b| b.as_ref().is_some_and(|b| b.engaged))
+    }
+
+    /// Whether `app`'s per-app brownout controller is engaged (`false`
+    /// when none is armed).
+    pub fn app_browned_out(&self, app: AppId) -> bool {
+        self.app_brownout
+            .get(app)
+            .and_then(|b| b.as_ref())
+            .is_some_and(|b| b.engaged)
+    }
+
+    /// Engage/release transitions of `app`'s brownout controller.
+    pub fn app_brownout_transitions(&self, app: AppId) -> u64 {
+        self.app_brownout
+            .get(app)
+            .and_then(|b| b.as_ref())
+            .map_or(0, |b| b.transitions)
+    }
+
+    /// Feeds one scheduler-side overload sample into `app`'s brownout
+    /// controller: the same EWMA + hysteresis law as
+    /// [`Machine::note_overload_sample`], minus the backpressure penalty
+    /// (runqueue sojourn has no ring to backpressure).
+    pub fn note_app_overload_sample(&mut self, now: Nanos, app: AppId, sojourn: Nanos) {
+        let Some(Some(b)) = self.app_brownout.get_mut(app) else {
+            return;
+        };
+        let sample = sojourn.0 as i128;
+        let ewma = b.ewma.0 as i128;
+        b.ewma = Nanos((ewma + ((sample - ewma) >> b.cfg.ewma_shift)) as u64);
+        let dwelled = now.saturating_sub(b.last_transition) >= b.cfg.min_dwell;
+        let mut flipped = None;
+        if !b.engaged && b.ewma > b.cfg.enter_sojourn && dwelled {
+            b.engaged = true;
+            b.last_transition = now;
+            b.transitions += 1;
+            flipped = Some(true);
+        } else if b.engaged && b.ewma < b.cfg.exit_sojourn && dwelled {
+            b.engaged = false;
+            b.last_transition = now;
+            b.transitions += 1;
+            flipped = Some(false);
+        }
+        #[cfg(feature = "trace")]
+        if let Some(on) = flipped {
+            self.trace_emit(
+                now,
+                None,
+                None,
+                if on {
+                    TraceKind::BrownoutShed
+                } else {
+                    TraceKind::BrownoutClear
+                },
+            );
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = flipped;
     }
 
     /// Total engage/release transitions the brownout controller performed.
@@ -792,6 +924,7 @@ impl Machine {
             home,
             preempt_count: 0,
             total_ran: Nanos::ZERO,
+            shed: false,
         })
     }
 
@@ -961,6 +1094,14 @@ impl Machine {
                 if !self.tasks.contains(task) {
                     return;
                 }
+                // The runqueue AQM condemned this task after the dispatcher
+                // committed the placement: collect it and let the now-idle
+                // worker ask for more work.
+                if self.tasks.get(task).shed {
+                    self.shed_task(q, core, task);
+                    self.dispatch(q);
+                    return;
+                }
                 // A fault may have blocked this core's kernel thread after
                 // the dispatcher committed the placement; re-queue instead
                 // of violating the Single Binding Rule.
@@ -980,6 +1121,7 @@ impl Machine {
                 self.run_task(q, core, task, Nanos::ZERO);
             }
             Event::CoreAllocTick => self.on_core_alloc(q),
+            Event::RqAqmTick => self.on_rq_aqm_tick(q),
             #[cfg(feature = "chaos")]
             Event::Chaos(ev) => self.on_chaos_event(ev, q),
             Event::Call(call) => (call.0)(self, q),
@@ -1241,7 +1383,7 @@ impl Machine {
         // An installed fault plan may lose the notification in the fabric
         // (any posted PIR bit stays set, but the core is never interrupted)
         // or delay its delivery.
-        let Some(extra) = self.chaos_ipi_extra_delay(purpose) else {
+        let Some(extra) = self.chaos_ipi_extra_delay(core, purpose) else {
             return;
         };
         q.schedule_after(
@@ -1302,7 +1444,7 @@ impl Machine {
         // A browned-out machine treats every alloc tick as congested: the
         // revoke branch reclaims BE cores one per tick and the grant branch
         // never runs, so BE share decays until the overload signal clears.
-        let congested = delay.is_some_and(|d| d > cfg.congestion_delay) || self.browned_out;
+        let congested = delay.is_some_and(|d| d > cfg.congestion_delay) || self.browned_out();
         // Index loops: `worker_cores` is never mutated here, so iterating
         // by position avoids cloning the core list on every alloc tick.
         if congested {
@@ -1355,6 +1497,182 @@ impl Machine {
             for i in 0..self.worker_cores.len() {
                 let core = self.worker_cores[i];
                 self.cores[core].idle_checks = 0;
+            }
+        }
+    }
+
+    /// Whether `app` may have queued requests shed by the runqueue AQM: it
+    /// registered an [`SloClass`] and its deadline is loose enough
+    /// (`slo ≥ sheddable_slo`). Unclassed and tight-deadline (LC) apps are
+    /// never shed — their congestion sheds *other* (batch) apps instead.
+    fn app_sheddable(&self, app: AppId, sheddable_slo: Nanos) -> bool {
+        self.apps[app].slo.is_some_and(|s| s.slo >= sheddable_slo)
+    }
+
+    /// One runqueue-AQM poll: scan queued tasks for each app's worst
+    /// sojourn, feed the per-app CoDel controllers, condemn the task the
+    /// drop law selects, and feed the brownout controllers so
+    /// scheduler-side congestion engages the same graceful-degradation
+    /// path as NIC-side congestion.
+    fn on_rq_aqm_tick(&mut self, q: &mut EventQueue<Event>) {
+        let Some(mut aqm) = self.rq_aqm.take() else {
+            return;
+        };
+        let now = q.now();
+        q.schedule_after(aqm.cfg().poll_every, Event::RqAqmTick);
+        aqm.begin_scan(self.apps.len());
+        let sheddable_slo = aqm.cfg().sheddable_slo;
+        // Victim pools: every queued request of each sheddable app, kept
+        // oldest-first so a single tick can serve every drop the control
+        // law says is due (the tick is far coarser than per-dequeue CoDel,
+        // so one firing may owe several drops).
+        let mut pool: Vec<Vec<(TaskId, Nanos)>> = vec![Vec::new(); self.apps.len()];
+        for task in self.tasks.iter() {
+            if task.state != TaskState::Runnable || task.shed {
+                continue;
+            }
+            // Machine-managed BE spinners park outside the policy queues;
+            // their "sojourn" is idle time, not congestion.
+            if task
+                .home
+                .is_some_and(|h| self.cores[h].be_task == Some(task.id))
+            {
+                continue;
+            }
+            aqm.observe(task.app, task.id, task.runnable_since);
+            if self.app_sheddable(task.app, sheddable_slo) {
+                pool[task.app].push((task.id, task.runnable_since));
+            }
+        }
+        for p in pool.iter_mut() {
+            p.sort_by_key(|&(_, since)| since);
+        }
+        let mut cursor = vec![0usize; self.apps.len()];
+        let mut worst: Option<Nanos> = None;
+        for app in 0..self.apps.len() {
+            let Some((_, since)) = aqm.app_oldest(app) else {
+                continue;
+            };
+            let sojourn = now.saturating_sub(since);
+            worst = Some(worst.map_or(sojourn, |w| w.max(sojourn)));
+            self.note_app_overload_sample(now, app, sojourn);
+            // An app with a registered SLO is judged against half its own
+            // deadline; unclassed apps use the global default target.
+            let target = self.apps[app].slo.map(|s| Nanos(s.slo.0 / 2));
+            // Drain every drop the law owes at this tick (CoDel fires at
+            // `interval/√count` spacing, which can be shorter than the
+            // poll period once count grows). Each drop condemns this
+            // app's own next-oldest queued task when the app is
+            // sheddable, else the oldest queued task of any sheddable
+            // app (LC congestion sheds batch first). Out of victims ⇒
+            // stop sampling so count doesn't inflate on no-op fires.
+            while aqm.on_sample(app, now, sojourn, target) {
+                let victim_app = if self.app_sheddable(app, sheddable_slo) {
+                    Some(app)
+                } else {
+                    let mut best: Option<(usize, Nanos)> = None;
+                    for (a, p) in pool.iter().enumerate() {
+                        if let Some(&(_, s)) = p.get(cursor[a]) {
+                            if best.is_none_or(|(_, bs)| s < bs) {
+                                best = Some((a, s));
+                            }
+                        }
+                    }
+                    best.map(|(a, _)| a)
+                };
+                let victim = victim_app.and_then(|a| {
+                    let v = pool[a].get(cursor[a]).map(|&(t, _)| t);
+                    cursor[a] += 1;
+                    v
+                });
+                let Some(v) = victim else {
+                    break;
+                };
+                let vt = self.tasks.get_mut(v);
+                if !vt.shed {
+                    vt.shed = true;
+                    aqm.note_condemned();
+                }
+            }
+        }
+        if let Some(w) = worst {
+            self.note_overload_sample(now, w, false);
+        }
+        self.rq_aqm = Some(aqm);
+    }
+
+    /// Condemns the oldest queued request of any application whose
+    /// registered SLO class is strictly looser than `slo`: the
+    /// displacement half of per-class admission. When the admission
+    /// controller sheds a tight-class request at the NIC, the congestion
+    /// that doomed it is queued batch work — reclaiming one batch slot
+    /// per tight-class shed is the feedback that makes *future*
+    /// tight-class requests admittable again. Works with or without the
+    /// runqueue AQM armed; the condemned task is terminated (not run) at
+    /// its next dequeue, exactly like an AQM victim. Returns whether a
+    /// victim existed.
+    pub fn shed_for_class(&mut self, slo: Nanos) -> bool {
+        let mut best: Option<(TaskId, Nanos)> = None;
+        for task in self.tasks.iter() {
+            if task.state != TaskState::Runnable || task.shed {
+                continue;
+            }
+            if task
+                .home
+                .is_some_and(|h| self.cores[h].be_task == Some(task.id))
+            {
+                continue;
+            }
+            if self.apps[task.app].slo.is_none_or(|s| s.slo <= slo) {
+                continue;
+            }
+            if best.is_none_or(|(_, bs)| task.runnable_since < bs) {
+                best = Some((task.id, task.runnable_since));
+            }
+        }
+        let Some((victim, _)) = best else {
+            return false;
+        };
+        self.tasks.get_mut(victim).shed = true;
+        if let Some(aqm) = self.rq_aqm.as_mut() {
+            aqm.note_condemned();
+        }
+        true
+    }
+
+    /// Tasks the runqueue AQM has condemned so far (marked, whether or
+    /// not a scheduling path has collected them yet).
+    pub fn rq_aqm_condemned(&self) -> u64 {
+        self.rq_aqm.as_ref().map_or(0, |a| a.condemned())
+    }
+
+    /// Terminates an AQM-condemned task at dequeue time instead of
+    /// running it. Mirrors `finish_current`'s teardown — in particular the
+    /// completion *is* credited to the task's home core so the NIC data
+    /// plane's backpressure window keeps retiring — but records no
+    /// response-latency sample: the shed shows up in
+    /// [`Stats::rq_sheds`]/per-class counters, not the goodput histogram.
+    fn shed_task(&mut self, q: &mut EventQueue<Event>, core: CoreId, t: TaskId) {
+        let now = q.now();
+        #[cfg(feature = "trace")]
+        self.trace_emit(now, Some(core), Some(t), TraceKind::RqShed);
+        let credit = self.tasks.get(t).home.unwrap_or(core);
+        if let Some(slot) = self.stats.finished_by_core.get_mut(credit) {
+            *slot += 1;
+        }
+        let class = self.tasks.get(t).req.map_or(0, |r| r.class);
+        self.stats.rq_sheds += 1;
+        self.stats.rq_sheds_by_class[crate::stats::class_slot(class)] += 1;
+        self.policy.task_terminate(&mut self.tasks, t, now);
+        let app = self.tasks.get(t).app;
+        self.apps[app].live_tasks -= 1;
+        let mut task = self.tasks.remove(t);
+        const ONESHOT_POOL_CAP: usize = 1024;
+        if self.oneshot_pool.len() < ONESHOT_POOL_CAP {
+            if let Some(b) = task.behavior.take() {
+                if let Some(os) = b.recycle() {
+                    self.oneshot_pool.push(os);
+                }
             }
         }
     }
@@ -1604,14 +1922,25 @@ impl Machine {
             }
             PolicyKind::PerCpu => {
                 let now = q.now();
-                let next = self
-                    .policy
-                    .task_dequeue(&mut self.tasks, core, now)
-                    .or_else(|| self.policy.sched_balance(&mut self.tasks, core, now));
-                #[cfg(feature = "chaos")]
-                let next = self.filter_ready(core, next, now);
-                if let Some(t) = next {
-                    self.run_task(q, core, t, overhead);
+                loop {
+                    let next = self
+                        .policy
+                        .task_dequeue(&mut self.tasks, core, now)
+                        .or_else(|| self.policy.sched_balance(&mut self.tasks, core, now));
+                    // Collect AQM-condemned tasks instead of running them,
+                    // then keep looking for live work.
+                    if let Some(t) = next {
+                        if self.tasks.get(t).shed {
+                            self.shed_task(q, core, t);
+                            continue;
+                        }
+                    }
+                    #[cfg(feature = "chaos")]
+                    let next = self.filter_ready(core, next, now);
+                    if let Some(t) = next {
+                        self.run_task(q, core, t, overhead);
+                    }
+                    return;
                 }
             }
         }
@@ -1713,6 +2042,10 @@ impl Machine {
                     Step::Yield => {
                         self.tasks.get_mut(t).behavior = Some(behavior);
                         self.stop_current(q, core, TaskState::Runnable);
+                        // Re-stamp the wait anchor: the task's queue
+                        // sojourn (queue_delay contract, runqueue AQM)
+                        // starts at the yield, not the previous wake.
+                        self.tasks.get_mut(t).runnable_since = now;
                         self.enqueue_task(q, t, EnqueueFlags::Yield, Some(core));
                         self.schedule_loop(q, core, overhead);
                         return;
@@ -1920,7 +2253,7 @@ impl Machine {
         false
     }
 
-    fn chaos_ipi_extra_delay(&mut self, _purpose: IpiPurpose) -> Option<Nanos> {
+    fn chaos_ipi_extra_delay(&mut self, _core: CoreId, _purpose: IpiPurpose) -> Option<Nanos> {
         Some(Nanos::ZERO)
     }
 

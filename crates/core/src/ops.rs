@@ -194,9 +194,24 @@ pub trait Policy {
         false
     }
 
-    /// Queueing delay of the oldest waiting task (centralized policies),
-    /// used by the core allocator's congestion check (§5.2). `None` when
-    /// the queue is empty or the policy does not track it.
+    /// Queueing delay of the oldest waiting task, used by the core
+    /// allocator's congestion check (§5.2) and the runqueue AQM.
+    ///
+    /// # Contract (uniform across every shipped policy)
+    ///
+    /// The reported value is the *sojourn* of the oldest queued task:
+    /// `now − runnable_since` of the task that has waited longest across
+    /// **all** of the policy's runqueues (centralized policies have one;
+    /// per-CPU policies take the max over cores). Whenever a task is
+    /// queued the probe reports `Some`; with nothing queued it reports
+    /// `None`, except that a smoothing policy (e.g. Shenango-style EWMA)
+    /// may keep reporting its decaying residue briefly after the queue
+    /// empties. Smoothing may push the reported value *above* the
+    /// instantaneous worst sojourn, never below — overload detectors
+    /// tolerate a pessimistic signal but a queue hidden below its true
+    /// age defeats both the congestion check and the AQM. The
+    /// cross-policy conformance test (`tests/policy_conformance.rs`)
+    /// holds every shipped policy to this contract.
     fn queue_delay(&self, _tasks: &TaskTable, _now: Nanos) -> Option<Nanos> {
         None
     }

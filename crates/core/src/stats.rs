@@ -91,6 +91,41 @@ pub struct Stats {
     /// aqm_drops + admission_sheds + net_in_flight + retries_spent` holds
     /// at every instant. Preserved across [`Stats::reset`].
     pub retries_spent: u64,
+    /// Per-class split of `net_generated` (index = request class, clamped
+    /// to [`MAX_CLASSES`]). Together with the other `*_by_class` arrays
+    /// this forms the per-class conservation ledger checked by trace
+    /// invariant 9: each class's ledger must balance on its own *and*
+    /// the class arrays must sum to their global counters. Preserved
+    /// across [`Stats::reset`] like every conservation bucket.
+    pub generated_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `net_delivered`. Preserved across reset.
+    pub delivered_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `rx_ring_drops`. Preserved across reset.
+    pub rx_drops_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `aqm_drops`. Preserved across reset.
+    pub aqm_drops_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `admission_sheds`. Preserved across reset.
+    pub sheds_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `net_in_flight`. Preserved across reset.
+    pub in_flight_by_class: [u64; MAX_CLASSES],
+    /// Per-class split of `retries_spent`. Preserved across reset.
+    pub retries_by_class: [u64; MAX_CLASSES],
+    /// Requests shed from the *runqueues* by the scheduler-side AQM
+    /// (DESIGN.md §16). Unlike the NIC-side buckets these are not part of
+    /// the datagram conservation ledger — a runqueue-shed request was
+    /// already counted delivered when the poller handed it to a worker —
+    /// but they are preserved across [`Stats::reset`] so shed ordering
+    /// can be audited across the warmup boundary.
+    pub rq_sheds: u64,
+    /// Per-class split of `rq_sheds`. Preserved across reset.
+    pub rq_sheds_by_class: [u64; MAX_CLASSES],
+    /// Per-class count of *completed* requests (the class split of
+    /// `completed`, but preserved across [`Stats::reset`]): the
+    /// admission controller's per-class backlog resync reads
+    /// `delivered − completed − rq_sheds` per class, and all three
+    /// operands must survive the warmup boundary together or the
+    /// backlog estimate jumps when measurement restarts.
+    pub completed_by_class: [u64; MAX_CLASSES],
     /// Response latency of *completed* requests only — unlike
     /// [`Stats::resp_hist`], timed-out requests never enter it. Goodput
     /// (completions within the SLO) is `served_hist.count_le(slo)`;
@@ -117,6 +152,12 @@ impl Default for Stats {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Clamps a request class to a valid `*_by_class` index.
+#[inline]
+pub fn class_slot(class: u8) -> usize {
+    (class as usize).min(MAX_CLASSES - 1)
 }
 
 impl Stats {
@@ -154,6 +195,16 @@ impl Stats {
             aqm_drops: 0,
             admission_sheds: 0,
             retries_spent: 0,
+            generated_by_class: [0; MAX_CLASSES],
+            delivered_by_class: [0; MAX_CLASSES],
+            rx_drops_by_class: [0; MAX_CLASSES],
+            aqm_drops_by_class: [0; MAX_CLASSES],
+            sheds_by_class: [0; MAX_CLASSES],
+            in_flight_by_class: [0; MAX_CLASSES],
+            retries_by_class: [0; MAX_CLASSES],
+            rq_sheds: 0,
+            rq_sheds_by_class: [0; MAX_CLASSES],
+            completed_by_class: [0; MAX_CLASSES],
             served_hist: Histogram::new(),
             rx_occ_hist: Histogram::new(),
             finished_by_core: Vec::new(),
@@ -168,7 +219,8 @@ impl Stats {
         self.completed += 1;
         self.resp_hist.record(response.0);
         self.served_hist.record(response.0);
-        let c = (class as usize).min(MAX_CLASSES - 1);
+        let c = class_slot(class);
+        self.completed_by_class[c] += 1;
         self.resp_by_class[c].record(response.0);
         let slow = (skyloft_metrics::slowdown(response.0, service.0) * 1000.0) as u64;
         self.slowdown_by_class[c].record(slow);
@@ -183,7 +235,7 @@ impl Stats {
     pub fn record_timeout(&mut self, class: u8, timeout: Nanos, service: Nanos) {
         self.timeouts += 1;
         self.resp_hist.record(timeout.0);
-        let c = (class as usize).min(MAX_CLASSES - 1);
+        let c = class_slot(class);
         self.resp_by_class[c].record(timeout.0);
         let slow = (skyloft_metrics::slowdown(timeout.0, service.0) * 1000.0) as u64;
         self.slowdown_by_class[c].record(slow);
@@ -206,6 +258,16 @@ impl Stats {
         let aqm_drops = self.aqm_drops;
         let admission_sheds = self.admission_sheds;
         let retries_spent = self.retries_spent;
+        let generated_by_class = self.generated_by_class;
+        let delivered_by_class = self.delivered_by_class;
+        let rx_drops_by_class = self.rx_drops_by_class;
+        let aqm_drops_by_class = self.aqm_drops_by_class;
+        let sheds_by_class = self.sheds_by_class;
+        let in_flight_by_class = self.in_flight_by_class;
+        let retries_by_class = self.retries_by_class;
+        let rq_sheds = self.rq_sheds;
+        let rq_sheds_by_class = self.rq_sheds_by_class;
+        let completed_by_class = self.completed_by_class;
         let finished_by_core = std::mem::take(&mut self.finished_by_core);
         *self = Stats::new();
         self.busy_by_app = vec![0; napps];
@@ -216,6 +278,16 @@ impl Stats {
         self.aqm_drops = aqm_drops;
         self.admission_sheds = admission_sheds;
         self.retries_spent = retries_spent;
+        self.generated_by_class = generated_by_class;
+        self.delivered_by_class = delivered_by_class;
+        self.rx_drops_by_class = rx_drops_by_class;
+        self.aqm_drops_by_class = aqm_drops_by_class;
+        self.sheds_by_class = sheds_by_class;
+        self.in_flight_by_class = in_flight_by_class;
+        self.retries_by_class = retries_by_class;
+        self.rq_sheds = rq_sheds;
+        self.rq_sheds_by_class = rq_sheds_by_class;
+        self.completed_by_class = completed_by_class;
         self.finished_by_core = finished_by_core;
         self.since = now;
     }
@@ -313,6 +385,35 @@ mod tests {
             "conservation counters survive the warmup reset"
         );
         assert_eq!(s.finished_by_core, vec![40, 50]);
+    }
+
+    #[test]
+    fn reset_preserves_per_class_ledgers() {
+        let mut s = Stats::new();
+        s.generated_by_class = [10, 20, 0, 0];
+        s.delivered_by_class = [8, 15, 0, 0];
+        s.rx_drops_by_class = [1, 2, 0, 0];
+        s.sheds_by_class = [0, 2, 0, 0];
+        s.in_flight_by_class = [1, 1, 0, 0];
+        s.rq_sheds = 3;
+        s.rq_sheds_by_class = [0, 3, 0, 0];
+        s.completed_by_class = [7, 12, 0, 0];
+        s.reset(Nanos(5_000));
+        assert_eq!(s.generated_by_class, [10, 20, 0, 0]);
+        assert_eq!(s.delivered_by_class, [8, 15, 0, 0]);
+        assert_eq!(s.rx_drops_by_class, [1, 2, 0, 0]);
+        assert_eq!(s.sheds_by_class, [0, 2, 0, 0]);
+        assert_eq!(s.in_flight_by_class, [1, 1, 0, 0]);
+        assert_eq!(s.rq_sheds, 3);
+        assert_eq!(s.rq_sheds_by_class, [0, 3, 0, 0]);
+        assert_eq!(s.completed_by_class, [7, 12, 0, 0]);
+    }
+
+    #[test]
+    fn class_slot_clamps() {
+        assert_eq!(class_slot(0), 0);
+        assert_eq!(class_slot(3), 3);
+        assert_eq!(class_slot(200), MAX_CLASSES - 1);
     }
 
     #[test]

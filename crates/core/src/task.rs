@@ -185,6 +185,11 @@ pub struct Task {
     pub preempt_count: u32,
     /// Total time the task has executed.
     pub total_ran: Nanos,
+    /// Marked by the runqueue AQM: this queued task is condemned and must
+    /// be terminated (not run) the next time a scheduling path dequeues
+    /// it. Lazy shedding — the AQM cannot reach inside a policy's queue
+    /// structure, so it flags the task and the machine collects it.
+    pub shed: bool,
 }
 
 impl Task {
@@ -209,6 +214,7 @@ impl Task {
             home: None,
             preempt_count: 0,
             total_ran: Nanos::ZERO,
+            shed: false,
         }
     }
 }

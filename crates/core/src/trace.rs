@@ -106,6 +106,10 @@ pub enum TraceKind {
     /// A client retry datagram reached the NIC (spent from the global
     /// retry budget).
     NetRetry,
+    /// The runqueue AQM shed a queued request whose sojourn sat above the
+    /// CoDel target for a full interval (the scheduler-side containment
+    /// ring, DESIGN.md §16).
+    RqShed,
     /// The brownout controller engaged: sustained overload signal, BE
     /// share is being shed.
     BrownoutShed,
@@ -151,6 +155,7 @@ impl TraceKind {
             TraceKind::AqmDrop => "AqmDrop",
             TraceKind::AdmissionShed => "AdmissionShed",
             TraceKind::NetRetry => "NetRetry",
+            TraceKind::RqShed => "RqShed",
             TraceKind::BrownoutShed => "BrownoutShed",
             TraceKind::BrownoutClear => "BrownoutClear",
         }
@@ -509,6 +514,11 @@ fn push_instant(out: &mut String, first: &mut bool, tid: usize, ev: &TraceEvent)
 ///    and `retries_spent` at NIC arrival and enters no other bucket, so
 ///    AQM, admission, and the retry client cannot hide a lost or
 ///    double-counted packet behind each other.
+/// 9. **Per-class conservation (DESIGN.md §16)** — the per-class ledger
+///    arrays balance class by class (`generated[c] == delivered[c] +
+///    rx_drops[c] + aqm_drops[c] + sheds[c] + in_flight[c] + retries[c]`)
+///    and each array sums back to its global counter, so one class's
+///    books cannot hide a leak inside another's.
 pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
     let mut v = Vec::new();
 
@@ -656,6 +666,52 @@ pub fn violations_of(m: &Machine, now: Nanos) -> Vec<String> {
         ));
     }
 
+    // 9. Per-class conservation: each class balances on its own, and the
+    // class arrays sum back to the globals. Every NIC-side increment site
+    // charges a class slot (class 0 when the workload is single-class), so
+    // this holds unconditionally — all-zero arrays on machines that never
+    // saw a datagram included.
+    let s = &m.stats;
+    for c in 0..crate::stats::MAX_CLASSES {
+        let accounted = s.delivered_by_class[c]
+            + s.rx_drops_by_class[c]
+            + s.aqm_drops_by_class[c]
+            + s.sheds_by_class[c]
+            + s.in_flight_by_class[c]
+            + s.retries_by_class[c];
+        if s.generated_by_class[c] != accounted {
+            v.push(format!(
+                "class {c} conservation: generated {} != delivered {} + ring-dropped {} \
+                 + aqm-dropped {} + admission-shed {} + in-flight {} + retries-spent {}",
+                s.generated_by_class[c],
+                s.delivered_by_class[c],
+                s.rx_drops_by_class[c],
+                s.aqm_drops_by_class[c],
+                s.sheds_by_class[c],
+                s.in_flight_by_class[c],
+                s.retries_by_class[c]
+            ));
+        }
+    }
+    let sums = [
+        ("generated", s.net_generated, s.generated_by_class),
+        ("delivered", s.net_delivered, s.delivered_by_class),
+        ("ring-dropped", s.rx_ring_drops, s.rx_drops_by_class),
+        ("aqm-dropped", s.aqm_drops, s.aqm_drops_by_class),
+        ("admission-shed", s.admission_sheds, s.sheds_by_class),
+        ("in-flight", s.net_in_flight, s.in_flight_by_class),
+        ("retries-spent", s.retries_spent, s.retries_by_class),
+        ("rq-shed", s.rq_sheds, s.rq_sheds_by_class),
+    ];
+    for (name, global, by_class) in sums {
+        let sum: u64 = by_class.iter().sum();
+        if sum != global {
+            v.push(format!(
+                "per-class ledger: {name} classes sum to {sum}, global is {global}"
+            ));
+        }
+    }
+
     v
 }
 
@@ -687,6 +743,8 @@ impl Machine {
             Event::StartCore { core } => (Some(*core), None, TraceKind::StartCore),
             Event::PlaceTask { core, task } => (Some(*core), Some(*task), TraceKind::PlaceTask),
             Event::CoreAllocTick => (None, None, TraceKind::CoreAllocTick),
+            // The AQM tick traces through the RqShed events it causes.
+            Event::RqAqmTick => return,
             // Chaos machinery traces through the specific fault/recovery
             // kinds it emits while handling the event.
             #[cfg(feature = "chaos")]

@@ -36,7 +36,7 @@ pub mod rss;
 
 pub use dataplane::{MultiQueueNic, NicConfig};
 #[cfg(feature = "overload")]
-pub use loadgen::{Backoff, RetryBudget, RetryPolicy};
+pub use loadgen::{Backoff, ClassRetryBudgets, RetryBudget, RetryPolicy};
 pub use loadgen::{NetProfile, OpenLoop};
 pub use nic::{LossModel, PacketFate};
 #[cfg(feature = "overload")]

@@ -48,9 +48,17 @@ pub struct GenRequest {
 }
 
 /// Open-loop Poisson generator over a service-time distribution.
+///
+/// A zero (or non-finite) rate is a legal degenerate point — sweeps
+/// routinely hit it when a co-located tenant's share of the total load
+/// rounds to nothing — and yields an *empty* generator rather than a
+/// panic: `next` returns `None` immediately and [`OpenLoop::schedule`]
+/// returns an empty vector. Callers must therefore not assume a schedule
+/// is non-empty (the old `reqs.last().unwrap()` idiom).
 #[derive(Clone, Debug)]
 pub struct OpenLoop {
-    arrivals: PoissonArrivals,
+    /// `None` for a degenerate (zero-rate) generator that never fires.
+    arrivals: Option<PoissonArrivals>,
     service: Distribution,
     /// Classifies a sampled service time (e.g. long vs short).
     class_threshold: Nanos,
@@ -61,9 +69,13 @@ pub struct OpenLoop {
 impl OpenLoop {
     /// Creates a generator at `rate_rps` with the given service
     /// distribution; samples at or above `class_threshold` are class 1.
+    /// A rate that is zero, negative, or non-finite produces an empty
+    /// generator.
     pub fn new(rate_rps: f64, service: Distribution, class_threshold: Nanos, seed: u64) -> Self {
+        let arrivals =
+            (rate_rps.is_finite() && rate_rps > 0.0).then(|| PoissonArrivals::new(rate_rps));
         OpenLoop {
-            arrivals: PoissonArrivals::new(rate_rps),
+            arrivals,
             service,
             class_threshold,
             rng: Rng::seed_from_u64(seed),
@@ -75,13 +87,30 @@ impl OpenLoop {
     pub fn mean_service(&self) -> f64 {
         self.service.mean()
     }
+
+    /// Collects the full request schedule for a run of `duration`:
+    /// every arrival at or before `duration`, in order. Empty when the
+    /// rate is degenerate or the duration is zero — never panics.
+    pub fn schedule(self, duration: Nanos) -> Vec<GenRequest> {
+        let mut reqs = Vec::new();
+        if duration == Nanos::ZERO {
+            return reqs;
+        }
+        for r in self {
+            if r.at > duration {
+                break;
+            }
+            reqs.push(r);
+        }
+        reqs
+    }
 }
 
 impl Iterator for OpenLoop {
     type Item = GenRequest;
 
     fn next(&mut self) -> Option<GenRequest> {
-        self.now += self.arrivals.next_gap(&mut self.rng);
+        self.now += self.arrivals.as_ref()?.next_gap(&mut self.rng);
         let service = self.service.sample(&mut self.rng);
         let class = u8::from(service >= self.class_threshold);
         Some(GenRequest {
@@ -183,6 +212,61 @@ impl RetryBudget {
     }
 }
 
+/// Per-class retry budgets: one [`RetryBudget`] token bucket per SLO
+/// class, so a batch tenant's timeout storm cannot drain the retry
+/// capacity a latency-critical tenant was provisioned (the multi-tenant
+/// generalization of the single global bucket).
+///
+/// Each class accrues budget only from *its own* original requests, at
+/// its own permille rate — the `retry_frac` of the application's
+/// registered SLO class (`SloClass` in `skyloft-core`). Classes left at
+/// the default inherit the policy-wide `budget_permille`, so a
+/// single-class run through this type is behaviorally identical to one
+/// `RetryBudget`.
+#[cfg(feature = "overload")]
+#[derive(Clone, Debug)]
+pub struct ClassRetryBudgets {
+    buckets: [RetryBudget; crate::overload::MAX_CLASSES],
+}
+
+#[cfg(feature = "overload")]
+impl ClassRetryBudgets {
+    /// Buckets all filling at `permille` with burst `burst` (the
+    /// single-class baseline); scale individual classes afterwards with
+    /// [`ClassRetryBudgets::set_class`].
+    pub fn new(permille: u32, burst: u32) -> Self {
+        ClassRetryBudgets {
+            buckets: core::array::from_fn(|_| RetryBudget::new(permille, burst)),
+        }
+    }
+
+    /// Re-provisions one class's bucket to fill at `permille` (its SLO
+    /// class's `retry_frac`). Resets that bucket's accrual and spend.
+    pub fn set_class(&mut self, class: u8, permille: u32, burst: u32) {
+        self.buckets[crate::overload::class_slot(class)] = RetryBudget::new(permille, burst);
+    }
+
+    /// Accrues budget for one original (non-retry) request of `class`.
+    pub fn on_request(&mut self, class: u8) {
+        self.buckets[crate::overload::class_slot(class)].on_request();
+    }
+
+    /// Attempts to spend one retry token from `class`'s own bucket.
+    pub fn try_spend(&mut self, class: u8) -> bool {
+        self.buckets[crate::overload::class_slot(class)].try_spend()
+    }
+
+    /// Retries spent by `class` so far.
+    pub fn spent(&self, class: u8) -> u64 {
+        self.buckets[crate::overload::class_slot(class)].spent()
+    }
+
+    /// Retries spent across all classes.
+    pub fn spent_total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.spent()).sum()
+    }
+}
+
 /// Capped exponential backoff with decorrelated jitter (the AWS
 /// architecture-blog variant): each delay is drawn uniformly from
 /// `[base, prev × 3)` and capped, which decorrelates colliding clients
@@ -241,6 +325,56 @@ mod tests {
         let span = reqs.last().unwrap().at.as_secs();
         let rate = 10_000.0 / span;
         assert!((rate - 100_000.0).abs() / 100_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_yields_empty_schedule() {
+        // Regression: a zero-rate sweep point (e.g. a co-located tenant
+        // allotted none of the total load) used to panic inside
+        // `PoissonArrivals::new`; and callers then unwrapped
+        // `reqs.last()`. Both degenerate axes now produce an empty
+        // schedule.
+        let g = OpenLoop::new(0.0, Distribution::Constant(Nanos(1_000)), Nanos(10_000), 7);
+        assert_eq!(g.clone().next(), None);
+        assert!(g.schedule(Nanos::from_ms(100)).is_empty());
+
+        // Non-finite rates are equally degenerate, not panics.
+        let g = OpenLoop::new(
+            f64::NAN,
+            Distribution::Constant(Nanos(1_000)),
+            Nanos(10_000),
+            7,
+        );
+        assert!(g.schedule(Nanos::from_ms(1)).is_empty());
+
+        // Zero duration: a real rate, but no room for any arrival.
+        let g = OpenLoop::new(
+            100_000.0,
+            Distribution::Constant(Nanos(1_000)),
+            Nanos(10_000),
+            7,
+        );
+        assert!(g.schedule(Nanos::ZERO).is_empty());
+    }
+
+    #[test]
+    fn schedule_is_bounded_and_ordered() {
+        let g = OpenLoop::new(
+            100_000.0,
+            Distribution::Constant(Nanos(1_000)),
+            Nanos(10_000),
+            7,
+        );
+        let dur = Nanos::from_ms(10);
+        let reqs = g.schedule(dur);
+        assert!(!reqs.is_empty());
+        let mut prev = Nanos::ZERO;
+        for r in &reqs {
+            assert!(r.at >= prev && r.at <= dur);
+            prev = r.at;
+        }
+        // ~100k rps over 10 ms ≈ 1000 requests.
+        assert!((800..1200).contains(&reqs.len()), "{}", reqs.len());
     }
 
     #[test]
@@ -312,6 +446,44 @@ mod tests {
             burst += 1;
         }
         assert_eq!(burst, 3);
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn class_budgets_are_isolated_and_scaled() {
+        let mut b = ClassRetryBudgets::new(100, 2);
+        // Class 1 is a batch tenant provisioned at 20‰ with no burst
+        // headroom beyond one token.
+        b.set_class(1, 20, 1);
+        let mut granted = [0u64; 2];
+        for _ in 0..1000 {
+            for class in 0..2u8 {
+                b.on_request(class);
+                if b.try_spend(class) {
+                    granted[usize::from(class)] += 1;
+                }
+            }
+        }
+        // Class 0 keeps its full 10% budget even while class 1 hammers
+        // its own bucket dry; class 1 is capped by its 2% fill.
+        assert!(granted[0] >= 90 && granted[0] <= 102, "{granted:?}");
+        assert!(granted[1] <= 21, "{granted:?}");
+        assert_eq!(b.spent(0), granted[0]);
+        assert_eq!(b.spent(1), granted[1]);
+        assert_eq!(b.spent_total(), granted[0] + granted[1]);
+    }
+
+    #[cfg(feature = "overload")]
+    #[test]
+    fn class_budgets_share_slot_for_out_of_range_classes() {
+        use crate::overload::{class_slot, MAX_CLASSES};
+        let mut b = ClassRetryBudgets::new(1000, 4);
+        // Classes beyond the table clamp to the last slot and therefore
+        // share one bucket.
+        assert_eq!(class_slot(9), MAX_CLASSES - 1);
+        b.on_request(9);
+        assert!(b.try_spend(200));
+        assert_eq!(b.spent(MAX_CLASSES as u8 - 1), 1);
     }
 
     #[cfg(feature = "overload")]

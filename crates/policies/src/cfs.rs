@@ -296,6 +296,18 @@ impl Policy for Cfs {
         Some(t)
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): sojourn of the oldest waiting
+        // task across all runqueues, by `runnable_since`. The trees order
+        // by vruntime, so the oldest arrival requires a scan.
+        self.rqs
+            .iter()
+            .flat_map(|rq| rq.tree.iter().map(|&(_, t)| t))
+            .map(|t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }

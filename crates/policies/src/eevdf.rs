@@ -445,6 +445,18 @@ impl Policy for Eevdf {
         Some(t)
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): sojourn of the oldest waiting
+        // task across all runqueues, by `runnable_since`. The deadline tree
+        // orders by virtual deadline, so the oldest arrival needs a scan.
+        self.rqs
+            .iter()
+            .flat_map(|rq| rq.by_deadline.iter().map(|&(_, t)| t))
+            .map(|t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }

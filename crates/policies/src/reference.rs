@@ -251,6 +251,17 @@ impl Policy for Eevdf {
         Some(t)
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn
+        // across all runqueues.
+        self.rqs
+            .iter()
+            .flat_map(|rq| rq.queue.iter().copied())
+            .map(|t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }
@@ -452,6 +463,17 @@ impl Policy for Cfs {
         Some(t)
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn
+        // across all runqueues.
+        self.rqs
+            .iter()
+            .flat_map(|rq| rq.tree.iter().map(|&(_, t)| t))
+            .map(|t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }
@@ -559,6 +581,17 @@ impl Policy for RoundRobin {
         // Queues hold only *waiting* tasks (the running task is not queued),
         // so stealing even a lone waiter keeps the machine work-conserving.
         self.queues[victim].pop_back()
+    }
+
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn
+        // across all runqueues.
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
     }
 
     fn queue_len(&self) -> Option<usize> {
@@ -673,6 +706,17 @@ impl Policy for WorkStealing {
         stolen
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn
+        // across all runqueues.
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }
@@ -685,7 +729,7 @@ impl Policy for WorkStealing {
 /// Reference Shinjuku: the centralized preemptive-FCFS policy, identical
 /// to [`crate::shinjuku::Shinjuku`].
 pub struct Shinjuku {
-    queue: VecDeque<(TaskId, Nanos)>,
+    queue: VecDeque<TaskId>,
     quantum: Option<Nanos>,
     /// Requests preempted at least once (observability).
     pub preempted_requests: u64,
@@ -724,13 +768,13 @@ impl Policy for Shinjuku {
         t: TaskId,
         _cpu: Option<CoreId>,
         flags: EnqueueFlags,
-        now: Nanos,
+        _now: Nanos,
     ) {
         if flags == EnqueueFlags::Preempted {
             self.preempted_requests += 1;
         }
         // FCFS: both fresh and preempted requests join the tail.
-        self.queue.push_back((t, now));
+        self.queue.push_back(t);
     }
 
     fn task_dequeue(
@@ -739,7 +783,7 @@ impl Policy for Shinjuku {
         _cpu: CoreId,
         _now: Nanos,
     ) -> Option<TaskId> {
-        self.queue.pop_front().map(|(t, _)| t)
+        self.queue.pop_front()
     }
 
     fn sched_poll(
@@ -751,7 +795,7 @@ impl Policy for Shinjuku {
     ) {
         for &core in idle_workers {
             match self.queue.pop_front() {
-                Some((t, _)) => out.push((core, t)),
+                Some(t) => out.push((core, t)),
                 None => break,
             }
         }
@@ -775,8 +819,13 @@ impl Policy for Shinjuku {
         self.quantum
     }
 
-    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
-        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): oldest `runnable_since` sojourn.
+        self.queue
+            .iter()
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
     }
 
     fn queue_len(&self) -> Option<usize> {
@@ -887,12 +936,10 @@ impl Policy for ShinjukuShenango {
     /// instantaneous and smoothed delays so a spike is never hidden by
     /// the average.
     fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
-        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO);
         let smoothed = self.smoothed_delay();
-        if inst == Nanos::ZERO && smoothed == Nanos::ZERO {
-            None
-        } else {
-            Some(inst.max(smoothed))
+        match self.inner.queue_delay(tasks, now) {
+            Some(inst) => Some(inst.max(smoothed)),
+            None => (smoothed > Nanos::ZERO).then_some(smoothed),
         }
     }
 

@@ -15,7 +15,7 @@ use skyloft_sim::Nanos;
 
 /// Shinjuku policy state: the dispatcher's global queue.
 pub struct Shinjuku {
-    queue: VecDeque<(TaskId, Nanos)>,
+    queue: VecDeque<TaskId>,
     quantum: Option<Nanos>,
     /// Requests preempted at least once (observability).
     pub preempted_requests: u64,
@@ -54,13 +54,13 @@ impl Policy for Shinjuku {
         t: TaskId,
         _cpu: Option<CoreId>,
         flags: EnqueueFlags,
-        now: Nanos,
+        _now: Nanos,
     ) {
         if flags == EnqueueFlags::Preempted {
             self.preempted_requests += 1;
         }
         // FCFS: both fresh and preempted requests join the tail.
-        self.queue.push_back((t, now));
+        self.queue.push_back(t);
     }
 
     fn task_dequeue(
@@ -69,7 +69,7 @@ impl Policy for Shinjuku {
         _cpu: CoreId,
         _now: Nanos,
     ) -> Option<TaskId> {
-        self.queue.pop_front().map(|(t, _)| t)
+        self.queue.pop_front()
     }
 
     fn sched_poll(
@@ -81,7 +81,7 @@ impl Policy for Shinjuku {
     ) {
         for &core in idle_workers {
             match self.queue.pop_front() {
-                Some((t, _)) => out.push((core, t)),
+                Some(t) => out.push((core, t)),
                 None => break,
             }
         }
@@ -105,8 +105,15 @@ impl Policy for Shinjuku {
         self.quantum
     }
 
-    fn queue_delay(&self, _tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
-        self.queue.front().map(|&(_, at)| now.saturating_sub(at))
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): sojourn of the oldest waiting
+        // task by `runnable_since`, read from the task table rather than a
+        // shadow timestamp so every policy reports on the same clock.
+        self.queue
+            .iter()
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
     }
 
     fn queue_len(&self) -> Option<usize> {
@@ -166,6 +173,8 @@ mod tests {
         let mut tasks = TaskTable::new();
         let a = mk(&mut tasks);
         let b = mk(&mut tasks);
+        tasks.get_mut(a).runnable_since = Nanos(10);
+        tasks.get_mut(b).runnable_since = Nanos(20);
         p.task_enqueue(&mut tasks, a, None, EnqueueFlags::New, Nanos(10));
         p.task_enqueue(&mut tasks, b, None, EnqueueFlags::New, Nanos(20));
         assert_eq!(p.queue_delay(&tasks, Nanos(110)), Some(Nanos(100)));

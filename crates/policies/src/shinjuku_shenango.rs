@@ -108,13 +108,14 @@ impl Policy for ShinjukuShenango {
     fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
         // `queue_delay` is a &self probe; interior smoothing state would
         // need a Cell. Report the max of the instantaneous and smoothed
-        // values so a congestion spike is never hidden by the average.
-        let inst = self.inner.queue_delay(tasks, now).unwrap_or(Nanos::ZERO);
+        // values so a congestion spike is never hidden by the average —
+        // the contract's "may over-report, never under-report" allowance.
         let smoothed = self.smoothed_delay();
-        if inst == Nanos::ZERO && smoothed == Nanos::ZERO {
-            None
-        } else {
-            Some(inst.max(smoothed))
+        match self.inner.queue_delay(tasks, now) {
+            Some(inst) => Some(inst.max(smoothed)),
+            // Nothing queued: only a non-zero EWMA residue is worth
+            // reporting (contract: `None` when idle and signal-free).
+            None => (smoothed > Nanos::ZERO).then_some(smoothed),
         }
     }
 

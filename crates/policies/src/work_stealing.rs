@@ -134,6 +134,17 @@ impl Policy for WorkStealing {
         stolen
     }
 
+    fn queue_delay(&self, tasks: &TaskTable, now: Nanos) -> Option<Nanos> {
+        // Contract (`Policy::queue_delay`): sojourn of the oldest waiting
+        // task across *all* runqueues, by `runnable_since`.
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|&t| tasks.get(t).runnable_since)
+            .min()
+            .map(|since| now.saturating_sub(since))
+    }
+
     fn queue_len(&self) -> Option<usize> {
         Some(self.total_queued())
     }

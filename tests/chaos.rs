@@ -318,6 +318,194 @@ mod dataplane_plans {
             prop_assert!(m.tracer.checker.violations().is_empty());
         }
     }
+
+    proptest! {
+        /// Conservation invariant #9 (DESIGN.md §16): under multi-tenant
+        /// load every per-class ledger balances on its own *and* the
+        /// class arrays sum to the global counters, no matter what the
+        /// data-plane fault plan injects. Classes are where overload
+        /// *policy* differs (batch is shed first), so attribution, not
+        /// just totals, must survive chaos — a shed billed to the wrong
+        /// class would silently break every isolation claim downstream.
+        #[test]
+        fn class_ledgers_balance_under_random_fault_plans(
+            seed in 0u64..u64::MAX,
+            drop_poll_bp in 0u32..2_000,
+            delay_poll_bp in 0u32..3_000,
+            sticks in prop::bool::ANY,
+            wire_loss_bp in 0u32..1_500,
+            lc_krps in 100u64..900,
+            batch_krps in 10u64..120,
+            with_retry in prop::bool::ANY,
+        ) {
+            use skyloft_apps::synthetic::{install_tenants, Tenant};
+            use skyloft_net::{AdmissionConfig, CodelConfig, RetryPolicy};
+
+            let mut plan = FaultPlan::seeded(seed)
+                .drop_rx_polls(drop_poll_bp as f64 / 10_000.0)
+                .delay_rx_polls(delay_poll_bp as f64 / 10_000.0, Nanos::from_us(3));
+            if sticks {
+                plan = plan.stuck_indirections(Nanos::from_ms(1), Nanos::from_us(200));
+            }
+            let (mut m, mut q) = percpu(3, 2, Some(plan), true);
+            let lc = Tenant {
+                gen: OpenLoop::new(
+                    lc_krps as f64 * 1_000.0,
+                    skyloft_sim::Distribution::Constant(Nanos::from_us(2)),
+                    dispersive_threshold(),
+                    seed ^ 0x1C,
+                ),
+                app: 0,
+                class: Some(0),
+            };
+            let batch = Tenant {
+                gen: OpenLoop::new(
+                    batch_krps as f64 * 1_000.0,
+                    skyloft_sim::Distribution::Constant(Nanos::from_us(20)),
+                    dispersive_threshold(),
+                    seed ^ 0xBA,
+                ),
+                app: 1,
+                class: Some(1),
+            };
+            let net = (wire_loss_bp > 0).then(|| NetProfile::lossy(
+                seed ^ 9,
+                wire_loss_bp as f64 / 10_000.0,
+                0.0,
+                Nanos::from_ms(1),
+            ));
+            let mut adm = AdmissionConfig::default();
+            adm.class_slo[0] = Some(Nanos::from_us(200));
+            adm.class_slo[1] = Some(Nanos::from_ms(2));
+            let ctl = skyloft_apps::synthetic::OverloadControl {
+                codel: Some(CodelConfig::default()),
+                admission: Some(adm),
+                retry: with_retry.then(RetryPolicy::default),
+                retry_frac: with_retry.then(|| {
+                    let mut f = [None; skyloft_net::overload::MAX_CLASSES];
+                    f[0] = Some(80);
+                    f[1] = Some(20);
+                    f
+                }),
+            };
+            let mut nic = NicConfig::for_workers(3);
+            nic.client_timeout = Nanos::from_ms(1);
+            install_tenants(&mut q, vec![lc, batch], nic, Nanos::from_ms(3), net, ctl);
+            m.run(&mut q, Nanos::from_ms(30));
+            let s = &m.stats;
+            prop_assert!(s.net_generated > 0, "generators never offered load");
+            prop_assert_eq!(s.net_in_flight, 0, "datagrams still in flight after drain");
+            prop_assert!(s.in_flight_by_class.iter().all(|&c| c == 0));
+            // The class arrays tile the global counters exactly.
+            prop_assert_eq!(s.generated_by_class.iter().sum::<u64>(), s.net_generated);
+            prop_assert_eq!(s.delivered_by_class.iter().sum::<u64>(), s.net_delivered);
+            prop_assert_eq!(s.rx_drops_by_class.iter().sum::<u64>(), s.rx_ring_drops);
+            prop_assert_eq!(s.aqm_drops_by_class.iter().sum::<u64>(), s.aqm_drops);
+            prop_assert_eq!(s.sheds_by_class.iter().sum::<u64>(), s.admission_sheds);
+            prop_assert_eq!(s.retries_by_class.iter().sum::<u64>(), s.retries_spent);
+            // And each class's ledger balances independently: per-class
+            // conservation is what proves one tenant's losses are never
+            // laundered through another's counters.
+            for c in 0..s.generated_by_class.len() {
+                prop_assert_eq!(
+                    s.generated_by_class[c],
+                    s.delivered_by_class[c] + s.rx_drops_by_class[c]
+                        + s.aqm_drops_by_class[c] + s.sheds_by_class[c]
+                        + s.retries_by_class[c],
+                    "class {} ledger out of balance: {:?}",
+                    c,
+                    s
+                );
+            }
+            prop_assert!(m.tracer.checker.violations().is_empty());
+        }
+    }
+}
+
+mod scoped_plans {
+    use super::*;
+
+    /// The stats a fault plan can perturb, in one comparable bundle.
+    fn fingerprint(m: &Machine) -> (u64, u64, u64, u64, u64) {
+        (
+            m.stats.completed,
+            m.stats.timer_delivered,
+            m.stats.timer_lost,
+            m.stats.timer_rearms,
+            m.stats.resp_hist.count(),
+        )
+    }
+
+    /// Scoping a plan to an app that never runs suppresses every fault
+    /// *effect* — the run must replay the fault-free twin exactly — while
+    /// still consuming the injection RNG draw-then-filter style, so the
+    /// suppressed schedule is the one a matching app would have seen.
+    #[test]
+    fn fault_scope_to_an_idle_app_replays_the_fault_free_run() {
+        let run = |plan: Option<FaultPlan>| {
+            let (mut m, mut q) = percpu(2, 2, plan, true);
+            busy_all_cores(&mut m, &mut q, Nanos::from_us(400));
+            for _ in 0..50 {
+                m.spawn_request(&mut q, 0, Nanos::from_us(100), 0, None);
+            }
+            m.run(&mut q, Nanos::from_ms(5));
+            m
+        };
+        // Probability faults only: they draw inside existing machine
+        // paths without scheduling events of their own, so the replay
+        // claim is exact, not approximate.
+        let plan = FaultPlan::seeded(21)
+            .drop_arming(1.0)
+            .drop_preempt(0.8)
+            .drop_revoke(0.8)
+            .scope_to_app(1);
+        let scoped = run(Some(plan));
+        let clean = run(None);
+        assert_eq!(fingerprint(&scoped), fingerprint(&clean));
+        let cs = scoped.chaos.as_ref().unwrap().stats;
+        assert_eq!(
+            cs.armings_dropped, 0,
+            "idle-app scope must suppress effects"
+        );
+        assert_eq!(cs.preempts_dropped + cs.revokes_dropped, 0);
+        assert!(scoped
+            .worker_cores
+            .iter()
+            .all(|&c| !scoped.core_arming_lost(c)));
+        assert_eq!(scoped.stats.completed, 52, "all work finishes fault-free");
+    }
+
+    /// The other end of draw-then-filter: when the scope matches every
+    /// core the faults would have hit anyway (one app, all cores busy on
+    /// it), the scoped plan replays the unscoped plan bit-identically —
+    /// adding a scope never re-seeds or re-orders the injection RNG.
+    #[test]
+    fn fault_scope_matching_every_active_core_replays_the_unscoped_run() {
+        let run = |scoped: bool| {
+            let mut plan = FaultPlan::seeded(77).drop_arming(0.5);
+            if scoped {
+                plan = plan.scope_to_app(0);
+            }
+            let (mut m, mut q) = percpu(2, 1, Some(plan), true);
+            // Every core stays busy on app 0 for the whole run, so
+            // `cur_app` always matches the scope and no draw is filtered.
+            busy_all_cores(&mut m, &mut q, Nanos::from_ms(10));
+            m.run(&mut q, Nanos::from_ms(5));
+            m
+        };
+        let unscoped = run(false);
+        let scoped = run(true);
+        assert_eq!(fingerprint(&unscoped), fingerprint(&scoped));
+        let (u, s) = (
+            unscoped.chaos.as_ref().unwrap().stats,
+            scoped.chaos.as_ref().unwrap().stats,
+        );
+        assert_eq!(u.armings_dropped, s.armings_dropped);
+        assert!(
+            u.armings_dropped > 0,
+            "plan never fired; replay claim vacuous"
+        );
+    }
 }
 
 mod random_plans {

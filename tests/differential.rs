@@ -110,6 +110,10 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                     ta.get_mut(a).pd.deadline = vr + 1 + amt % 50_000;
                     tb.get_mut(b).pd.deadline = ta.get(a).pd.deadline;
                 }
+                // Stamp the wait anchor as the machine would (queue_delay
+                // contract: sojourns are measured from `runnable_since`).
+                ta.get_mut(a).runnable_since = now;
+                tb.get_mut(b).runnable_since = now;
                 let hint = (amt % 4 != 0).then_some(cpu);
                 opt.task_enqueue(&mut ta, a, hint, EnqueueFlags::New, now);
                 oracle.task_enqueue(&mut tb, b, hint, EnqueueFlags::New, now);
@@ -137,6 +141,8 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                 prop_assert_eq!(x, y, "tick verdict diverged on core {}", cpu);
                 if x {
                     running.remove(&cpu);
+                    ta.get_mut(t).runnable_since = now;
+                    tb.get_mut(t).runnable_since = now;
                     opt.task_enqueue(&mut ta, t, Some(cpu), EnqueueFlags::Preempted, now);
                     oracle.task_enqueue(&mut tb, t, Some(cpu), EnqueueFlags::Preempted, now);
                 }
@@ -147,6 +153,8 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                     continue;
                 };
                 if amt % 3 == 0 {
+                    ta.get_mut(t).runnable_since = now;
+                    tb.get_mut(t).runnable_since = now;
                     opt.task_enqueue(&mut ta, t, Some(cpu), EnqueueFlags::Yield, now);
                     oracle.task_enqueue(&mut tb, t, Some(cpu), EnqueueFlags::Yield, now);
                 } else {
@@ -163,6 +171,8 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                 }
                 let t = blocked.swap_remove(amt as usize % blocked.len());
                 let hint = (amt % 5 != 0).then_some(cpu);
+                ta.get_mut(t).runnable_since = now;
+                tb.get_mut(t).runnable_since = now;
                 opt.task_wakeup(&mut ta, t, hint, now);
                 oracle.task_wakeup(&mut tb, t, hint, now);
                 if let Some(&(cur, since)) = running.get(&cpu) {
@@ -226,6 +236,8 @@ fn run_trace(which: u8, cores_sel: u8, ops: Vec<(u8, usize, u64)>, seed_vruntime
                     } else {
                         EnqueueFlags::Wakeup
                     };
+                    ta.get_mut(a).runnable_since = now;
+                    tb.get_mut(b).runnable_since = now;
                     batch_a.push((a, hint, flags));
                     batch_b.push((b, hint, flags));
                 }

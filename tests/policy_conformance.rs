@@ -1,0 +1,193 @@
+//! Cross-policy `queue_delay` conformance (the contract documented on
+//! [`skyloft::ops::Policy::queue_delay`]).
+//!
+//! Every shipped policy — the six in `skyloft-policies`, their frozen
+//! reference oracles, and the two built-ins — is driven through the same
+//! scripted scenario and held to the same rules:
+//!
+//! 1. empty queues report `None`;
+//! 2. with tasks queued, the report is `Some` and equals the sojourn
+//!    (`now − runnable_since`) of the oldest waiting task across *all*
+//!    runqueues — smoothing policies may report more, never less;
+//! 3. after draining, a non-smoothing policy reports `None` again.
+//!
+//! Before this contract existed, Shinjuku kept a shadow enqueue timestamp
+//! (ignoring its `TaskTable`) and the per-CPU policies reported nothing at
+//! all, so the runqueue AQM and the core allocator saw differently-shaped
+//! sojourns depending on the policy under test.
+
+use skyloft::builtin::{CentralizedFcfs, GlobalFifo};
+use skyloft::ops::{EnqueueFlags, Policy, SchedEnv};
+use skyloft::task::{Task, TaskId, TaskTable};
+use skyloft::SchedParams;
+use skyloft_policies::{cfs, eevdf, reference, rr, shinjuku, shinjuku_shenango, work_stealing};
+use skyloft_sim::Nanos;
+
+/// Every policy under contract: (name-for-diagnostics, instance, smoothing).
+/// `smoothing` relaxes the equality to ≥ and permits a post-drain residue.
+fn all_policies() -> Vec<(&'static str, Box<dyn Policy>, bool)> {
+    let q = Some(Nanos::from_us(20));
+    vec![
+        (
+            "shinjuku",
+            Box::new(shinjuku::Shinjuku::new(q)) as Box<dyn Policy>,
+            false,
+        ),
+        (
+            "shinjuku-shenango",
+            Box::new(shinjuku_shenango::ShinjukuShenango::new(q)),
+            true,
+        ),
+        ("rr", Box::new(rr::RoundRobin::new(q)), false),
+        (
+            "work-stealing",
+            Box::new(work_stealing::WorkStealing::new(q)),
+            false,
+        ),
+        (
+            "cfs",
+            Box::new(cfs::Cfs::new(SchedParams::SKYLOFT_CFS)),
+            false,
+        ),
+        (
+            "eevdf",
+            Box::new(eevdf::Eevdf::new(SchedParams::SKYLOFT_EEVDF)),
+            false,
+        ),
+        ("ref-shinjuku", Box::new(reference::Shinjuku::new(q)), false),
+        (
+            "ref-shinjuku-shenango",
+            Box::new(reference::ShinjukuShenango::new(q)),
+            true,
+        ),
+        ("ref-rr", Box::new(reference::RoundRobin::new(q)), false),
+        (
+            "ref-work-stealing",
+            Box::new(reference::WorkStealing::new(q)),
+            false,
+        ),
+        (
+            "ref-cfs",
+            Box::new(reference::Cfs::new(SchedParams::SKYLOFT_CFS)),
+            false,
+        ),
+        (
+            "ref-eevdf",
+            Box::new(reference::Eevdf::new(SchedParams::SKYLOFT_EEVDF)),
+            false,
+        ),
+        ("global-fifo", Box::new(GlobalFifo::new()), false),
+        ("centralized-fcfs", Box::new(CentralizedFcfs::new(q)), false),
+    ]
+}
+
+/// Spawns a task stamped runnable at `since` and enqueues it at `since`,
+/// mimicking the machine's lifecycle (stamp, then enqueue, same instant).
+fn spawn_at(
+    p: &mut dyn Policy,
+    tasks: &mut TaskTable,
+    hint: Option<usize>,
+    since: Nanos,
+) -> TaskId {
+    let t = tasks.insert(|id| Task::bare(id, 0));
+    p.task_init(tasks, t, since);
+    tasks.get_mut(t).runnable_since = since;
+    p.task_enqueue(tasks, t, hint, EnqueueFlags::New, since);
+    t
+}
+
+#[test]
+fn queue_delay_reports_oldest_sojourn_across_all_runqueues() {
+    for (name, mut p, smoothing) in all_policies() {
+        p.sched_init(&SchedEnv {
+            worker_cores: vec![0, 1, 2, 3],
+            dispatcher: None,
+        });
+        let mut tasks = TaskTable::new();
+
+        // Rule 1: empty → None.
+        assert_eq!(p.queue_delay(&tasks, Nanos(1_000)), None, "{name}: empty");
+
+        // Stagger arrivals across different cores; the *oldest* lives on
+        // core 2, so a policy reporting only one runqueue (or the head of
+        // the wrong one) fails here.
+        spawn_at(p.as_mut(), &mut tasks, Some(0), Nanos(5_000));
+        spawn_at(p.as_mut(), &mut tasks, Some(2), Nanos(1_000));
+        spawn_at(p.as_mut(), &mut tasks, Some(1), Nanos(9_000));
+        spawn_at(p.as_mut(), &mut tasks, None, Nanos(9_500));
+
+        let now = Nanos(20_000);
+        let want = Nanos(19_000); // sojourn of the Nanos(1_000) arrival
+        let got = p.queue_delay(&tasks, now);
+        let got = got.unwrap_or_else(|| panic!("{name}: queued tasks but reported None"));
+        if smoothing {
+            assert!(got >= want, "{name}: under-reported {got:?} < {want:?}");
+        } else {
+            assert_eq!(got, want, "{name}: oldest sojourn");
+        }
+
+        // Rule 2 continued: a fresh arrival never *lowers* the report.
+        spawn_at(p.as_mut(), &mut tasks, Some(3), Nanos(19_999));
+        let after = p.queue_delay(&tasks, now).unwrap();
+        assert!(after >= want, "{name}: new arrival lowered the report");
+
+        // Drain every queue (dequeue from each core, then steal).
+        for _ in 0..64 {
+            let mut progressed = false;
+            for cpu in 0..4 {
+                if let Some(t) = p
+                    .task_dequeue(&mut tasks, cpu, now)
+                    .or_else(|| p.sched_balance(&mut tasks, cpu, now))
+                {
+                    p.task_terminate(&mut tasks, t, now);
+                    tasks.remove(t);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(p.queue_len().unwrap_or(0), 0, "{name}: drain incomplete");
+
+        // Rule 3: empty again → None (smoothing residue exempt).
+        if !smoothing {
+            assert_eq!(p.queue_delay(&tasks, now), None, "{name}: post-drain");
+        }
+    }
+}
+
+#[test]
+fn queue_delay_tracks_requeue_stamps() {
+    // Preemption re-stamps `runnable_since`; the report must follow the
+    // fresh stamp, not the original arrival (the machine re-anchors the
+    // wait on every preempt/yield requeue).
+    for (name, mut p, smoothing) in all_policies() {
+        if smoothing {
+            continue; // the EWMA path is covered by the ≥ rule above
+        }
+        p.sched_init(&SchedEnv {
+            worker_cores: vec![0],
+            dispatcher: None,
+        });
+        let mut tasks = TaskTable::new();
+        let t = spawn_at(p.as_mut(), &mut tasks, Some(0), Nanos(1_000));
+        let got = p.task_dequeue(&mut tasks, 0, Nanos(2_000));
+        assert_eq!(got, Some(t), "{name}: dequeue");
+        assert_eq!(p.queue_delay(&tasks, Nanos(2_000)), None, "{name}");
+        // Preempt at t=8_000: the wait anchor moves forward.
+        tasks.get_mut(t).runnable_since = Nanos(8_000);
+        p.task_enqueue(
+            &mut tasks,
+            t,
+            Some(0),
+            EnqueueFlags::Preempted,
+            Nanos(8_000),
+        );
+        assert_eq!(
+            p.queue_delay(&tasks, Nanos(10_000)),
+            Some(Nanos(2_000)),
+            "{name}: requeue stamp"
+        );
+    }
+}
